@@ -1,0 +1,66 @@
+//! Criterion benches for the minic frontend: lexing, parsing, printing,
+//! type checking and diffing over the ten subject sources.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend/parse");
+    for s in benchsuite::subjects() {
+        g.bench_function(s.id, |b| {
+            b.iter(|| minic::parse(black_box(s.source)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_print(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend/print");
+    for s in benchsuite::subjects().into_iter().take(4) {
+        let p = s.parse();
+        g.bench_function(s.id, |b| b.iter(|| minic::print_program(black_box(&p))));
+    }
+    g.finish();
+}
+
+fn bench_typeck(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend/typeck");
+    for s in benchsuite::subjects().into_iter().take(4) {
+        let p = s.parse();
+        g.bench_function(s.id, |b| b.iter(|| minic::typeck::check(black_box(&p))));
+    }
+    g.finish();
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let s = benchsuite::subject("P9").unwrap();
+    let orig = minic::print_program(&s.parse());
+    let manual = minic::print_program(&s.parse_manual().unwrap());
+    c.bench_function("frontend/line_diff/P9_orig_vs_manual", |b| {
+        b.iter(|| minic::diff::line_diff(black_box(&orig), black_box(&manual)))
+    });
+}
+
+fn bench_edit_clone(c: &mut Criterion) {
+    // The repair loop clones+edits programs constantly; measure one
+    // representative heavy edit.
+    let s = benchsuite::subject("P8").unwrap();
+    let p = s.parse();
+    c.bench_function("frontend/edit/pointer_to_index_P8", |b| {
+        b.iter_batched(
+            || p.clone(),
+            |p| repair::xform_pointer::pointer_to_index(black_box(&p), "LNode", 256),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_print,
+    bench_typeck,
+    bench_diff,
+    bench_edit_clone
+);
+criterion_main!(benches);

@@ -1,0 +1,542 @@
+//! One runner per paper table/figure.
+
+use crate::{fpga_latency_ms, run_subject, standard_config};
+use hls_sim::ErrorCategory;
+use minic_exec::{CoverageMap, Machine, MachineConfig};
+use repair::{DifferentialTester, SearchConfig};
+use serde::Serialize;
+
+// ---------------------------------------------------------------- Figure 3
+
+/// One slice of the Figure 3 pie.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Row {
+    /// Category name.
+    pub category: String,
+    /// Posts classified into this category.
+    pub classified: usize,
+    /// Classified share (0..=1).
+    pub share: f64,
+    /// The paper's reported share.
+    pub paper_share: f64,
+}
+
+/// Regenerates Figure 3: classify a 1,000-post corpus by message keywords
+/// and tally the categories. Returns the rows plus classifier accuracy
+/// against the ground-truth labels.
+pub fn fig3(posts: usize, seed: u64) -> (Vec<Fig3Row>, f64) {
+    let corpus = benchsuite::forum::forum_corpus(posts, seed);
+    let accuracy = repair::classify::accuracy(&corpus);
+    let rows = ErrorCategory::ALL
+        .iter()
+        .map(|c| {
+            let classified = corpus
+                .iter()
+                .filter(|(m, _)| repair::classify_message(m) == *c)
+                .count();
+            Fig3Row {
+                category: c.name().to_string(),
+                classified,
+                share: classified as f64 / posts as f64,
+                paper_share: c.forum_share(),
+            }
+        })
+        .collect();
+    (rows, accuracy)
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// One Table 1 row: a canonical error and its repair family.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Category name.
+    pub category: String,
+    /// Tool code emitted by the simulated checker.
+    pub code: String,
+    /// Error symptom text.
+    pub symptom: String,
+    /// Repair summary (Table 1 "Repair" column).
+    pub repair: String,
+}
+
+/// Regenerates Table 1 from the checker's canonical diagnostics.
+pub fn table1() -> Vec<Table1Row> {
+    let repair_for = |c: ErrorCategory| match c {
+        ErrorCategory::DynamicDataStructures => "Specify the array size / backing array + stack",
+        ErrorCategory::UnsupportedDataTypes => {
+            "Type transformation, explicit casting, operator overloading"
+        }
+        ErrorCategory::DataflowOptimization => "Pragma exploration / data segmentation",
+        ErrorCategory::LoopParallelization => "Pragma exploration / explicit tripcount",
+        ErrorCategory::StructAndUnion => "Insert explicit constructor, make stream static",
+        ErrorCategory::TopFunction => "Configuration exploration",
+    };
+    hls_sim::errors::table1_examples()
+        .into_iter()
+        .map(|(c, code, symptom)| Table1Row {
+            category: c.name().to_string(),
+            code: code.to_string(),
+            symptom: symptom.to_string(),
+            repair: repair_for(c).to_string(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+/// Regenerates Table 2: the parameterized-edit catalog per error type.
+pub fn table2() -> Vec<(String, Vec<&'static str>)> {
+    vec![
+        (
+            ErrorCategory::DynamicDataStructures.name().to_string(),
+            vec![
+                "array_static($a1:arr,$i1:int)",
+                "insert($a1:arr,$d1:dyn) [pointer_to_index]",
+                "resize($a1:arr)",
+                "stack_trans($d1:dyn)",
+            ],
+        ),
+        (
+            ErrorCategory::UnsupportedDataTypes.name().to_string(),
+            vec![
+                "pointer($v1:ptr) [pointer_param_to_array]",
+                "type_trans($v1:var)",
+                "type_casting($v1:var)",
+                "op_overload($v1:var)",
+            ],
+        ),
+        (
+            ErrorCategory::DataflowOptimization.name().to_string(),
+            vec![
+                "delete($p1:pragma,$f1:func)",
+                "insert($p1:pragma,$f1:func)",
+                "segment($a1:arr) [duplicate_array_arg]",
+            ],
+        ),
+        (
+            ErrorCategory::LoopParallelization.name().to_string(),
+            vec![
+                "index_static($l1:loop)",
+                "explore($p1:pragma,$l1:loop)",
+                "pad_array($a1:arr)",
+                "delete($p1:pragma,$f1:func)",
+            ],
+        ),
+        (
+            ErrorCategory::StructAndUnion.name().to_string(),
+            vec![
+                "constructor($s1:struct)",
+                "flatten($s1:struct)",
+                "stream_static($f1:stream,$s1:struct)",
+                "inst_update($s1:struct)",
+                "pointer($s1:struct)",
+            ],
+        ),
+        (
+            ErrorCategory::TopFunction.name().to_string(),
+            vec!["set_top($f1:func)", "fix_clock()", "insert($p1:pragma,$f1:func)"],
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------- Table 3
+
+/// One Table 3 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Paper id.
+    pub id: String,
+    /// Subject name.
+    pub name: String,
+    /// HLS compatibility achieved.
+    pub compatible: bool,
+    /// FPGA version faster than CPU original.
+    pub improved: bool,
+    /// Measured speedup (CPU/FPGA).
+    pub speedup: f64,
+    /// Paper's verdicts.
+    pub paper_improved: bool,
+}
+
+/// Regenerates Table 3 by running the full pipeline on every subject.
+pub fn table3() -> Vec<Table3Row> {
+    let cfg = standard_config();
+    benchsuite::subjects()
+        .iter()
+        .map(|s| {
+            let r = run_subject(s, &cfg);
+            Table3Row {
+                id: s.id.to_string(),
+                name: s.name.to_string(),
+                compatible: r.success(),
+                improved: r.repair.improved,
+                speedup: r.speedup(),
+                paper_improved: s.paper.improved,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 4
+
+/// One Table 4 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Row {
+    /// Paper id.
+    pub id: String,
+    /// Generated tests (corpus).
+    pub tests: usize,
+    /// Inputs executed during fuzzing.
+    pub executed: usize,
+    /// Simulated fuzzing minutes.
+    pub time_min: f64,
+    /// Branch coverage of the generated suite.
+    pub coverage: f64,
+    /// Pre-existing test count, if any.
+    pub existing_tests: Option<usize>,
+    /// Branch coverage of the pre-existing tests, if any.
+    pub existing_coverage: Option<f64>,
+}
+
+/// Regenerates Table 4: fuzzing statistics per subject, plus the coverage
+/// of the subjects' pre-existing tests measured by replay.
+pub fn table4() -> Vec<Table4Row> {
+    let cfg = standard_config();
+    benchsuite::subjects()
+        .iter()
+        .map(|s| {
+            let p = s.parse();
+            let mut seeds = s.seed_inputs.clone();
+            seeds.extend(s.existing_tests.clone());
+            let fr = testgen::fuzz(&p, s.kernel, seeds, &cfg.fuzz)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+            let existing_coverage = if s.existing_tests.is_empty() {
+                None
+            } else {
+                let mut cov = CoverageMap::new();
+                for t in &s.existing_tests {
+                    if let Ok(mut m) = Machine::new(&p, MachineConfig::cpu()) {
+                        let _ = m.run_kernel(s.kernel, t);
+                        cov.merge(&m.coverage);
+                    }
+                }
+                Some(minic_exec::coverage::coverage_ratio(&cov, &p))
+            };
+            Table4Row {
+                id: s.id.to_string(),
+                tests: fr.corpus.len(),
+                executed: fr.executed,
+                time_min: fr.sim_minutes,
+                coverage: fr.coverage,
+                existing_tests: (!s.existing_tests.is_empty()).then(|| s.existing_tests.len()),
+                existing_coverage,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 5
+
+/// One Table 5 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table5Row {
+    /// Paper id.
+    pub id: String,
+    /// Original size in lines.
+    pub origin_loc: usize,
+    /// ΔLOC of the manual port.
+    pub manual_delta_loc: Option<usize>,
+    /// ΔLOC of HeteroRefactor's output (None = HR fails the subject).
+    pub hr_delta_loc: Option<usize>,
+    /// ΔLOC of HeteroGen's output.
+    pub hg_delta_loc: usize,
+    /// CPU latency of the original (ms).
+    pub origin_ms: f64,
+    /// FPGA latency of the manual port (ms).
+    pub manual_ms: Option<f64>,
+    /// FPGA latency of HeteroRefactor's output (ms).
+    pub hr_ms: Option<f64>,
+    /// FPGA latency of HeteroGen's output (ms).
+    pub hg_ms: f64,
+}
+
+/// Regenerates Table 5: ΔLOC and runtime for Manual / HeteroRefactor /
+/// HeteroGen per subject.
+pub fn table5() -> Vec<Table5Row> {
+    let cfg = standard_config();
+    benchsuite::subjects()
+        .iter()
+        .map(|s| {
+            let p = s.parse();
+            let hg = run_subject(s, &cfg);
+            let orig_src = minic::print_program(&p);
+
+            let manual = s.parse_manual();
+            let (manual_delta_loc, manual_ms) = match &manual {
+                Some(m) => (
+                    Some(
+                        minic::diff::line_diff(&orig_src, &minic::print_program(m))
+                            .delta_loc(),
+                    ),
+                    Some(fpga_latency_ms(&p, m, s.kernel, &hg.tests)),
+                ),
+                None => (None, None),
+            };
+
+            let hr = heterorefactor::refactor(&p);
+            let (hr_delta_loc, hr_ms) = if hr.success {
+                (
+                    Some(
+                        minic::diff::line_diff(&orig_src, &minic::print_program(&hr.program))
+                            .delta_loc(),
+                    ),
+                    Some(fpga_latency_ms(&p, &hr.program, s.kernel, &hg.tests)),
+                )
+            } else {
+                (None, None)
+            };
+
+            Table5Row {
+                id: s.id.to_string(),
+                origin_loc: hg.origin_loc,
+                manual_delta_loc,
+                hr_delta_loc,
+                hg_delta_loc: hg.delta_loc,
+                origin_ms: hg.repair.cpu_latency_ms,
+                manual_ms,
+                hr_ms,
+                hg_ms: hg.repair.fpga_latency_ms,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+/// The §6.2 / Figure 8 case study result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Result {
+    /// Subject id (P3 as in the paper).
+    pub id: String,
+    /// Tests generated by the fuzzer.
+    pub generated_tests: usize,
+    /// Pre-existing tests used by the baseline run.
+    pub existing_tests: usize,
+    /// Pass ratio of the existing-tests-only output on the generated suite
+    /// (the paper reports 44% *failing* — i.e. 56% passing).
+    pub existing_output_pass: f64,
+    /// Pass ratio of the generated-tests output on the same suite.
+    pub generated_output_pass: f64,
+    /// Edits applied by the generated-tests run.
+    pub applied: Vec<String>,
+}
+
+/// Regenerates the Figure 8 stack-size case study on P3: repairing with
+/// pre-existing tests only yields a stack sized for shallow recursion that
+/// silently corrupts deeper inputs; generated tests catch it.
+pub fn fig8() -> Fig8Result {
+    let s = benchsuite::subject("P3").expect("P3 exists");
+    let p = s.parse();
+    let cfg = standard_config();
+
+    let existing_run = heterogen_core::HeteroGen::new(cfg)
+        .run_with_existing_tests(&p, s.kernel, s.existing_tests.clone())
+        .expect("existing-tests run");
+
+    let mut seeds = s.seed_inputs.clone();
+    seeds.extend(s.existing_tests.clone());
+    let generated_run = heterogen_core::HeteroGen::new(cfg)
+        .run(&p, s.kernel, seeds)
+        .expect("generated run");
+
+    let d = DifferentialTester::new(&p, s.kernel, &generated_run.tests, 64)
+        .expect("reference executes");
+    Fig8Result {
+        id: s.id.to_string(),
+        generated_tests: generated_run.tests.len(),
+        existing_tests: s.existing_tests.len(),
+        existing_output_pass: d.evaluate(&existing_run.program).pass_ratio,
+        generated_output_pass: d.evaluate(&generated_run.program).pass_ratio,
+        applied: generated_run.repair.applied.clone(),
+    }
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+/// One Figure 9 row (per subject).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Row {
+    /// Paper id.
+    pub id: String,
+    /// HeteroGen's simulated minutes to first success.
+    pub hg_min: Option<f64>,
+    /// WithoutDependence's simulated minutes to first success (None =
+    /// failed within the 12-hour budget, like the paper's P9).
+    pub wd_min: Option<f64>,
+    /// HeteroGen's fraction of attempts that reached full HLS compilation
+    /// (the black bars; WithoutChecker is 1.0 by construction).
+    pub hg_invocation_ratio: f64,
+    /// Full compiles HeteroGen performed.
+    pub hg_compiles: u64,
+    /// Compilations the style checker avoided.
+    pub hg_style_rejects: u64,
+    /// Full compiles the WithoutChecker ablation performed.
+    pub wc_compiles: u64,
+    /// WithoutChecker's simulated minutes to first success.
+    pub wc_min: Option<f64>,
+}
+
+/// Regenerates Figure 9: repair time with/without dependence-guided
+/// exploration, and HLS-invocation counts with/without the style checker.
+pub fn fig9(subject_filter: Option<&str>) -> Vec<Fig9Row> {
+    let cfg = standard_config();
+    benchsuite::subjects()
+        .iter()
+        .filter(|s| subject_filter.map(|f| s.id == f).unwrap_or(true))
+        .map(|s| {
+            let p = s.parse();
+            let mut seeds = s.seed_inputs.clone();
+            seeds.extend(s.existing_tests.clone());
+            let fr = testgen::fuzz(&p, s.kernel, seeds, &cfg.fuzz)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+            let broken = heterogen_core::initial_version(&p, &fr.profile);
+
+            let run = |sc: SearchConfig| {
+                repair::repair(&p, broken.clone(), s.kernel, &fr.corpus, &fr.profile, &sc)
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.id))
+            };
+            let hg = run(cfg.search);
+            let wd = run(SearchConfig {
+                use_dependence: false,
+                budget_min: 720.0,
+                explore_performance: false,
+                ..cfg.search
+            });
+            let wc = run(SearchConfig {
+                use_style_checker: false,
+                ..cfg.search
+            });
+            Fig9Row {
+                id: s.id.to_string(),
+                hg_min: hg.stats.first_success_min,
+                wd_min: wd.stats.first_success_min,
+                hg_invocation_ratio: hg.stats.hls_invocation_ratio(),
+                hg_compiles: hg.stats.full_compiles,
+                hg_style_rejects: hg.stats.style_rejects,
+                wc_compiles: wc.stats.full_compiles,
+                wc_min: wc.stats.first_success_min,
+            }
+        })
+        .collect()
+}
+
+// -------------------------------------------------- extra ablations (DESIGN §6)
+
+/// Result of the seed-source ablation: kernel-entry seeds (the paper's
+/// `getKernelSeed` insight, §4) vs purely random seeds.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeedAblationRow {
+    /// Paper id.
+    pub id: String,
+    /// Inputs executed to reach saturation with captured/provided seeds.
+    pub seeded_execs: usize,
+    /// Coverage with captured/provided seeds.
+    pub seeded_coverage: f64,
+    /// Inputs executed with random seeds only.
+    pub random_execs: usize,
+    /// Coverage with random seeds only.
+    pub random_coverage: f64,
+}
+
+/// Runs the seed-source ablation: same fuzz budget, with and without the
+/// subject's valid seed inputs. Valid seeds should reach equal-or-better
+/// coverage at equal-or-lower cost (the paper's "improved fuzzing
+/// efficiency" claim for kernel-entry seeds).
+pub fn ablation_seed() -> Vec<SeedAblationRow> {
+    let cfg = standard_config().fuzz;
+    benchsuite::subjects()
+        .iter()
+        .map(|s| {
+            let p = s.parse();
+            let mut seeds = s.seed_inputs.clone();
+            seeds.extend(s.existing_tests.clone());
+            let seeded = testgen::fuzz(&p, s.kernel, seeds, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+            let random = testgen::fuzz(&p, s.kernel, vec![], &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+            SeedAblationRow {
+                id: s.id.to_string(),
+                seeded_execs: seeded.executed,
+                seeded_coverage: seeded.coverage,
+                random_execs: random.executed,
+                random_coverage: random.coverage,
+            }
+        })
+        .collect()
+}
+
+/// Result of the bitwidth-finitization ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct BitwidthAblationRow {
+    /// Paper id.
+    pub id: String,
+    /// Resource estimate (bit units) of the transpiled design *with*
+    /// profile-guided finitization.
+    pub finitized_resources: u64,
+    /// Resource estimate without finitization (declared C widths kept).
+    pub declared_resources: u64,
+}
+
+/// Runs the bitwidth ablation: transpile each subject with and without the
+/// initial-version type estimation, and compare resource estimates (the
+/// paper's §2 motivation: oversized variables waste on-chip resources).
+pub fn ablation_bitwidth() -> Vec<BitwidthAblationRow> {
+    let cfg = standard_config();
+    benchsuite::subjects()
+        .iter()
+        .map(|s| {
+            let with = run_subject(s, &cfg);
+            let mut cfg_off = cfg;
+            cfg_off.bitwidth_finitization = false;
+            let without = run_subject(s, &cfg_off);
+            BitwidthAblationRow {
+                id: s.id.to_string(),
+                finitized_resources: hls_sim::resource_estimate(&with.program),
+                declared_resources: hls_sim::resource_estimate(&without.program),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_matches_paper_proportions() {
+        let (rows, accuracy) = fig3(1000, 2022);
+        assert!(accuracy > 0.9, "classifier accuracy {accuracy}");
+        for r in &rows {
+            assert!(
+                (r.share - r.paper_share).abs() < 0.05,
+                "{}: {} vs {}",
+                r.category,
+                r.share,
+                r.paper_share
+            );
+        }
+    }
+
+    #[test]
+    fn table1_has_six_rows() {
+        assert_eq!(table1().len(), 6);
+    }
+
+    #[test]
+    fn table2_covers_six_categories() {
+        let t = table2();
+        assert_eq!(t.len(), 6);
+        assert!(t.iter().all(|(_, edits)| !edits.is_empty()));
+    }
+}

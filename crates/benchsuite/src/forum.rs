@@ -1,0 +1,119 @@
+//! Synthetic Xilinx-forum corpus for the Figure 3 study.
+//!
+//! The paper collected 1,000 Q&A posts and grouped their root causes into
+//! six categories with the proportions of Figure 3. We cannot ship forum
+//! text, so this module generates a labelled corpus of error messages with
+//! those exact proportions, drawn from several message templates per
+//! category (including paraphrases, so the classifier is exercised beyond
+//! the canonical Table 1 strings).
+
+use hls_sim::ErrorCategory;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Message templates per category (representative of the symptom vocabulary
+/// in the Xilinx forum posts the paper cites).
+pub fn templates(c: ErrorCategory) -> &'static [&'static str] {
+    match c {
+        ErrorCategory::DynamicDataStructures => &[
+            "ERROR: [SYNCHK 200-31] dynamic memory allocation/deallocation is not supported",
+            "ERROR: [XFORM 202-876] Synthesizability check failed: recursive functions are not supported",
+            "ERROR: [SYNCHK 200-61] unsupported memory access on variable which is (or contains) an array with unknown size at compile time",
+            "malloc of line_buf_a fails synthesis: dynamic memory is not allowed in the kernel",
+        ],
+        ErrorCategory::UnsupportedDataTypes => &[
+            "ERROR: call of overloaded 'pow()' is ambiguous for operand of type long double",
+            "ERROR: [SYNCHK 200-11] type is not synthesizable; please use a supported data type",
+            "pointer to pointer is not supported as a kernel argument value",
+            "implicit conversion between ap_fixed widths rejected; add an explicit value cast",
+            "long double arithmetic is not supported by the synthesizer data path",
+        ],
+        ErrorCategory::DataflowOptimization => &[
+            "ERROR: [XFORM 202-711] Argument 'data' failed dataflow checking",
+            "dataflow canonical form violated: the same buffer is consumed by two processes",
+            "ERROR: dataflow checking failed because a channel is read by multiple regions",
+        ],
+        ErrorCategory::LoopParallelization => &[
+            "ERROR: [HLS 200-70] Pre-synthesis failed after inserting the unroll directive",
+            "unroll factor exceeds the loop bound; pre-synthesis failed",
+            "ERROR: [XFORM 202-711] Array failed partition checking: factor does not divide extent",
+            "pipeline II cannot be met for the inner loop; increase the tripcount bound",
+        ],
+        ErrorCategory::StructAndUnion => &[
+            "ERROR: [SYNCHK 200-42] Argument 'this' has an unsynthesizable struct type",
+            "struct with reference members cannot be instantiated without an explicit constructor",
+            "union member access is not synthesizable in this context (struct layout unknown)",
+        ],
+        ErrorCategory::TopFunction => &[
+            "ERROR: [HLS 200-101] Cannot find the top function in the design",
+            "the configured top function name does not match any function in the project",
+            "top function clock constraint is infeasible for the selected device",
+        ],
+    }
+}
+
+/// Generates a labelled corpus of `n` posts whose category mix follows the
+/// Figure 3 proportions (deterministic per seed).
+pub fn forum_corpus(n: usize, seed: u64) -> Vec<(String, ErrorCategory)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    // Allocate counts by share, largest remainder to the biggest category.
+    let mut counts: Vec<(ErrorCategory, usize)> = ErrorCategory::ALL
+        .iter()
+        .map(|c| (*c, (c.forum_share() * n as f64).round() as usize))
+        .collect();
+    let total: usize = counts.iter().map(|(_, k)| k).sum();
+    if total != n {
+        counts[0].1 = counts[0].1 + n - total.min(n);
+    }
+    for (c, k) in counts {
+        let ts = templates(c);
+        for i in 0..k {
+            let t = ts[i % ts.len()];
+            out.push((format!("post#{:04}: {t}", out.len()), c));
+        }
+    }
+    out.shuffle(&mut rng);
+    out.truncate(n);
+    out
+}
+
+/// Tallies a labelled corpus into per-category counts, in `ALL` order.
+pub fn tally(corpus: &[(String, ErrorCategory)]) -> Vec<(ErrorCategory, usize)> {
+    ErrorCategory::ALL
+        .iter()
+        .map(|c| (*c, corpus.iter().filter(|(_, k)| k == c).count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_requested_size_and_mix() {
+        let corpus = forum_corpus(1000, 42);
+        assert_eq!(corpus.len(), 1000);
+        for (c, count) in tally(&corpus) {
+            let want = c.forum_share() * 1000.0;
+            assert!(
+                (count as f64 - want).abs() <= 12.0,
+                "{c}: {count} vs expected {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        assert_eq!(forum_corpus(100, 7), forum_corpus(100, 7));
+        assert_ne!(forum_corpus(100, 7), forum_corpus(100, 8));
+    }
+
+    #[test]
+    fn every_category_has_templates() {
+        for c in ErrorCategory::ALL {
+            assert!(!templates(c).is_empty());
+        }
+    }
+}

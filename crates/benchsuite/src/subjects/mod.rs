@@ -1,0 +1,12 @@
+//! The ten subject programs, one module per paper id.
+
+pub mod p1;
+pub mod p10;
+pub mod p2;
+pub mod p3;
+pub mod p4;
+pub mod p5;
+pub mod p6;
+pub mod p7;
+pub mod p8;
+pub mod p9;

@@ -1,0 +1,73 @@
+//! P1 — signal transmission: 3-channel RGB → YUV conversion.
+//!
+//! Basic arithmetic with `long double` intermediates and **no loops or
+//! arrays to parallelize**: HeteroGen can fix the compatibility errors but
+//! has no performance-improving edit to apply, so the FPGA version stays
+//! slower than the CPU original (the single ✗ in the paper's Table 3).
+
+use crate::{PaperRow, Subject};
+use minic_exec::ArgValue;
+
+/// The original C program (forum-derived draft).
+pub const SOURCE: &str = r#"
+float kernel(float rgb[3], float yuv[3]) {
+    long double r = rgb[0];
+    long double g = rgb[1];
+    long double b = rgb[2];
+    long double y = 0.299L * r + 0.587L * g + 0.114L * b;
+    long double u = 0.436L * b - 0.14713L * r - 0.28886L * g;
+    long double v = 0.615L * r - 0.51499L * g - 0.10001L * b;
+    yuv[0] = (float)y;
+    yuv[1] = (float)u;
+    yuv[2] = (float)v;
+    return (float)y;
+}
+"#;
+
+/// A hand-optimized HLS version (what an expert would write): custom float
+/// types, explicit casts.
+pub const MANUAL: &str = r#"
+float kernel(float rgb[3], float yuv[3]) {
+    fpga_float<8,52> r = rgb[0];
+    fpga_float<8,52> g = rgb[1];
+    fpga_float<8,52> b = rgb[2];
+    fpga_float<8,52> y = 0.299 * r + 0.587 * g + 0.114 * b;
+    fpga_float<8,52> u = 0.436 * b - 0.14713 * r - 0.28886 * g;
+    fpga_float<8,52> v = 0.615 * r - 0.51499 * g - 0.10001 * b;
+    yuv[0] = (float)y;
+    yuv[1] = (float)u;
+    yuv[2] = (float)v;
+    return (float)y;
+}
+"#;
+
+/// Builds the subject descriptor.
+pub fn subject() -> Subject {
+    Subject {
+        id: "P1",
+        name: "signal transmission",
+        kernel: "kernel",
+        source: SOURCE,
+        manual_source: Some(MANUAL),
+        existing_tests: Vec::new(),
+        seed_inputs: vec![vec![
+            ArgValue::FloatArray(vec![128.0, 64.0, 32.0]),
+            ArgValue::FloatArray(vec![0.0, 0.0, 0.0]),
+        ]],
+        paper: PaperRow {
+            origin_loc: 15,
+            manual_delta_loc: 78,
+            hg_delta_loc: 69,
+            origin_ms: 0.21,
+            manual_ms: 0.11,
+            hg_ms: 0.35,
+            hr_works: false,
+            improved: false,
+            existing_test_count: None,
+            existing_coverage: None,
+            hg_tests: 27,
+            hg_time_min: 35.0,
+            hg_coverage: 1.0,
+        },
+    }
+}

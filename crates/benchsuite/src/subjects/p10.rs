@@ -1,0 +1,180 @@
+//! P10 — digit recognition: k-nearest-neighbour classification of 5×5
+//! binary digit bitmaps by Hamming distance (Rosetta's digit recognition,
+//! scaled to the interpreter).
+//!
+//! Two incompatibilities: a variable-length candidate-distance buffer
+//! (unknown size at compile time) and an over-eager `unroll factor=64` on
+//! the data-dependent selection loop inside a `dataflow` region.
+
+use crate::{PaperRow, Subject};
+use minic_exec::ArgValue;
+
+/// The original C program.
+pub const SOURCE: &str = r#"
+#define TRAIN 16
+int train_bits[TRAIN] = {
+    15, 51, 85, 51, 240, 204, 170, 204,
+    3855, 13107, 21845, 13107, 61680, 52428, 43690, 52428
+};
+int train_label[TRAIN] = {
+    0, 1, 2, 1, 3, 4, 5, 4,
+    6, 7, 8, 7, 9, 4, 5, 4
+};
+
+int popcount25(int x) {
+    int count = 0;
+    for (int i = 0; i < 25; i++) {
+        if (((x >> i) & 1) == 1) {
+            count = count + 1;
+        }
+    }
+    return count;
+}
+
+int kernel(int digit, int k) {
+#pragma HLS dataflow
+    if (k > 8) { k = 8; }
+    if (k < 1) { k = 1; }
+    int best_dist[k];
+    int best_label[k];
+    for (int i = 0; i < k; i++) {
+        best_dist[i] = 26;
+        best_label[i] = 0;
+    }
+    for (int t = 0; t < TRAIN; t++) {
+        int d = popcount25(digit ^ train_bits[t]);
+        int j = 0;
+        while (j < k && best_dist[j] <= d) {
+#pragma HLS unroll factor=64
+            j = j + 1;
+        }
+        if (j < k) {
+            for (int m = k - 1; m > j; m = m - 1) {
+                best_dist[m] = best_dist[m - 1];
+                best_label[m] = best_label[m - 1];
+            }
+            best_dist[j] = d;
+            best_label[j] = train_label[t];
+        }
+    }
+    int votes[10];
+    for (int i = 0; i < 10; i++) { votes[i] = 0; }
+    for (int i = 0; i < k; i++) {
+        votes[best_label[i]] = votes[best_label[i]] + 1;
+    }
+    int best = 0;
+    for (int i = 1; i < 10; i++) {
+        if (votes[i] > votes[best]) { best = i; }
+    }
+    return best;
+}
+"#;
+
+/// Hand-optimized HLS version: static buffers, bounded selection loop,
+/// unrolled popcount, pipelined training scan.
+pub const MANUAL: &str = r#"
+#define TRAIN 16
+int train_bits[TRAIN] = {
+    15, 51, 85, 51, 240, 204, 170, 204,
+    3855, 13107, 21845, 13107, 61680, 52428, 43690, 52428
+};
+int train_label[TRAIN] = {
+    0, 1, 2, 1, 3, 4, 5, 4,
+    6, 7, 8, 7, 9, 4, 5, 4
+};
+
+int popcount25(int x) {
+    int count = 0;
+    for (int i = 0; i < 25; i++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=5
+        if (((x >> i) & 1) == 1) {
+            count = count + 1;
+        }
+    }
+    return count;
+}
+
+int kernel(int digit, int k) {
+    if (k > 8) { k = 8; }
+    if (k < 1) { k = 1; }
+    int best_dist[8];
+    int best_label[8];
+#pragma HLS array_partition variable=best_dist complete
+#pragma HLS array_partition variable=best_label complete
+#pragma HLS array_partition variable=train_bits factor=8 dim=1
+    for (int i = 0; i < 8; i++) {
+#pragma HLS unroll factor=8
+        best_dist[i] = 26;
+        best_label[i] = 0;
+    }
+    for (int t = 0; t < TRAIN; t++) {
+#pragma HLS pipeline II=2
+        int d = popcount25(digit ^ train_bits[t]);
+        int j = 0;
+        while (j < k && best_dist[j] <= d) {
+#pragma HLS loop_tripcount min=1 max=8
+            j = j + 1;
+        }
+        if (j < k) {
+            for (int m = k - 1; m > j; m = m - 1) {
+#pragma HLS pipeline II=1
+                best_dist[m] = best_dist[m - 1];
+                best_label[m] = best_label[m - 1];
+            }
+            best_dist[j] = d;
+            best_label[j] = train_label[t];
+        }
+    }
+    int votes[10];
+    for (int i = 0; i < 10; i++) {
+#pragma HLS pipeline II=1
+        votes[i] = 0;
+    }
+    for (int i = 0; i < k; i++) {
+#pragma HLS pipeline II=1
+        votes[best_label[i]] = votes[best_label[i]] + 1;
+    }
+    int best = 0;
+    for (int i = 1; i < 10; i++) {
+#pragma HLS pipeline II=1
+        if (votes[i] > votes[best]) { best = i; }
+    }
+    return best;
+}
+"#;
+
+/// Pre-existing tests (11 tests, 70% coverage in the paper).
+pub fn existing_tests() -> Vec<Vec<ArgValue>> {
+    (0..11)
+        .map(|i| vec![ArgValue::Int((i * 997 + 13) % 33554432), ArgValue::Int(3)])
+        .collect()
+}
+
+/// Builds the subject descriptor.
+pub fn subject() -> Subject {
+    Subject {
+        id: "P10",
+        name: "digit recognition",
+        kernel: "kernel",
+        source: SOURCE,
+        manual_source: Some(MANUAL),
+        existing_tests: existing_tests(),
+        seed_inputs: vec![vec![ArgValue::Int(51), ArgValue::Int(3)]],
+        paper: PaperRow {
+            origin_loc: 117,
+            manual_delta_loc: 61,
+            hg_delta_loc: 35,
+            origin_ms: 24.3,
+            manual_ms: 10.5,
+            hg_ms: 13.6,
+            hr_works: false,
+            improved: true,
+            existing_test_count: Some(11),
+            existing_coverage: Some(0.70),
+            hg_tests: 133,
+            hg_time_min: 67.0,
+            hg_coverage: 1.0,
+        },
+    }
+}

@@ -1,0 +1,67 @@
+//! P2 — arithmetic computation: Taylor-series exponential.
+//!
+//! A `long double` accumulator loop (the unsupported-data-type class); the
+//! loop pipelines after repair, so the FPGA version wins.
+
+use crate::{PaperRow, Subject};
+use minic_exec::ArgValue;
+
+/// The original C program.
+pub const SOURCE: &str = r#"
+#define TERMS 24
+float kernel(float x0) {
+    long double x = x0;
+    long double sum = 1.0L;
+    long double term = 1.0L;
+    for (int i = 1; i < TERMS; i++) {
+        term = term * x / i;
+        sum = sum + term;
+    }
+    return (float)sum;
+}
+"#;
+
+/// Hand-optimized HLS version: custom floats plus an explicitly pipelined
+/// loop.
+pub const MANUAL: &str = r#"
+#define TERMS 24
+float kernel(float x0) {
+    fpga_float<8,52> x = x0;
+    fpga_float<8,52> sum = 1.0;
+    fpga_float<8,52> term = 1.0;
+    for (int i = 1; i < TERMS; i++) {
+#pragma HLS pipeline II=1
+        term = term * x / i;
+        sum = sum + term;
+    }
+    return (float)sum;
+}
+"#;
+
+/// Builds the subject descriptor.
+pub fn subject() -> Subject {
+    Subject {
+        id: "P2",
+        name: "arithmetic computation",
+        kernel: "kernel",
+        source: SOURCE,
+        manual_source: Some(MANUAL),
+        existing_tests: Vec::new(),
+        seed_inputs: vec![vec![ArgValue::Float(0.5)]],
+        paper: PaperRow {
+            origin_loc: 24,
+            manual_delta_loc: 8,
+            hg_delta_loc: 9,
+            origin_ms: 0.96,
+            manual_ms: 0.45,
+            hg_ms: 0.53,
+            hr_works: false,
+            improved: true,
+            existing_test_count: None,
+            existing_coverage: None,
+            hg_tests: 6930,
+            hg_time_min: 50.0,
+            hg_coverage: 1.0,
+        },
+    }
+}

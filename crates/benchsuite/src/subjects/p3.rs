@@ -1,0 +1,155 @@
+//! P3 — merge sort: recursive divide-and-conquer sort over a global buffer.
+//!
+//! The subject of the paper's §6.2 stack-size case study (Figure 8): the
+//! recursion depth is data-dependent (it sorts an `n`-element prefix with an
+//! asymmetric split), so a stack sized from the shallow *pre-existing* tests
+//! silently corrupts results on the deeper inputs the fuzzer generates —
+//! caught only by differential testing, fixed by the `resize` edit.
+
+use crate::{PaperRow, Subject};
+use minic_exec::ArgValue;
+
+/// The original C program.
+pub const SOURCE: &str = r#"
+#define N 32
+int ms_buf[N];
+int ms_tmp[N];
+
+void msort(int lo, int hi) {
+    if (lo >= hi) { return; }
+    int mid = lo + (hi - lo) / 4;
+    msort(lo, mid);
+    msort(mid + 1, hi);
+    int i = lo;
+    int j = mid + 1;
+    int k = lo;
+    while (i <= mid && j <= hi) {
+        if (ms_buf[i] <= ms_buf[j]) {
+            ms_tmp[k] = ms_buf[i];
+            i = i + 1;
+        } else {
+            ms_tmp[k] = ms_buf[j];
+            j = j + 1;
+        }
+        k = k + 1;
+    }
+    while (i <= mid) {
+        ms_tmp[k] = ms_buf[i];
+        i = i + 1;
+        k = k + 1;
+    }
+    while (j <= hi) {
+        ms_tmp[k] = ms_buf[j];
+        j = j + 1;
+        k = k + 1;
+    }
+    for (int t = lo; t <= hi; t = t + 1) {
+        ms_buf[t] = ms_tmp[t];
+    }
+}
+
+void kernel(int a[32], int n) {
+    if (n > 32) { n = 32; }
+    if (n < 1) { n = 1; }
+    for (int i = 0; i < n; i++) { ms_buf[i] = a[i]; }
+    msort(0, n - 1);
+    for (int i = 0; i < n; i++) { a[i] = ms_buf[i]; }
+}
+"#;
+
+/// A hand-optimized HLS version: iterative bottom-up merge sort with a
+/// pipelined merge loop (what an expert writes instead of a stack machine).
+pub const MANUAL: &str = r#"
+#define N 32
+int ms_buf[N];
+int ms_tmp[N];
+
+void merge_pass(int lo, int mid, int hi) {
+#pragma HLS array_partition variable=ms_buf factor=8 dim=1
+#pragma HLS array_partition variable=ms_tmp factor=8 dim=1
+    int i = lo;
+    int j = mid + 1;
+    int k = lo;
+    while (k <= hi) {
+#pragma HLS pipeline II=1
+        if (i <= mid && (j > hi || ms_buf[i] <= ms_buf[j])) {
+            ms_tmp[k] = ms_buf[i];
+            i = i + 1;
+        } else {
+            ms_tmp[k] = ms_buf[j];
+            j = j + 1;
+        }
+        k = k + 1;
+    }
+    for (int t = lo; t <= hi; t = t + 1) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=8
+        ms_buf[t] = ms_tmp[t];
+    }
+}
+
+void kernel(int a[32], int n) {
+    if (n > 32) { n = 32; }
+    if (n < 1) { n = 1; }
+    for (int i = 0; i < n; i++) {
+#pragma HLS pipeline II=1
+        ms_buf[i] = a[i];
+    }
+    for (int width = 1; width < 32; width = width * 2) {
+        for (int lo = 0; lo < n; lo = lo + width * 2) {
+            int mid = lo + width - 1;
+            int hi = lo + width * 2 - 1;
+            if (hi > n - 1) { hi = n - 1; }
+            if (mid < hi) { merge_pass(lo, mid, hi); }
+        }
+    }
+    for (int i = 0; i < n; i++) {
+#pragma HLS pipeline II=1
+        a[i] = ms_buf[i];
+    }
+}
+"#;
+
+/// Shallow pre-existing tests: small prefixes only (the paper reports 10
+/// tests at 25% branch coverage). Their recursion stays shallow, which is
+/// exactly what makes the initial stack size wrong.
+pub fn existing_tests() -> Vec<Vec<ArgValue>> {
+    (0..10)
+        .map(|k| {
+            let n = 3 + (k % 3); // n in 3..=5
+            let vals: Vec<i128> = (0..32).map(|i| ((i * 7 + k * 13) % 40) as i128).collect();
+            vec![ArgValue::IntArray(vals), ArgValue::Int(n as i128)]
+        })
+        .collect()
+}
+
+/// Builds the subject descriptor.
+pub fn subject() -> Subject {
+    Subject {
+        id: "P3",
+        name: "merge sort",
+        kernel: "kernel",
+        source: SOURCE,
+        manual_source: Some(MANUAL),
+        existing_tests: existing_tests(),
+        seed_inputs: vec![vec![
+            ArgValue::IntArray((0..32).map(|i| (31 - i) as i128).collect()),
+            ArgValue::Int(8),
+        ]],
+        paper: PaperRow {
+            origin_loc: 121,
+            manual_delta_loc: 276,
+            hg_delta_loc: 356,
+            origin_ms: 1.46,
+            manual_ms: 1.09,
+            hg_ms: 1.13,
+            hr_works: true,
+            improved: true,
+            existing_test_count: Some(10),
+            existing_coverage: Some(0.25),
+            hg_tests: 1800,
+            hg_time_min: 50.0,
+            hg_coverage: 1.0,
+        },
+    }
+}

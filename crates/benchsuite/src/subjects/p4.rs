@@ -1,0 +1,151 @@
+//! P4 — image processing: smoothing plus two Sobel gradient passes over an
+//! 8×8 tile.
+//!
+//! Two incompatibilities: the smoothed buffer feeds *two* simultaneous tasks
+//! inside a `dataflow` region (the paper's post 595161 class, fixed by data
+//! segmentation), and the smoothing helper uses a variable-length line
+//! buffer (unknown size at compile time).
+
+use crate::{PaperRow, Subject};
+use minic_exec::ArgValue;
+
+/// The original C program.
+pub const SOURCE: &str = r#"
+#define W 8
+#define IMG 64
+
+void smooth(int img[64], int out[64]) {
+    int w = 8;
+    int line[w];
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            int acc = img[y * 8 + x] * 2;
+            if (x > 0) { acc = acc + img[y * 8 + x - 1]; }
+            if (x < 7) { acc = acc + img[y * 8 + x + 1]; }
+            line[x] = acc / 4;
+        }
+        for (int x = 0; x < 8; x++) {
+            out[y * 8 + x] = line[x];
+        }
+    }
+}
+
+void sobel_x(int img[64], int gx[64]) {
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            int left = x > 0 ? img[y * 8 + x - 1] : img[y * 8 + x];
+            int right = x < 7 ? img[y * 8 + x + 1] : img[y * 8 + x];
+            gx[y * 8 + x] = right - left;
+        }
+    }
+}
+
+void sobel_y(int img[64], int gy[64]) {
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            int up = y > 0 ? img[(y - 1) * 8 + x] : img[y * 8 + x];
+            int down = y < 7 ? img[(y + 1) * 8 + x] : img[y * 8 + x];
+            gy[y * 8 + x] = down - up;
+        }
+    }
+}
+
+void kernel(int img[64], int gx[64], int gy[64]) {
+#pragma HLS dataflow
+    int smoothed[64];
+    smooth(img, smoothed);
+    sobel_x(smoothed, gx);
+    sobel_y(smoothed, gy);
+}
+"#;
+
+/// A hand-optimized HLS version: segmented buffers, static line buffer,
+/// pipelined inner loops.
+pub const MANUAL: &str = r#"
+#define W 8
+#define IMG 64
+
+void smooth(int img[64], int out[64]) {
+    int line[8];
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+#pragma HLS pipeline II=1
+            int acc = img[y * 8 + x] * 2;
+            if (x > 0) { acc = acc + img[y * 8 + x - 1]; }
+            if (x < 7) { acc = acc + img[y * 8 + x + 1]; }
+            line[x] = acc / 4;
+        }
+        for (int x = 0; x < 8; x++) {
+#pragma HLS pipeline II=1
+            out[y * 8 + x] = line[x];
+        }
+    }
+}
+
+void sobel_x(int img[64], int gx[64]) {
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+#pragma HLS pipeline II=1
+            int left = x > 0 ? img[y * 8 + x - 1] : img[y * 8 + x];
+            int right = x < 7 ? img[y * 8 + x + 1] : img[y * 8 + x];
+            gx[y * 8 + x] = right - left;
+        }
+    }
+}
+
+void sobel_y(int img[64], int gy[64]) {
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+#pragma HLS pipeline II=1
+            int up = y > 0 ? img[(y - 1) * 8 + x] : img[y * 8 + x];
+            int down = y < 7 ? img[(y + 1) * 8 + x] : img[y * 8 + x];
+            gy[y * 8 + x] = down - up;
+        }
+    }
+}
+
+void kernel(int img[64], int gx[64], int gy[64]) {
+#pragma HLS dataflow
+    int smoothed[64];
+    int smoothed_b[64];
+    smooth(img, smoothed);
+    for (int i = 0; i < 64; i++) {
+        smoothed_b[i] = smoothed[i];
+    }
+    sobel_x(smoothed, gx);
+    sobel_y(smoothed_b, gy);
+}
+"#;
+
+/// Builds the subject descriptor.
+pub fn subject() -> Subject {
+    let img: Vec<i128> = (0..64).map(|i| (i * 5 % 97) as i128).collect();
+    Subject {
+        id: "P4",
+        name: "image processing",
+        kernel: "kernel",
+        source: SOURCE,
+        manual_source: Some(MANUAL),
+        existing_tests: Vec::new(),
+        seed_inputs: vec![vec![
+            ArgValue::IntArray(img),
+            ArgValue::IntArray(vec![0; 64]),
+            ArgValue::IntArray(vec![0; 64]),
+        ]],
+        paper: PaperRow {
+            origin_loc: 285,
+            manual_delta_loc: 136,
+            hg_delta_loc: 32,
+            origin_ms: 8.4,
+            manual_ms: 2.01,
+            hg_ms: 3.28,
+            hr_works: false,
+            improved: true,
+            existing_test_count: None,
+            existing_coverage: None,
+            hg_tests: 47,
+            hg_time_min: 55.0,
+            hg_coverage: 1.0,
+        },
+    }
+}

@@ -1,0 +1,188 @@
+//! P5 — graph traversal: build a binary search tree with `malloc`, then
+//! recursively traverse it accumulating a weighted sum.
+//!
+//! The richest error mix of the micro-benchmarks: dynamic allocation,
+//! pointer parameters in helpers, recursion, *and* a `long double`
+//! accumulator. Repairing it takes the longest edit chain (the paper
+//! reports 438 lines of edits, the largest of the ten) — backing array +
+//! index rewrite + stack machine + type transformation.
+
+use crate::{PaperRow, Subject};
+use minic_exec::ArgValue;
+
+/// The original C program.
+pub const SOURCE: &str = r#"
+struct Node {
+    int val;
+    struct Node* left;
+    struct Node* right;
+};
+
+long double gt_total;
+
+void insert_node(struct Node* root, int v) {
+    struct Node* cur = root;
+    while (1) {
+        if (v < cur->val) {
+            if (cur->left == 0) {
+                struct Node* fresh = (struct Node*)malloc(sizeof(struct Node));
+                fresh->val = v;
+                fresh->left = 0;
+                fresh->right = 0;
+                cur->left = fresh;
+                return;
+            }
+            cur = cur->left;
+        } else {
+            if (cur->right == 0) {
+                struct Node* fresh = (struct Node*)malloc(sizeof(struct Node));
+                fresh->val = v;
+                fresh->left = 0;
+                fresh->right = 0;
+                cur->right = fresh;
+                return;
+            }
+            cur = cur->right;
+        }
+    }
+}
+
+void traverse(struct Node* curr) {
+    if (curr == 0) { return; }
+    traverse(curr->left);
+    gt_total = gt_total + 1.5L * curr->val;
+    traverse(curr->right);
+}
+
+float kernel(int vals[16], int n) {
+    if (n > 16) { n = 16; }
+    if (n < 1) { n = 1; }
+    struct Node* root = (struct Node*)malloc(sizeof(struct Node));
+    root->val = vals[0];
+    root->left = 0;
+    root->right = 0;
+    for (int i = 1; i < n; i++) {
+        insert_node(root, vals[i]);
+    }
+    gt_total = 0.0L;
+    traverse(root);
+    return (float)gt_total;
+}
+"#;
+
+/// A hand-optimized HLS version: index-based tree in static arrays, an
+/// explicit traversal stack, custom float accumulator, pipelined loops.
+pub const MANUAL: &str = r#"
+#define POOL 64
+int nd_val[POOL];
+int nd_left[POOL];
+int nd_right[POOL];
+int nd_next;
+fpga_float<8,52> gt_total;
+
+int alloc_node(int v) {
+    int id = nd_next;
+    nd_next = nd_next + 1;
+    nd_val[id] = v;
+    nd_left[id] = 0;
+    nd_right[id] = 0;
+    return id;
+}
+
+void insert_node(int root, int v) {
+    int cur = root;
+    while (1) {
+#pragma HLS pipeline II=1
+        if (v < nd_val[cur]) {
+            if (nd_left[cur] == 0) {
+                nd_left[cur] = alloc_node(v);
+                return;
+            }
+            cur = nd_left[cur];
+        } else {
+            if (nd_right[cur] == 0) {
+                nd_right[cur] = alloc_node(v);
+                return;
+            }
+            cur = nd_right[cur];
+        }
+    }
+}
+
+void traverse(int root) {
+    int stack[POOL];
+#pragma HLS array_partition variable=nd_left factor=8 dim=1
+#pragma HLS array_partition variable=nd_val factor=8 dim=1
+    int sp = 0;
+    int cur = root;
+    while (cur != 0 || sp > 0) {
+#pragma HLS pipeline II=1
+        while (cur != 0) {
+#pragma HLS pipeline II=1
+            stack[sp] = cur;
+            sp = sp + 1;
+            cur = nd_left[cur];
+        }
+        sp = sp - 1;
+        cur = stack[sp];
+        gt_total = gt_total + 1.5 * nd_val[cur];
+        cur = nd_right[cur];
+    }
+}
+
+float kernel(int vals[16], int n) {
+    if (n > 16) { n = 16; }
+    if (n < 1) { n = 1; }
+    nd_next = 1;
+    int root = alloc_node(vals[0]);
+    for (int i = 1; i < n; i++) {
+#pragma HLS pipeline II=2
+        insert_node(root, vals[i]);
+    }
+    gt_total = 0.0;
+    traverse(root);
+    return (float)gt_total;
+}
+"#;
+
+/// Pre-existing tests (10 tests, low coverage): small, already-balanced
+/// value sets.
+pub fn existing_tests() -> Vec<Vec<ArgValue>> {
+    (0..10)
+        .map(|k| {
+            let vals: Vec<i128> = (0..16).map(|i| ((i * 11 + k) % 30) as i128).collect();
+            vec![ArgValue::IntArray(vals), ArgValue::Int(4)]
+        })
+        .collect()
+}
+
+/// Builds the subject descriptor.
+pub fn subject() -> Subject {
+    Subject {
+        id: "P5",
+        name: "graph traversal",
+        kernel: "kernel",
+        source: SOURCE,
+        manual_source: Some(MANUAL),
+        existing_tests: existing_tests(),
+        seed_inputs: vec![vec![
+            ArgValue::IntArray((0..16).map(|i| (i * 3 % 23) as i128).collect()),
+            ArgValue::Int(12),
+        ]],
+        paper: PaperRow {
+            origin_loc: 85,
+            manual_delta_loc: 144,
+            hg_delta_loc: 438,
+            origin_ms: 1.68,
+            manual_ms: 0.91,
+            hg_ms: 1.17,
+            hr_works: false,
+            improved: true,
+            existing_test_count: Some(10),
+            existing_coverage: Some(0.40),
+            hg_tests: 38,
+            hg_time_min: 41.0,
+            hg_coverage: 1.0,
+        },
+    }
+}

@@ -1,0 +1,105 @@
+//! P6 — matrix multiplication (6×6) with a mis-factored `array_partition`.
+//!
+//! The paper's Background example: a partition factor that does not divide
+//! the array extent fails checking (`XFORM-711`, 13 vs 4 there; 36 vs 8
+//! here). Fixable by padding the array or lowering the factor; unrolling
+//! the inner product afterwards is the performance win.
+
+use crate::{PaperRow, Subject};
+use minic_exec::ArgValue;
+
+/// The original C program.
+pub const SOURCE: &str = r#"
+#define DIM 6
+void kernel(int a[36], int b[36], int c[36]) {
+    int A[36];
+#pragma HLS array_partition variable=A factor=8 dim=1
+    for (int i = 0; i < 36; i++) {
+        A[i] = a[i];
+    }
+    for (int i = 0; i < 6; i++) {
+        for (int j = 0; j < 6; j++) {
+            int acc = 0;
+            for (int k = 0; k < 6; k++) {
+                acc = acc + A[i * 6 + k] * b[k * 6 + j];
+            }
+            c[i * 6 + j] = acc;
+        }
+    }
+}
+"#;
+
+/// Hand-optimized HLS version: padded, properly partitioned, fully unrolled
+/// inner product with pipelined output loop.
+pub const MANUAL: &str = r#"
+#define DIM 6
+void kernel(int a[36], int b[36], int c[36]) {
+    int A[36];
+#pragma HLS array_partition variable=A factor=6 dim=1
+#pragma HLS array_partition variable=b factor=6 dim=1
+#pragma HLS array_partition variable=c factor=6 dim=1
+    for (int i = 0; i < 36; i++) {
+#pragma HLS pipeline II=1
+        A[i] = a[i];
+    }
+    for (int i = 0; i < 6; i++) {
+        for (int j = 0; j < 6; j++) {
+#pragma HLS pipeline II=1
+            int acc = 0;
+            for (int k = 0; k < 6; k++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=6
+                acc = acc + A[i * 6 + k] * b[k * 6 + j];
+            }
+            c[i * 6 + j] = acc;
+        }
+    }
+}
+"#;
+
+/// Pre-existing tests (4 tests, ~33% coverage in the paper).
+pub fn existing_tests() -> Vec<Vec<ArgValue>> {
+    (0..4)
+        .map(|k| {
+            let a: Vec<i128> = (0..36).map(|i| ((i + k) % 9) as i128).collect();
+            let b: Vec<i128> = (0..36).map(|i| ((i * 2 + k) % 7) as i128).collect();
+            vec![
+                ArgValue::IntArray(a),
+                ArgValue::IntArray(b),
+                ArgValue::IntArray(vec![0; 36]),
+            ]
+        })
+        .collect()
+}
+
+/// Builds the subject descriptor.
+pub fn subject() -> Subject {
+    Subject {
+        id: "P6",
+        name: "matrix multiplication",
+        kernel: "kernel",
+        source: SOURCE,
+        manual_source: Some(MANUAL),
+        existing_tests: existing_tests(),
+        seed_inputs: vec![vec![
+            ArgValue::IntArray((0..36).map(|i| i as i128 % 10).collect()),
+            ArgValue::IntArray((0..36).map(|i| (i as i128 * 3) % 10).collect()),
+            ArgValue::IntArray(vec![0; 36]),
+        ]],
+        paper: PaperRow {
+            origin_loc: 19,
+            manual_delta_loc: 25,
+            hg_delta_loc: 16,
+            origin_ms: 1.13,
+            manual_ms: 0.35,
+            hg_ms: 0.89,
+            hr_works: false,
+            improved: true,
+            existing_test_count: Some(4),
+            existing_coverage: Some(0.33),
+            hg_tests: 14896,
+            hg_time_min: 35.0,
+            hg_coverage: 1.0,
+        },
+    }
+}

@@ -1,0 +1,76 @@
+//! P7 — bubble sort with an over-eager unroll inside a dataflow region.
+//!
+//! The paper's post 721719 class: `unroll factor=50` on a data-dependent
+//! loop interacts with a pre-existing `dataflow` pragma and fails
+//! pre-synthesis (`HLS 200-70`). Fixed by making the trip bound explicit
+//! (`loop_tripcount`), lowering the factor, or dropping the unroll.
+
+use crate::{PaperRow, Subject};
+use minic_exec::ArgValue;
+
+/// The original C program.
+pub const SOURCE: &str = r#"
+void kernel(int a[24]) {
+#pragma HLS dataflow
+    int swapped = 1;
+    while (swapped == 1) {
+#pragma HLS unroll factor=50
+        swapped = 0;
+        for (int i = 0; i < 23; i++) {
+            if (a[i] > a[i + 1]) {
+                int t = a[i];
+                a[i] = a[i + 1];
+                a[i + 1] = t;
+                swapped = 1;
+            }
+        }
+    }
+}
+"#;
+
+/// Hand-optimized HLS version: fixed-trip outer loop (bubble sort is done
+/// after N-1 passes), pipelined inner compare-swap.
+pub const MANUAL: &str = r#"
+void kernel(int a[24]) {
+    for (int pass = 0; pass < 23; pass++) {
+        for (int i = 0; i < 23; i++) {
+#pragma HLS pipeline II=1
+            if (a[i] > a[i + 1]) {
+                int t = a[i];
+                a[i] = a[i + 1];
+                a[i + 1] = t;
+            }
+        }
+    }
+}
+"#;
+
+/// Builds the subject descriptor.
+pub fn subject() -> Subject {
+    Subject {
+        id: "P7",
+        name: "bubble sort",
+        kernel: "kernel",
+        source: SOURCE,
+        manual_source: Some(MANUAL),
+        existing_tests: Vec::new(),
+        seed_inputs: vec![vec![ArgValue::IntArray(
+            (0..24).map(|i| ((i * 17 + 5) % 50) as i128).collect(),
+        )]],
+        paper: PaperRow {
+            origin_loc: 50,
+            manual_delta_loc: 45,
+            hg_delta_loc: 25,
+            origin_ms: 3.6,
+            manual_ms: 2.31,
+            hg_ms: 2.59,
+            hr_works: false,
+            improved: true,
+            existing_test_count: None,
+            existing_coverage: None,
+            hg_tests: 399,
+            hg_time_min: 35.0,
+            hg_coverage: 1.0,
+        },
+    }
+}

@@ -1,0 +1,176 @@
+//! P8 — linked list: build, filter and fold a singly linked list.
+//!
+//! Pure dynamic-data-structure incompatibilities (`malloc`/`free` and
+//! pointer-typed helpers) — one of the two subjects (with P3) inside
+//! HeteroRefactor's scope.
+
+use crate::{PaperRow, Subject};
+use minic_exec::ArgValue;
+
+/// The original C program.
+pub const SOURCE: &str = r#"
+struct LNode {
+    int val;
+    struct LNode* next;
+};
+
+struct LNode* push_front(struct LNode* head, int v) {
+    struct LNode* fresh = (struct LNode*)malloc(sizeof(struct LNode));
+    fresh->val = v;
+    fresh->next = head;
+    return fresh;
+}
+
+int list_sum(struct LNode* head) {
+    int sum = 0;
+    struct LNode* cur = head;
+    while (cur != 0) {
+        sum = sum + cur->val;
+        cur = cur->next;
+    }
+    return sum;
+}
+
+int list_max(struct LNode* head) {
+    int best = -2147483647;
+    struct LNode* cur = head;
+    while (cur != 0) {
+        if (cur->val > best) { best = cur->val; }
+        cur = cur->next;
+    }
+    return best;
+}
+
+struct LNode* drop_negatives(struct LNode* head) {
+    while (head != 0 && head->val < 0) {
+        struct LNode* dead = head;
+        head = head->next;
+        free(dead);
+    }
+    struct LNode* cur = head;
+    while (cur != 0 && cur->next != 0) {
+        if (cur->next->val < 0) {
+            struct LNode* dead = cur->next;
+            cur->next = cur->next->next;
+            free(dead);
+        } else {
+            cur = cur->next;
+        }
+    }
+    return head;
+}
+
+int kernel(int vals[64], int n) {
+    if (n > 64) { n = 64; }
+    if (n < 1) { n = 1; }
+    struct LNode* head = 0;
+    for (int i = 0; i < n; i++) {
+        head = push_front(head, vals[i]);
+    }
+    head = drop_negatives(head);
+    if (head == 0) { return 0; }
+    return list_sum(head) + list_max(head);
+}
+"#;
+
+/// Hand-optimized HLS version: static pool, index links, pipelined scans.
+pub const MANUAL: &str = r#"
+#define POOL 64
+int ln_val[POOL];
+int ln_next[POOL];
+int ln_top;
+
+int push_front(int head, int v) {
+    int id = ln_top;
+    ln_top = ln_top + 1;
+    ln_val[id] = v;
+    ln_next[id] = head;
+    return id;
+}
+
+int list_sum(int head) {
+    int sum = 0;
+    int cur = head;
+    while (cur != 0) {
+#pragma HLS pipeline II=1
+        sum = sum + ln_val[cur];
+        cur = ln_next[cur];
+    }
+    return sum;
+}
+
+int list_max(int head) {
+    int best = -2147483647;
+    int cur = head;
+    while (cur != 0) {
+#pragma HLS pipeline II=1
+        if (ln_val[cur] > best) { best = ln_val[cur]; }
+        cur = ln_next[cur];
+    }
+    return best;
+}
+
+int drop_negatives(int head) {
+    while (head != 0 && ln_val[head] < 0) {
+#pragma HLS pipeline II=1
+        head = ln_next[head];
+    }
+    int cur = head;
+    while (cur != 0 && ln_next[cur] != 0) {
+#pragma HLS pipeline II=1
+        if (ln_val[ln_next[cur]] < 0) {
+            ln_next[cur] = ln_next[ln_next[cur]];
+        } else {
+            cur = ln_next[cur];
+        }
+    }
+    return head;
+}
+
+int kernel(int vals[64], int n) {
+#pragma HLS array_partition variable=ln_val factor=8 dim=1
+#pragma HLS array_partition variable=ln_next factor=8 dim=1
+    if (n > 64) { n = 64; }
+    if (n < 1) { n = 1; }
+    ln_top = 1;
+    int head = 0;
+    for (int i = 0; i < n; i++) {
+#pragma HLS pipeline II=1
+        head = push_front(head, vals[i]);
+    }
+    head = drop_negatives(head);
+    if (head == 0) { return 0; }
+    return list_sum(head) + list_max(head);
+}
+"#;
+
+/// Builds the subject descriptor.
+pub fn subject() -> Subject {
+    Subject {
+        id: "P8",
+        name: "linked list",
+        kernel: "kernel",
+        source: SOURCE,
+        manual_source: Some(MANUAL),
+        existing_tests: Vec::new(),
+        seed_inputs: vec![vec![
+            ArgValue::IntArray((0..64).map(|i| i as i128 - 20).collect()),
+            ArgValue::Int(60),
+        ]],
+        paper: PaperRow {
+            origin_loc: 131,
+            manual_delta_loc: 156,
+            hg_delta_loc: 298,
+            origin_ms: 3.46,
+            manual_ms: 1.28,
+            hg_ms: 1.79,
+            hr_works: true,
+            improved: true,
+            existing_test_count: None,
+            existing_coverage: None,
+            hg_tests: 54,
+            hg_time_min: 50.0,
+            hg_coverage: 1.0,
+        },
+    }
+}

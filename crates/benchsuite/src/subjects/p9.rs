@@ -1,0 +1,174 @@
+//! P9 — face detection: a Viola–Jones-style streaming cascade (the largest
+//! subject, from the Rosetta suite in the paper).
+//!
+//! The pipeline computes a running integral of the pixel stream and pushes
+//! windows through two cascade stages built as stream-wrapper structs. Three
+//! incompatibilities: the design configuration names a non-existent top
+//! function (`face_top`), the stage struct has methods but no explicit
+//! constructor, and the stream connecting two stage instances is not
+//! `static` — the full Figure 5/7 error set plus a top-function error.
+
+use crate::{PaperRow, Subject};
+use minic_exec::ArgValue;
+
+/// The original C program.
+pub const SOURCE: &str = r#"
+#pragma HLS top name=face_top
+#include <hls_stream.h>
+#define WIN 8
+#define FRAME 32
+
+struct Stage {
+    hls::stream<unsigned> &in;
+    hls::stream<unsigned> &out;
+    unsigned weak_response(unsigned left, unsigned right) {
+        unsigned diff = 0u;
+        if (left > right) {
+            diff = left - right;
+        } else {
+            diff = right - left;
+        }
+        return diff;
+    }
+    void run() {
+        unsigned window[WIN];
+        unsigned fill = 0u;
+        while (!in.empty()) {
+            unsigned v = in.read();
+            for (int i = 0; i < 7; i++) {
+                window[i] = window[i + 1];
+            }
+            window[7] = v;
+            if (fill < 7u) {
+                fill = fill + 1u;
+            } else {
+                unsigned left = window[0] + window[1] + window[2] + window[3];
+                unsigned right = window[4] + window[5] + window[6] + window[7];
+                unsigned score = weak_response(left, right);
+                out.write(score);
+            }
+        }
+    }
+};
+
+void integral(hls::stream<unsigned> &pixels, hls::stream<unsigned> &sums) {
+    unsigned acc = 0u;
+    while (!pixels.empty()) {
+        unsigned p = pixels.read();
+        acc = acc + p;
+        sums.write(acc);
+    }
+}
+
+void detect(hls::stream<unsigned> &pixels, hls::stream<unsigned> &scores) {
+#pragma HLS dataflow
+    hls::stream<unsigned> ii;
+    hls::stream<unsigned> mid;
+    integral(pixels, ii);
+    Stage{ii, mid}.run();
+    Stage{mid, scores}.run();
+}
+"#;
+
+/// Hand-optimized HLS version: explicit constructor, static channels,
+/// correct top configuration, pipelined stage loops.
+pub const MANUAL: &str = r#"
+#pragma HLS top name=detect
+#include <hls_stream.h>
+#define WIN 8
+#define FRAME 32
+
+struct Stage {
+    hls::stream<unsigned> &in;
+    hls::stream<unsigned> &out;
+    Stage(hls::stream<unsigned> &i, hls::stream<unsigned> &o) : in(i), out(o) {}
+    unsigned weak_response(unsigned left, unsigned right) {
+        unsigned diff = 0u;
+        if (left > right) {
+            diff = left - right;
+        } else {
+            diff = right - left;
+        }
+        return diff;
+    }
+    void run() {
+        unsigned window[WIN];
+        unsigned fill = 0u;
+        while (!in.empty()) {
+#pragma HLS pipeline II=1
+            unsigned v = in.read();
+            for (int i = 0; i < 7; i++) {
+#pragma HLS unroll
+                window[i] = window[i + 1];
+            }
+            window[7] = v;
+            if (fill < 7u) {
+                fill = fill + 1u;
+            } else {
+                unsigned left = window[0] + window[1] + window[2] + window[3];
+                unsigned right = window[4] + window[5] + window[6] + window[7];
+                unsigned score = weak_response(left, right);
+                out.write(score);
+            }
+        }
+    }
+};
+
+void integral(hls::stream<unsigned> &pixels, hls::stream<unsigned> &sums) {
+    unsigned acc = 0u;
+    while (!pixels.empty()) {
+#pragma HLS pipeline II=1
+        unsigned p = pixels.read();
+        acc = acc + p;
+        sums.write(acc);
+    }
+}
+
+void detect(hls::stream<unsigned> &pixels, hls::stream<unsigned> &scores) {
+#pragma HLS dataflow
+    static hls::stream<unsigned> ii;
+    static hls::stream<unsigned> mid;
+    integral(pixels, ii);
+    Stage{ii, mid}.run();
+    Stage{mid, scores}.run();
+}
+"#;
+
+/// The single pre-existing test the paper mentions (15% coverage).
+pub fn existing_tests() -> Vec<Vec<ArgValue>> {
+    vec![vec![
+        ArgValue::IntStream((0..32).map(|i| (i % 7) as i128).collect()),
+        ArgValue::IntStream(vec![]),
+    ]]
+}
+
+/// Builds the subject descriptor.
+pub fn subject() -> Subject {
+    Subject {
+        id: "P9",
+        name: "face detection",
+        kernel: "detect",
+        source: SOURCE,
+        manual_source: Some(MANUAL),
+        existing_tests: existing_tests(),
+        seed_inputs: vec![vec![
+            ArgValue::IntStream((0..32).map(|i| (i * 13 % 250) as i128).collect()),
+            ArgValue::IntStream(vec![]),
+        ]],
+        paper: PaperRow {
+            origin_loc: 465,
+            manual_delta_loc: 3272,
+            hg_delta_loc: 144,
+            origin_ms: 101.0,
+            manual_ms: 33.0,
+            hg_ms: 47.0,
+            hr_works: false,
+            improved: true,
+            existing_test_count: Some(1),
+            existing_coverage: Some(0.15),
+            hg_tests: 43,
+            hg_time_min: 84.0,
+            hg_coverage: 0.70,
+        },
+    }
+}

@@ -1,0 +1,427 @@
+//! The HeteroGen pipeline (paper Figure 1): test-input generation → initial
+//! HLS version generation → iterative repair → report.
+//!
+//! ```text
+//!  P_orig ──fuzz──▶ tests + profile
+//!     │                   │
+//!     └──finitize types───▶ P_broken ──repair loop──▶ P_hls + report
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use heterogen_core::{HeteroGen, PipelineConfig};
+//!
+//! let program = minic::parse(
+//!     "int kernel(int x) { long double y = x; y = y + 1; return y; }",
+//! ).unwrap();
+//! let mut cfg = PipelineConfig::quick();
+//! cfg.fuzz.idle_stop_min = 0.5;
+//! cfg.fuzz.max_execs = 200;
+//! let report = HeteroGen::new(cfg).run(&program, "kernel", vec![]).unwrap();
+//! assert!(report.success());
+//! ```
+
+use minic::types::Type;
+use minic::Program;
+use minic_exec::Profile;
+use repair::{RepairOutcome, SearchConfig};
+use serde::Serialize;
+use testgen::{FuzzConfig, FuzzReport, TestCase};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Test-generation settings (paper §4).
+    pub fuzz: FuzzConfig,
+    /// Repair-search settings (paper §5).
+    pub search: SearchConfig,
+    /// Apply profile-guided bitwidth finitization when building the initial
+    /// HLS version (the `int ret` → `fpga_uint<7>` step).
+    pub bitwidth_finitization: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            fuzz: FuzzConfig::default(),
+            search: SearchConfig::default(),
+            bitwidth_finitization: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A configuration sized for fast CI runs: shorter fuzzing and a still
+    /// generous repair budget (simulated minutes, not wall-clock).
+    pub fn quick() -> PipelineConfig {
+        PipelineConfig {
+            fuzz: FuzzConfig {
+                idle_stop_min: 2.0,
+                max_execs: 1500,
+                ..FuzzConfig::default()
+            },
+            search: SearchConfig {
+                budget_min: 600.0,
+                max_diff_tests: 24,
+                ..SearchConfig::default()
+            },
+            bitwidth_finitization: true,
+        }
+    }
+}
+
+/// Summary of the test-generation phase (one Table 4 row).
+#[derive(Debug, Clone, Serialize)]
+pub struct TestGenSummary {
+    /// Corpus size (coverage-increasing tests).
+    pub tests: usize,
+    /// Inputs executed in total.
+    pub executed: usize,
+    /// Simulated minutes spent fuzzing.
+    pub minutes: f64,
+    /// Final branch coverage (0..=1).
+    pub coverage: f64,
+}
+
+/// Summary of the repair phase.
+#[derive(Debug, Clone, Serialize)]
+pub struct RepairSummary {
+    /// All compatibility errors fixed and behaviour preserved.
+    pub success: bool,
+    /// Test pass ratio of the final program.
+    pub pass_ratio: f64,
+    /// Mean FPGA latency (ms).
+    pub fpga_latency_ms: f64,
+    /// Mean CPU latency of the original (ms).
+    pub cpu_latency_ms: f64,
+    /// FPGA beats CPU.
+    pub improved: bool,
+    /// Edit families applied on the winning path.
+    pub applied: Vec<String>,
+    /// Simulated minutes in the search.
+    pub minutes: f64,
+    /// Full HLS compilations performed.
+    pub full_compiles: u64,
+    /// Candidates rejected by the cheap style checker.
+    pub style_rejects: u64,
+    /// Total edit attempts.
+    pub attempts: u64,
+}
+
+/// The full pipeline report for one subject.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Kernel (top function) name.
+    pub kernel: String,
+    /// Test-generation summary.
+    pub testgen: TestGenSummary,
+    /// Diagnostics on the initial HLS version.
+    pub initial_errors: usize,
+    /// Repair summary.
+    pub repair: RepairSummary,
+    /// Lines added relative to the original (paper Table 5 ΔLOC).
+    pub delta_loc: usize,
+    /// Original program size in lines.
+    pub origin_loc: usize,
+    /// The final program.
+    pub program: Program,
+    /// The generated test corpus (returned so failed repairs can "report an
+    /// incomplete version with generated tests to guide manual edits").
+    pub tests: Vec<TestCase>,
+    /// The accumulated execution profile.
+    pub profile: Profile,
+}
+
+impl PipelineReport {
+    /// Whether all compatibility errors were fixed with behaviour preserved.
+    pub fn success(&self) -> bool {
+        self.repair.success
+    }
+
+    /// CPU/FPGA speedup of the final version (>1 means the FPGA wins).
+    pub fn speedup(&self) -> f64 {
+        if self.repair.fpga_latency_ms > 0.0 {
+            self.repair.cpu_latency_ms / self.repair.fpga_latency_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Errors from the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The kernel's signature cannot be fuzzed.
+    TestGen(String),
+    /// The differential reference could not be built.
+    Repair(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::TestGen(m) => write!(f, "test generation failed: {m}"),
+            PipelineError::Repair(m) => write!(f, "repair failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The transpiler.
+#[derive(Debug, Clone, Default)]
+pub struct HeteroGen {
+    config: PipelineConfig,
+}
+
+impl HeteroGen {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> HeteroGen {
+        HeteroGen { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on a program.
+    ///
+    /// `seeds` are initial kernel inputs (captured from a host run or
+    /// provided by the subject); they may be empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] when the kernel cannot be fuzzed or the
+    /// reference execution fails outright.
+    pub fn run(
+        &self,
+        original: &Program,
+        kernel: &str,
+        seeds: Vec<TestCase>,
+    ) -> Result<PipelineReport, PipelineError> {
+        // 1. Test generation (paper §4, Algorithm 1).
+        let fuzz_report = testgen::fuzz(original, kernel, seeds, &self.config.fuzz)
+            .map_err(PipelineError::TestGen)?;
+        self.run_with_tests(
+            original,
+            kernel,
+            fuzz_report.corpus.clone(),
+            fuzz_report.profile.clone(),
+            Some(&fuzz_report),
+        )
+    }
+
+    /// Runs the pipeline with an externally supplied test suite (used by the
+    /// Figure 8 "pre-existing tests only" comparison). The profile is
+    /// collected by replaying the suite.
+    pub fn run_with_existing_tests(
+        &self,
+        original: &Program,
+        kernel: &str,
+        tests: Vec<TestCase>,
+    ) -> Result<PipelineReport, PipelineError> {
+        let mut profile = Profile::new();
+        for t in &tests {
+            if let Ok(mut m) =
+                minic_exec::Machine::new(original, minic_exec::MachineConfig::cpu())
+            {
+                let _ = m.run_kernel(kernel, t);
+                profile.merge(&m.profile);
+            }
+        }
+        self.run_with_tests(original, kernel, tests, profile, None)
+    }
+
+    fn run_with_tests(
+        &self,
+        original: &Program,
+        kernel: &str,
+        tests: Vec<TestCase>,
+        profile: Profile,
+        fuzz_report: Option<&FuzzReport>,
+    ) -> Result<PipelineReport, PipelineError> {
+        // 2. Initial HLS version with estimated types.
+        let broken = if self.config.bitwidth_finitization {
+            initial_version(original, &profile)
+        } else {
+            original.clone()
+        };
+        let initial_errors = hls_sim::check_program(&broken).len();
+
+        // 3–5. Iterative repair with differential testing.
+        let outcome: RepairOutcome = repair::repair(
+            original,
+            broken,
+            kernel,
+            &tests,
+            &profile,
+            &self.config.search,
+        )
+        .map_err(PipelineError::Repair)?;
+
+        let delta_loc = minic::diff::line_diff(
+            &minic::print_program(original),
+            &minic::print_program(&outcome.program),
+        )
+        .delta_loc();
+
+        Ok(PipelineReport {
+            kernel: kernel.to_string(),
+            testgen: TestGenSummary {
+                tests: tests.len(),
+                executed: fuzz_report.map(|r| r.executed).unwrap_or(tests.len()),
+                minutes: fuzz_report.map(|r| r.sim_minutes).unwrap_or(0.0),
+                coverage: fuzz_report.map(|r| r.coverage).unwrap_or(0.0),
+            },
+            initial_errors,
+            repair: RepairSummary {
+                success: outcome.success,
+                pass_ratio: outcome.pass_ratio,
+                fpga_latency_ms: outcome.fpga_latency_ms,
+                cpu_latency_ms: outcome.cpu_latency_ms,
+                improved: outcome.improved,
+                applied: outcome.applied.clone(),
+                minutes: outcome.stats.elapsed_min,
+                full_compiles: outcome.stats.full_compiles,
+                style_rejects: outcome.stats.style_rejects,
+                attempts: outcome.stats.attempts,
+            },
+            delta_loc,
+            origin_loc: minic::loc(original),
+            program: outcome.program,
+            tests,
+            profile,
+        })
+    }
+}
+
+/// Builds the initial HLS version: profile-guided bitwidth finitization of
+/// local integer scalars (paper §4 "Initial HLS-C Version Generation").
+///
+/// Only *locals* are narrowed — parameters keep their interface types, and
+/// narrowing never widens an already-narrow declaration. The profiled range
+/// covers every fuzzed execution, so narrowing is behaviour-preserving on
+/// the generated suite (over-estimation, never under-estimation, matching
+/// the paper's §6.5 discussion).
+pub fn initial_version(p: &Program, profile: &Profile) -> Program {
+    let mut out = p.clone();
+    for ((function, var), range) in &profile.int_ranges {
+        let Some(f) = p.function(function) else { continue };
+        if f.params.iter().any(|q| &q.name == var) {
+            continue;
+        }
+        let Some(declared) = minic::edit::declared_type(p, Some(function), var) else {
+            continue;
+        };
+        let Type::Int { width, .. } = declared else {
+            continue;
+        };
+        let (bits, signed) = range.required_bits();
+        if bits < width.bits() {
+            minic::edit::rewrite_decl_type(
+                &mut out,
+                var,
+                Some(function),
+                Type::FpgaInt { bits, signed },
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic_exec::ArgValue;
+
+    fn dump_on_failure(report: &PipelineReport) -> bool {
+        if !report.success() {
+            eprintln!(
+                "repair failed: pass={} applied={:?} initial_errors={}",
+                report.repair.pass_ratio, report.repair.applied, report.initial_errors
+            );
+        }
+        report.success()
+    }
+
+    #[test]
+    fn initial_version_narrows_profiled_locals() {
+        let p = minic::parse(
+            "int kernel(int x) { int ret = 0; ret = 83; return ret + x; }",
+        )
+        .unwrap();
+        let mut profile = Profile::new();
+        profile.record_int("kernel", "ret", 0);
+        profile.record_int("kernel", "ret", 83);
+        let q = initial_version(&p, &profile);
+        let src = minic::print_program(&q);
+        assert!(src.contains("fpga_uint<7> ret"), "{src}");
+    }
+
+    #[test]
+    fn initial_version_keeps_parameters() {
+        let p = minic::parse("int kernel(int x) { return x; }").unwrap();
+        let mut profile = Profile::new();
+        profile.record_int("kernel", "x", 3);
+        let q = initial_version(&p, &profile);
+        assert_eq!(minic::print_program(&p), minic::print_program(&q));
+    }
+
+    #[test]
+    fn pipeline_repairs_and_reports() {
+        let p = minic::parse(
+            "int kernel(int x) { long double y = x; y = y + 1; return y; }",
+        )
+        .unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.5;
+        cfg.fuzz.max_execs = 200;
+        let report = HeteroGen::new(cfg).run(&p, "kernel", vec![]).unwrap();
+        assert!(dump_on_failure(&report));
+        assert!(report.testgen.tests > 0);
+        assert!(report.delta_loc <= 10);
+        assert!(hls_sim::check_program(&report.program).is_empty());
+    }
+
+    #[test]
+    fn pipeline_with_seeds() {
+        let p = minic::parse(
+            "int kernel(int a[4]) { int s = 0; for (int i = 0; i < 4; i++) { s += a[i]; } return s; }",
+        )
+        .unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.3;
+        cfg.fuzz.max_execs = 200;
+        let seeds = vec![vec![ArgValue::IntArray(vec![1, 2, 3, 4])]];
+        let report = HeteroGen::new(cfg).run(&p, "kernel", seeds).unwrap();
+        assert!(dump_on_failure(&report));
+    }
+
+    #[test]
+    fn existing_tests_mode_profiles_by_replay() {
+        let p = minic::parse(
+            "int kernel(int x) { int r = 0; if (x > 0) { r = x; } return r; }",
+        )
+        .unwrap();
+        let cfg = PipelineConfig::quick();
+        let tests = vec![vec![ArgValue::Int(5)], vec![ArgValue::Int(-1)]];
+        let report = HeteroGen::new(cfg)
+            .run_with_existing_tests(&p, "kernel", tests)
+            .unwrap();
+        assert!(dump_on_failure(&report));
+        assert_eq!(report.testgen.tests, 2);
+        assert!(report.profile.range_of("kernel", "r").is_some());
+    }
+
+    #[test]
+    fn speedup_computation() {
+        let p = minic::parse("int kernel(int x) { return x; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.2;
+        cfg.fuzz.max_execs = 100;
+        let report = HeteroGen::new(cfg).run(&p, "kernel", vec![]).unwrap();
+        assert!(report.speedup() > 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! CPU latency model.
+//!
+//! The paper reports kernel latencies in milliseconds measured on a Core
+//! i7-8750H (CPU side) and by the HLS simulator (FPGA side). The CPU model
+//! here converts the interpreter's abstract op count into milliseconds with
+//! a fixed ops-per-nanosecond rate; the FPGA model lives in `hls-sim` and
+//! converts scheduled cycles at the design clock. Only *ratios* between the
+//! two sides are meaningful, which is all the paper's "is it faster?"
+//! verdicts need.
+
+/// Converts abstract interpreter operations to simulated CPU milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCostModel {
+    /// Simulated nanoseconds per abstract operation.
+    pub ns_per_op: f64,
+}
+
+impl CpuCostModel {
+    /// The default calibration: ~1.25 ns per abstract op (a few ops per
+    /// cycle on a ~3 GHz core, with interpreter ops being coarser than
+    /// machine instructions).
+    pub fn new() -> CpuCostModel {
+        CpuCostModel { ns_per_op: 1.25 }
+    }
+
+    /// Latency in milliseconds for an op count.
+    pub fn latency_ms(&self, ops: u64) -> f64 {
+        ops as f64 * self.ns_per_op / 1.0e6
+    }
+}
+
+impl Default for CpuCostModel {
+    fn default() -> Self {
+        CpuCostModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_scales_linearly() {
+        let m = CpuCostModel::new();
+        assert!((m.latency_ms(2_000_000) - 2.0 * m.latency_ms(1_000_000)).abs() < 1e-12);
+        assert_eq!(m.latency_ms(0), 0.0);
+    }
+
+    #[test]
+    fn default_rate_is_sub_cycle() {
+        let m = CpuCostModel::default();
+        assert!(m.ns_per_op > 0.0 && m.ns_per_op < 10.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Branch coverage instrumentation.
+//!
+//! Every conditional site (if, while, do-while, for, ternary) contributes two
+//! branches (taken / not taken). The fuzzer's `NewCov` feedback (paper
+//! Alg. 1 line 11) is "did this execution light up a branch no earlier
+//! execution did".
+
+use minic::ast::{ExprKind, NodeId, Program, StmtKind};
+use minic::visit;
+use std::collections::BTreeSet;
+
+/// One branch outcome at one conditional site.
+pub type BranchId = (NodeId, bool);
+
+/// The set of branches exercised by one or more executions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    hit: BTreeSet<BranchId>,
+}
+
+impl CoverageMap {
+    /// Creates an empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Records a branch outcome; returns `true` if it was new.
+    pub fn record(&mut self, site: NodeId, taken: bool) -> bool {
+        self.hit.insert((site, taken))
+    }
+
+    /// Number of distinct branch outcomes hit.
+    pub fn hits(&self) -> usize {
+        self.hit.len()
+    }
+
+    /// Whether `other` contains any branch this map has not seen.
+    pub fn would_grow(&self, other: &CoverageMap) -> bool {
+        other.hit.iter().any(|b| !self.hit.contains(b))
+    }
+
+    /// Merges another map in; returns the number of newly-seen branches.
+    pub fn merge(&mut self, other: &CoverageMap) -> usize {
+        let before = self.hit.len();
+        self.hit.extend(other.hit.iter().copied());
+        self.hit.len() - before
+    }
+
+    /// Iterates over hit branches.
+    pub fn iter(&self) -> impl Iterator<Item = &BranchId> {
+        self.hit.iter()
+    }
+}
+
+/// Counts the total number of branch outcomes in a program (the denominator
+/// of the branch-coverage ratio reported in paper Table 4).
+///
+/// # Examples
+///
+/// ```
+/// let p = minic::parse("int f(int a) { if (a > 0) { return 1; } return 0; }").unwrap();
+/// assert_eq!(minic_exec::coverage::total_branches(&p), 2);
+/// ```
+pub fn total_branches(p: &Program) -> usize {
+    let mut sites = 0usize;
+    visit::visit_stmts(p, &mut |s| {
+        if matches!(
+            s.kind,
+            StmtKind::If(..) | StmtKind::While(..) | StmtKind::DoWhile(..)
+        ) {
+            sites += 1;
+        }
+        if let StmtKind::For(_, cond, _, _) = &s.kind {
+            if cond.is_some() {
+                sites += 1;
+            }
+        }
+    });
+    visit::visit_exprs(p, &mut |e| {
+        if matches!(e.kind, ExprKind::Ternary(..)) {
+            sites += 1;
+        }
+    });
+    sites * 2
+}
+
+/// Branch coverage ratio in `[0, 1]` for a coverage map against a program.
+pub fn coverage_ratio(map: &CoverageMap, p: &Program) -> f64 {
+    let total = total_branches(p);
+    if total == 0 {
+        return 1.0;
+    }
+    (map.hits() as f64 / total as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_branches_counts_sites() {
+        let p = minic::parse(
+            r#"
+            int f(int a) {
+                int x = a > 0 ? 1 : 2;
+                while (a > 0) { a--; }
+                for (int i = 0; i < 3; i++) { x += i; }
+                do { x--; } while (x > 10);
+                if (x == 0) { return 0; } else { return x; }
+            }
+        "#,
+        )
+        .unwrap();
+        // ternary + while + for + do-while + if = 5 sites = 10 branches
+        assert_eq!(total_branches(&p), 10);
+    }
+
+    #[test]
+    fn record_reports_novelty() {
+        let mut m = CoverageMap::new();
+        assert!(m.record(NodeId(1), true));
+        assert!(!m.record(NodeId(1), true));
+        assert!(m.record(NodeId(1), false));
+        assert_eq!(m.hits(), 2);
+    }
+
+    #[test]
+    fn would_grow_and_merge() {
+        let mut a = CoverageMap::new();
+        a.record(NodeId(1), true);
+        let mut b = CoverageMap::new();
+        b.record(NodeId(1), true);
+        assert!(!a.would_grow(&b));
+        b.record(NodeId(2), false);
+        assert!(a.would_grow(&b));
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.hits(), 2);
+    }
+
+    #[test]
+    fn ratio_handles_branchless_programs() {
+        let p = minic::parse("int f(int a) { return a + 1; }").unwrap();
+        assert_eq!(coverage_ratio(&CoverageMap::new(), &p), 1.0);
+    }
+}

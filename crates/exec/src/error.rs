@@ -1,0 +1,88 @@
+//! Execution errors and traps.
+
+use std::error::Error;
+use std::fmt;
+
+/// A runtime trap: the machine-level reason an execution aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Dereference of the null pointer.
+    NullDeref,
+    /// Access outside allocated memory.
+    OutOfBounds {
+        /// The offending cell address.
+        addr: usize,
+    },
+    /// Static-array index outside the declared extent (trapping policy).
+    ArrayIndexOutOfBounds {
+        /// The offending index.
+        index: i128,
+        /// The declared extent.
+        len: u64,
+    },
+    /// The op budget was exhausted (probable non-termination).
+    FuelExhausted,
+    /// Call depth exceeded the configured limit.
+    StackOverflow,
+    /// Read from an empty stream.
+    StreamUnderflow,
+    /// Division or remainder by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::NullDeref => write!(f, "null pointer dereference"),
+            Trap::OutOfBounds { addr } => write!(f, "memory access out of bounds at {addr}"),
+            Trap::ArrayIndexOutOfBounds { index, len } => {
+                write!(f, "array index {index} out of bounds for length {len}")
+            }
+            Trap::FuelExhausted => write!(f, "execution fuel exhausted"),
+            Trap::StackOverflow => write!(f, "call stack overflow"),
+            Trap::StreamUnderflow => write!(f, "read from empty stream"),
+            Trap::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+/// An execution failure: either a runtime trap or a structural problem in
+/// the program (missing function, bad argument shape, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A runtime trap.
+    Trap(Trap),
+    /// A malformed program or call (not a trap — the setup itself is wrong).
+    Setup(String),
+}
+
+impl ExecError {
+    /// Wraps a trap.
+    pub fn trap(t: Trap) -> ExecError {
+        ExecError::Trap(t)
+    }
+
+    /// Creates a setup error.
+    pub fn setup(msg: impl Into<String>) -> ExecError {
+        ExecError::Setup(msg.into())
+    }
+
+    /// The trap, if this is one.
+    pub fn as_trap(&self) -> Option<&Trap> {
+        match self {
+            ExecError::Trap(t) => Some(t),
+            ExecError::Setup(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Trap(t) => write!(f, "trap: {t}"),
+            ExecError::Setup(m) => write!(f, "setup error: {m}"),
+        }
+    }
+}
+
+impl Error for ExecError {}

@@ -1,0 +1,34 @@
+//! Tree-walking interpreter for the minic dialect, with branch coverage,
+//! value-range profiling, loop statistics and a CPU latency model.
+//!
+//! This crate is the "CPU side" of HeteroGen's differential testing, and —
+//! configured with wrapping array semantics via [`MachineConfig::fpga`] —
+//! also the behavioural substrate of the FPGA simulator in `hls-sim`.
+//!
+//! # Examples
+//!
+//! ```
+//! use minic_exec::{Machine, MachineConfig, Value};
+//!
+//! let program = minic::parse("int sq(int x) { return x * x; }")?;
+//! let mut m = Machine::new(&program, MachineConfig::cpu())?;
+//! let v = m.run_function("sq", vec![Value::int(9)])?;
+//! assert_eq!(v.as_int(), 81);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cost;
+pub mod coverage;
+pub mod error;
+pub mod interp;
+pub mod memory;
+pub mod profile;
+pub mod value;
+
+pub use cost::CpuCostModel;
+pub use coverage::CoverageMap;
+pub use error::{ExecError, Trap};
+pub use interp::{Machine, MachineConfig, OobPolicy};
+pub use memory::Memory;
+pub use profile::{Profile, Range};
+pub use value::{ArgValue, Outcome, ScalarOut, Value};

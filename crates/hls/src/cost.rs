@@ -1,0 +1,155 @@
+//! Simulated toolchain time accounting.
+//!
+//! Real HLS compilation takes minutes to hours (paper §1, §5.3); the
+//! reproduction bills each toolchain invocation in *simulated minutes* on a
+//! clock the repair loop carries around. The ratio between a cheap style
+//! check and a full compile+simulate cycle is what produces the paper's
+//! Figure 9 dynamics (the style checker obviating ~75% of full compiles on
+//! P3 → ≈4× end-to-end speedup).
+
+use minic::Program;
+
+/// Cost model for simulated toolchain invocations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompileCostModel {
+    /// Minutes for the lightweight style check (LLVM front-end analog).
+    pub style_check_min: f64,
+    /// Base minutes for a full HLS compile (scheduling, binding, mapping).
+    pub full_compile_base_min: f64,
+    /// Additional minutes per line of code compiled.
+    pub full_compile_per_loc_min: f64,
+    /// Minutes per simulated test input (RTL co-simulation is slow).
+    pub sim_per_test_min: f64,
+    /// Minutes per CPU test execution (effectively free).
+    pub cpu_per_test_min: f64,
+}
+
+impl Default for CompileCostModel {
+    fn default() -> Self {
+        CompileCostModel {
+            style_check_min: 0.05,
+            full_compile_base_min: 2.0,
+            full_compile_per_loc_min: 0.02,
+            sim_per_test_min: 0.002,
+            cpu_per_test_min: 0.0002,
+        }
+    }
+}
+
+impl CompileCostModel {
+    /// Cost of one style check on a program.
+    pub fn style_check(&self, _p: &Program) -> f64 {
+        self.style_check_min
+    }
+
+    /// Cost of one full HLS compilation.
+    pub fn full_compile(&self, p: &Program) -> f64 {
+        self.full_compile_base_min + self.full_compile_per_loc_min * minic::loc(p) as f64
+    }
+
+    /// Cost of simulating `n` tests on the FPGA side.
+    pub fn simulate(&self, n: usize) -> f64 {
+        self.sim_per_test_min * n as f64
+    }
+
+    /// Cost of running `n` tests on the CPU side.
+    pub fn cpu_tests(&self, n: usize) -> f64 {
+        self.cpu_per_test_min * n as f64
+    }
+}
+
+/// A simulated wall clock in minutes with an optional budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimClock {
+    elapsed_min: f64,
+    budget_min: Option<f64>,
+}
+
+impl SimClock {
+    /// Starts a clock with no budget.
+    pub fn unbounded() -> SimClock {
+        SimClock {
+            elapsed_min: 0.0,
+            budget_min: None,
+        }
+    }
+
+    /// Starts a clock with a budget in minutes.
+    pub fn with_budget(budget_min: f64) -> SimClock {
+        SimClock {
+            elapsed_min: 0.0,
+            budget_min: Some(budget_min),
+        }
+    }
+
+    /// Advances the clock.
+    pub fn advance(&mut self, minutes: f64) {
+        self.elapsed_min += minutes.max(0.0);
+    }
+
+    /// Minutes elapsed.
+    pub fn elapsed_min(&self) -> f64 {
+        self.elapsed_min
+    }
+
+    /// Whether the budget (if any) is exhausted.
+    pub fn expired(&self) -> bool {
+        match self.budget_min {
+            Some(b) => self.elapsed_min >= b,
+            None => false,
+        }
+    }
+
+    /// Remaining minutes (infinity when unbounded).
+    pub fn remaining_min(&self) -> f64 {
+        match self.budget_min {
+            Some(b) => (b - self.elapsed_min).max(0.0),
+            None => f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn style_is_much_cheaper_than_full_compile() {
+        let m = CompileCostModel::default();
+        let p = minic::parse("void kernel(int a[4]) { a[0] = 1; }").unwrap();
+        assert!(m.full_compile(&p) / m.style_check(&p) > 20.0);
+    }
+
+    #[test]
+    fn full_compile_scales_with_loc() {
+        let m = CompileCostModel::default();
+        let small = minic::parse("void kernel(int a[4]) { a[0] = 1; }").unwrap();
+        let big_src = format!(
+            "void kernel(int a[64]) {{ {} }}",
+            (0..60)
+                .map(|i| format!("a[{i}] = {i};"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let big = minic::parse(&big_src).unwrap();
+        assert!(m.full_compile(&big) > m.full_compile(&small));
+    }
+
+    #[test]
+    fn clock_budget() {
+        let mut c = SimClock::with_budget(10.0);
+        assert!(!c.expired());
+        c.advance(6.0);
+        assert_eq!(c.remaining_min(), 4.0);
+        c.advance(5.0);
+        assert!(c.expired());
+        assert_eq!(c.remaining_min(), 0.0);
+    }
+
+    #[test]
+    fn unbounded_clock_never_expires() {
+        let mut c = SimClock::unbounded();
+        c.advance(1e9);
+        assert!(!c.expired());
+    }
+}

@@ -1,0 +1,205 @@
+//! HLS diagnostics: the six compatibility-error categories of the paper's
+//! forum study (§5.1, Table 1, Figure 3) and Vivado-style messages.
+
+use minic::ast::NodeId;
+use std::fmt;
+
+/// The six HLS incompatibility categories from the paper's study of 1,000
+/// Xilinx forum posts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ErrorCategory {
+    /// `malloc`/`free`, unknown-size arrays, recursion.
+    DynamicDataStructures,
+    /// `long double`, raw pointers, missing operator support.
+    UnsupportedDataTypes,
+    /// `#pragma HLS dataflow` constraint violations.
+    DataflowOptimization,
+    /// Unroll/pipeline/partition interactions.
+    LoopParallelization,
+    /// Unsynthesizable structs and unions.
+    StructAndUnion,
+    /// Missing/incorrect top-function configuration.
+    TopFunction,
+}
+
+impl ErrorCategory {
+    /// All categories in the order of the paper's pie chart (Figure 3).
+    pub const ALL: [ErrorCategory; 6] = [
+        ErrorCategory::UnsupportedDataTypes,
+        ErrorCategory::TopFunction,
+        ErrorCategory::DataflowOptimization,
+        ErrorCategory::LoopParallelization,
+        ErrorCategory::StructAndUnion,
+        ErrorCategory::DynamicDataStructures,
+    ];
+
+    /// The Figure 3 proportion of this category among forum posts.
+    pub fn forum_share(self) -> f64 {
+        match self {
+            ErrorCategory::UnsupportedDataTypes => 0.257,
+            ErrorCategory::TopFunction => 0.198,
+            ErrorCategory::DataflowOptimization => 0.161,
+            ErrorCategory::LoopParallelization => 0.161,
+            ErrorCategory::StructAndUnion => 0.141,
+            ErrorCategory::DynamicDataStructures => 0.082,
+        }
+    }
+
+    /// Human-readable name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCategory::DynamicDataStructures => "Dynamic Data Structures",
+            ErrorCategory::UnsupportedDataTypes => "Unsupported Data Types",
+            ErrorCategory::DataflowOptimization => "Dataflow Optimization",
+            ErrorCategory::LoopParallelization => "Loop Parallelization",
+            ErrorCategory::StructAndUnion => "Struct and Union",
+            ErrorCategory::TopFunction => "Top Function",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic emitted by the (simulated) HLS compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HlsDiagnostic {
+    /// Vivado-style tool code, e.g. `XFORM 202-876`.
+    pub code: String,
+    /// Full message text (what the paper's keyword classifier sees).
+    pub message: String,
+    /// Ground-truth category (the classifier is evaluated against this).
+    pub category: ErrorCategory,
+    /// AST node the error is anchored to, when known.
+    pub location: Option<NodeId>,
+    /// The offending symbol (variable/function/struct name), when known.
+    pub symbol: Option<String>,
+    /// Enclosing function, when known.
+    pub function: Option<String>,
+}
+
+impl HlsDiagnostic {
+    /// Creates a diagnostic.
+    pub fn new(
+        code: impl Into<String>,
+        message: impl Into<String>,
+        category: ErrorCategory,
+    ) -> HlsDiagnostic {
+        HlsDiagnostic {
+            code: code.into(),
+            message: message.into(),
+            category,
+            location: None,
+            symbol: None,
+            function: None,
+        }
+    }
+
+    /// Attaches an AST location.
+    pub fn at(mut self, node: NodeId) -> Self {
+        self.location = Some(node);
+        self
+    }
+
+    /// Attaches the offending symbol.
+    pub fn on(mut self, symbol: impl Into<String>) -> Self {
+        self.symbol = Some(symbol.into());
+        self
+    }
+
+    /// Attaches the enclosing function.
+    pub fn in_function(mut self, f: impl Into<String>) -> Self {
+        self.function = Some(f.into());
+        self
+    }
+}
+
+impl fmt::Display for HlsDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ERROR: [{}] {}", self.code, self.message)
+    }
+}
+
+/// Canonical diagnostics (one representative per category), mirroring the
+/// paper's Table 1 examples. Used by Table 1 regeneration and tests.
+pub fn table1_examples() -> Vec<(ErrorCategory, &'static str, &'static str)> {
+    vec![
+        (
+            ErrorCategory::DynamicDataStructures,
+            "SYNCHK 200-31",
+            "dynamic memory allocation/deallocation is not supported",
+        ),
+        (
+            ErrorCategory::UnsupportedDataTypes,
+            "SYNCHK 200-11",
+            "call of overloaded 'pow()' is ambiguous: type 'long double' is not synthesizable",
+        ),
+        (
+            ErrorCategory::DataflowOptimization,
+            "XFORM 202-711",
+            "argument 'data' failed dataflow checking",
+        ),
+        (
+            ErrorCategory::LoopParallelization,
+            "HLS 200-70",
+            "pre-synthesis failed: unroll and dataflow pragmas interact",
+        ),
+        (
+            ErrorCategory::StructAndUnion,
+            "SYNCHK 200-42",
+            "argument 'this' has an unsynthesizable struct type",
+        ),
+        (
+            ErrorCategory::TopFunction,
+            "HLS 200-101",
+            "cannot find the top function in the design",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forum_shares_sum_to_one() {
+        let total: f64 = ErrorCategory::ALL.iter().map(|c| c.forum_share()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn display_formats_like_vivado() {
+        let d = HlsDiagnostic::new(
+            "XFORM 202-876",
+            "Synthesizability check failed: recursive functions are not supported.",
+            ErrorCategory::DynamicDataStructures,
+        );
+        assert_eq!(
+            d.to_string(),
+            "ERROR: [XFORM 202-876] Synthesizability check failed: recursive functions are not supported."
+        );
+    }
+
+    #[test]
+    fn builder_attaches_context() {
+        let d = HlsDiagnostic::new("X", "m", ErrorCategory::TopFunction)
+            .on("curr")
+            .in_function("traverse")
+            .at(NodeId(3));
+        assert_eq!(d.symbol.as_deref(), Some("curr"));
+        assert_eq!(d.function.as_deref(), Some("traverse"));
+        assert_eq!(d.location, Some(NodeId(3)));
+    }
+
+    #[test]
+    fn table1_covers_all_categories() {
+        let ex = table1_examples();
+        assert_eq!(ex.len(), 6);
+        for c in ErrorCategory::ALL {
+            assert!(ex.iter().any(|(cat, _, _)| *cat == c));
+        }
+    }
+}

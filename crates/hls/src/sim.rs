@@ -1,0 +1,171 @@
+//! The FPGA behavioural simulator.
+//!
+//! Runs a (synthesizable) kernel on the interpreter in FPGA mode — wrapping
+//! array indices, masking integers to declared bit widths, quantizing custom
+//! floats — and attaches a scheduled latency estimate. Together with the CPU
+//! side this is the engine of HeteroGen's differential testing.
+
+use crate::schedule::{estimate_latency, FpgaEstimate, ScheduleModel};
+use minic::Program;
+use minic_exec::{ArgValue, ExecError, Machine, MachineConfig, Outcome};
+
+/// Result of simulating one test input on the FPGA side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Observable behaviour (return value, arrays, streams).
+    pub outcome: Outcome,
+    /// Scheduled latency estimate.
+    pub estimate: FpgaEstimate,
+}
+
+/// FPGA simulator for one program.
+#[derive(Debug)]
+pub struct FpgaSimulator<'p> {
+    program: &'p Program,
+    model: ScheduleModel,
+    kernel: String,
+}
+
+impl<'p> FpgaSimulator<'p> {
+    /// Creates a simulator for the program's top function.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the program has no resolvable top function.
+    pub fn new(program: &'p Program) -> Result<FpgaSimulator<'p>, ExecError> {
+        let kernel = program
+            .top_function_name()
+            .ok_or_else(|| ExecError::setup("no top function in design"))?
+            .to_string();
+        Ok(FpgaSimulator {
+            program,
+            model: ScheduleModel::default(),
+            kernel,
+        })
+    }
+
+    /// Overrides the schedule model.
+    pub fn with_model(mut self, model: ScheduleModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The kernel (top function) name being simulated.
+    pub fn kernel(&self) -> &str {
+        &self.kernel
+    }
+
+    /// Simulates one test input.
+    pub fn run(&self, args: &[ArgValue]) -> SimResult {
+        let mut machine = match Machine::new(self.program, MachineConfig::fpga()) {
+            Ok(m) => m,
+            Err(e) => {
+                return SimResult {
+                    outcome: Outcome {
+                        trapped: true,
+                        trap_reason: Some(e.to_string()),
+                        ..Default::default()
+                    },
+                    estimate: FpgaEstimate {
+                        cycles: 0.0,
+                        latency_ms: 0.0,
+                        effective_ops: 0.0,
+                    },
+                }
+            }
+        };
+        let outcome = machine.run_kernel(&self.kernel, args);
+        let estimate = estimate_latency(
+            &self.model,
+            self.program,
+            machine.ops(),
+            &machine.loop_stats,
+            self.program.config.clock_mhz,
+        );
+        SimResult { outcome, estimate }
+    }
+
+    /// Simulates a batch of inputs and returns the mean latency (ms) and
+    /// the per-test results.
+    pub fn run_all(&self, tests: &[Vec<ArgValue>]) -> (f64, Vec<SimResult>) {
+        let results: Vec<SimResult> = tests.iter().map(|t| self.run(t)).collect();
+        let mean = if results.is_empty() {
+            0.0
+        } else {
+            results.iter().map(|r| r.estimate.latency_ms).sum::<f64>() / results.len() as f64
+        };
+        (mean, results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulates_kernel_behaviour() {
+        let p = minic::parse(
+            "void kernel(int a[4]) { for (int i = 0; i < 4; i++) { a[i] = a[i] + 10; } }",
+        )
+        .unwrap();
+        let sim = FpgaSimulator::new(&p).unwrap();
+        let r = sim.run(&[ArgValue::IntArray(vec![1, 2, 3, 4])]);
+        assert!(!r.outcome.trapped);
+        assert_eq!(
+            r.outcome.arrays[0]
+                .iter()
+                .map(|s| match s {
+                    minic_exec::ScalarOut::Int(v) => *v,
+                    _ => 0,
+                })
+                .collect::<Vec<_>>(),
+            vec![11, 12, 13, 14]
+        );
+        assert!(r.estimate.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn fpga_mode_wraps_undersized_arrays() {
+        // Static stack of 2 silently wraps when 3 values are pushed — the
+        // CPU reference would keep all three. This is the §6.2 divergence.
+        let p = minic::parse(
+            r#"
+            void kernel(int out[4], int n) {
+                int stack[2];
+                int sp = 0;
+                for (int i = 0; i < n; i++) { stack[sp] = i + 1; sp = sp + 1; }
+                for (int i = 0; i < n; i++) { out[i] = stack[i]; }
+            }
+        "#,
+        )
+        .unwrap();
+        let sim = FpgaSimulator::new(&p).unwrap();
+        let r = sim.run(&[ArgValue::IntArray(vec![0, 0, 0, 0]), ArgValue::Int(3)]);
+        assert!(!r.outcome.trapped);
+        // stack[2] wrapped to stack[0]: out = [3, 2, 3(wrap), 0]
+        let got: Vec<i128> = r.outcome.arrays[0]
+            .iter()
+            .map(|s| match s {
+                minic_exec::ScalarOut::Int(v) => *v,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(got[0], 3, "first slot overwritten by wrap");
+    }
+
+    #[test]
+    fn run_all_averages_latency() {
+        let p = minic::parse("int kernel(int x) { return x * 2; }").unwrap();
+        let sim = FpgaSimulator::new(&p).unwrap();
+        let tests = vec![vec![ArgValue::Int(1)], vec![ArgValue::Int(2)]];
+        let (mean, results) = sim.run_all(&tests);
+        assert_eq!(results.len(), 2);
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn missing_top_is_a_setup_error() {
+        let p = minic::parse("void helper(int x) { }").unwrap();
+        assert!(FpgaSimulator::new(&p).is_err());
+    }
+}

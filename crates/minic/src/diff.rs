@@ -1,0 +1,149 @@
+//! Line-based diff used for ΔLOC accounting (paper Table 5 reports "the
+//! number of added lines with respect to the original program").
+
+/// Summary of a line diff between two texts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiffStats {
+    /// Lines present in `new` but not matched in `old`.
+    pub added: usize,
+    /// Lines present in `old` but not matched in `new`.
+    pub removed: usize,
+    /// Lines common to both (in LCS order).
+    pub common: usize,
+}
+
+impl DiffStats {
+    /// The paper's ΔLOC metric: lines added by the edit.
+    pub fn delta_loc(&self) -> usize {
+        self.added
+    }
+
+    /// Total lines touched (added + removed).
+    pub fn churn(&self) -> usize {
+        self.added + self.removed
+    }
+}
+
+/// Computes line-diff statistics between two sources, ignoring blank lines
+/// and leading/trailing whitespace.
+///
+/// # Examples
+///
+/// ```
+/// let stats = minic::diff::line_diff("a\nb\nc\n", "a\nx\nb\nc\n");
+/// assert_eq!(stats.added, 1);
+/// assert_eq!(stats.removed, 0);
+/// assert_eq!(stats.common, 3);
+/// ```
+pub fn line_diff(old: &str, new: &str) -> DiffStats {
+    let a: Vec<&str> = old
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    let b: Vec<&str> = new
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    let common = lcs_len(&a, &b);
+    DiffStats {
+        added: b.len() - common,
+        removed: a.len() - common,
+        common,
+    }
+}
+
+/// Longest-common-subsequence length over line slices (O(n·m) DP with a
+/// rolling row, adequate for subject-program sizes).
+fn lcs_len(a: &[&str], b: &[&str]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut curr = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            curr[j] = if a[i - 1] == b[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(curr[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Convenience: ΔLOC between two parsed programs via the pretty printer.
+pub fn delta_loc(old: &crate::Program, new: &crate::Program) -> usize {
+    line_diff(
+        &crate::print_program(old),
+        &crate::print_program(new),
+    )
+    .delta_loc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_zero_churn() {
+        let s = line_diff("a\nb\n", "a\nb\n");
+        assert_eq!(s.added, 0);
+        assert_eq!(s.removed, 0);
+        assert_eq!(s.common, 2);
+    }
+
+    #[test]
+    fn pure_insertion() {
+        let s = line_diff("a\nc\n", "a\nb\nc\n");
+        assert_eq!(s.added, 1);
+        assert_eq!(s.removed, 0);
+    }
+
+    #[test]
+    fn pure_deletion() {
+        let s = line_diff("a\nb\nc\n", "a\nc\n");
+        assert_eq!(s.added, 0);
+        assert_eq!(s.removed, 1);
+    }
+
+    #[test]
+    fn replacement_counts_both() {
+        let s = line_diff("a\nb\nc\n", "a\nx\nc\n");
+        assert_eq!(s.added, 1);
+        assert_eq!(s.removed, 1);
+        assert_eq!(s.churn(), 2);
+    }
+
+    #[test]
+    fn whitespace_and_blank_lines_ignored() {
+        let s = line_diff("  a  \n\n b\n", "a\nb\n");
+        assert_eq!(s.churn(), 0);
+    }
+
+    #[test]
+    fn disjoint_texts() {
+        let s = line_diff("a\nb\n", "x\ny\nz\n");
+        assert_eq!(s.added, 3);
+        assert_eq!(s.removed, 2);
+        assert_eq!(s.common, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(line_diff("", "").churn(), 0);
+        assert_eq!(line_diff("", "a\n").added, 1);
+        assert_eq!(line_diff("a\n", "").removed, 1);
+    }
+
+    #[test]
+    fn delta_loc_on_programs() {
+        let p1 = crate::parse("int f(int a) { return a; }").unwrap();
+        let p2 =
+            crate::parse("int f(int a) { int b = a + 1; return b; }").unwrap();
+        assert!(delta_loc(&p1, &p2) >= 1);
+    }
+}

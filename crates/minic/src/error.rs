@@ -1,0 +1,75 @@
+//! Error types for parsing and type checking.
+
+use crate::token::Span;
+use std::error::Error;
+use std::fmt;
+
+/// A syntax error with location information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates a parse error.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The human-readable message (without location).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// A semantic error found by the type checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    message: String,
+    span: Span,
+}
+
+impl TypeError {
+    /// Creates a type error.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        TypeError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The human-readable message (without location).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for TypeError {}

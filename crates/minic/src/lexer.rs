@@ -1,0 +1,581 @@
+//! Hand-written lexer for the minic dialect.
+//!
+//! Handles `//` and `/* */` comments, preprocessor-ish lines (`#pragma`,
+//! `#include`, `#define`), character/string escapes, and integer/float
+//! literal suffixes (`u`, `U`, `l`, `L`, `f`, `F`).
+
+use crate::error::ParseError;
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Lexes an entire source string into tokens (terminated by [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unterminated comments/strings or characters
+/// outside the supported alphabet.
+///
+/// # Examples
+///
+/// ```
+/// let toks = minic::lexer::lex("int x = 3;").unwrap();
+/// assert_eq!(toks.len(), 6); // int, x, =, 3, ;, EOF
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, Span::new(self.pos, self.pos + 1, self.line))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let line = self.line;
+            if self.pos >= self.src.len() {
+                self.tokens
+                    .push(Token::new(TokenKind::Eof, Span::new(start, start, line)));
+                return Ok(self.tokens);
+            }
+            let c = self.peek();
+            let kind = match c {
+                b'#' => {
+                    self.lex_directive()?;
+                    continue;
+                }
+                b'0'..=b'9' => self.lex_number()?,
+                b'\'' => self.lex_char()?,
+                b'"' => self.lex_string()?,
+                c if c == b'_' || c.is_ascii_alphabetic() => self.lex_ident(),
+                _ => self.lex_operator()?,
+            };
+            let span = Span::new(start, self.pos, line);
+            self.tokens.push(Token::new(kind, span));
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let open = self.pos;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(ParseError::new(
+                                "unterminated block comment",
+                                Span::new(open, open + 2, self.line),
+                            ));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_directive(&mut self) -> Result<(), ParseError> {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // '#'
+        let word_start = self.pos;
+        while self.peek().is_ascii_alphabetic() {
+            self.bump();
+        }
+        let word = std::str::from_utf8(&self.src[word_start..self.pos])
+            .unwrap()
+            .to_string();
+        // Take the rest of the (logical) line.
+        let rest_start = self.pos;
+        while self.pos < self.src.len() && self.peek() != b'\n' {
+            self.bump();
+        }
+        let rest = std::str::from_utf8(&self.src[rest_start..self.pos])
+            .unwrap()
+            .trim()
+            .to_string();
+        let span = Span::new(start, self.pos, line);
+        let kind = match word.as_str() {
+            "pragma" => TokenKind::PragmaLine(rest),
+            "include" => TokenKind::IncludeLine(rest),
+            "define" => TokenKind::DefineLine(rest),
+            other => {
+                return Err(ParseError::new(
+                    format!("unsupported preprocessor directive `#{other}`"),
+                    span,
+                ))
+            }
+        };
+        self.tokens.push(Token::new(kind, span));
+        Ok(())
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        // Hex?
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.bump();
+            self.bump();
+            let digits_start = self.pos;
+            while self.peek().is_ascii_hexdigit() {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[digits_start..self.pos]).unwrap();
+            let value = i128::from_str_radix(text, 16)
+                .map_err(|_| self.err(format!("invalid hex literal `{text}`")))?;
+            let unsigned = self.eat_int_suffix();
+            return Ok(TokenKind::Int(value, unsigned));
+        }
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if self.peek() == b'e' || self.peek() == b'E' {
+            let mut look = self.pos + 1;
+            if self.src.get(look) == Some(&b'+') || self.src.get(look) == Some(&b'-') {
+                look += 1;
+            }
+            if self.src.get(look).is_some_and(u8::is_ascii_digit) {
+                is_float = true;
+                self.bump(); // e
+                if self.peek() == b'+' || self.peek() == b'-' {
+                    self.bump();
+                }
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("invalid float literal `{text}`")))?;
+            let long_double = match self.peek() {
+                b'f' | b'F' => {
+                    self.bump();
+                    false
+                }
+                b'l' | b'L' => {
+                    self.bump();
+                    true
+                }
+                _ => false,
+            };
+            Ok(TokenKind::Float(value, long_double))
+        } else {
+            let value: i128 = text
+                .parse()
+                .map_err(|_| self.err(format!("invalid integer literal `{text}`")))?;
+            // `1.0f`-less float like `3f` is not C; treat trailing f/F on an
+            // integer as a float suffix anyway for leniency.
+            if self.peek() == b'f' || self.peek() == b'F' {
+                self.bump();
+                return Ok(TokenKind::Float(value as f64, false));
+            }
+            let unsigned = self.eat_int_suffix();
+            Ok(TokenKind::Int(value, unsigned))
+        }
+    }
+
+    /// Consumes any combination of `u`/`U`/`l`/`L` suffixes; returns whether
+    /// an unsigned suffix was present.
+    fn eat_int_suffix(&mut self) -> bool {
+        let mut unsigned = false;
+        loop {
+            match self.peek() {
+                b'u' | b'U' => {
+                    unsigned = true;
+                    self.bump();
+                }
+                b'l' | b'L' => {
+                    self.bump();
+                }
+                _ => return unsigned,
+            }
+        }
+    }
+
+    fn lex_escape(&mut self) -> Result<u8, ParseError> {
+        // Caller consumed the backslash.
+        let c = self.bump();
+        Ok(match c {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            other => {
+                return Err(self.err(format!("unsupported escape `\\{}`", other as char)));
+            }
+        })
+    }
+
+    fn lex_char(&mut self) -> Result<TokenKind, ParseError> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            b'\\' => self.lex_escape()?,
+            0 => return Err(self.err("unterminated character literal")),
+            c => c,
+        };
+        if self.bump() != b'\'' {
+            return Err(self.err("unterminated character literal"));
+        }
+        Ok(TokenKind::Char(c))
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, ParseError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                b'"' => return Ok(TokenKind::Str(out)),
+                b'\\' => out.push(self.lex_escape()? as char),
+                0 => return Err(self.err("unterminated string literal")),
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.peek() == b'_' || self.peek().is_ascii_alphanumeric() {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        match Keyword::from_ident(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+
+    fn lex_operator(&mut self) -> Result<TokenKind, ParseError> {
+        let c = self.bump();
+        let k = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'.' => TokenKind::Dot,
+            b'?' => TokenKind::Question,
+            b'~' => TokenKind::Tilde,
+            b':' => {
+                if self.peek() == b':' {
+                    self.bump();
+                    TokenKind::ColonColon
+                } else {
+                    TokenKind::Colon
+                }
+            }
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.bump();
+                    TokenKind::PlusPlus
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::PlusEq
+                }
+                _ => TokenKind::Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.bump();
+                    TokenKind::MinusMinus
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::MinusEq
+                }
+                b'>' => {
+                    self.bump();
+                    TokenKind::Arrow
+                }
+                _ => TokenKind::Minus,
+            },
+            b'*' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::StarEq
+                } else {
+                    TokenKind::Star
+                }
+            }
+            b'/' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::SlashEq
+                } else {
+                    TokenKind::Slash
+                }
+            }
+            b'%' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::PercentEq
+                } else {
+                    TokenKind::Percent
+                }
+            }
+            b'&' => match self.peek() {
+                b'&' => {
+                    self.bump();
+                    TokenKind::AmpAmp
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::AmpEq
+                }
+                _ => TokenKind::Amp,
+            },
+            b'|' => match self.peek() {
+                b'|' => {
+                    self.bump();
+                    TokenKind::PipePipe
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::PipeEq
+                }
+                _ => TokenKind::Pipe,
+            },
+            b'^' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::CaretEq
+                } else {
+                    TokenKind::Caret
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::BangEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Eq
+                }
+            }
+            b'<' => match self.peek() {
+                b'=' => {
+                    self.bump();
+                    TokenKind::Le
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::ShlEq
+                    } else {
+                        TokenKind::Shl
+                    }
+                }
+                _ => TokenKind::Lt,
+            },
+            b'>' => match self.peek() {
+                b'=' => {
+                    self.bump();
+                    TokenKind::Ge
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::ShrEq
+                    } else {
+                        TokenKind::Shr
+                    }
+                }
+                _ => TokenKind::Gt,
+            },
+            other => {
+                return Err(self.err(format!(
+                    "unexpected character `{}` (0x{other:02x})",
+                    other as char
+                )))
+            }
+        };
+        Ok(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        let k = kinds("int x = 3;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Int(3, false),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_float_literals() {
+        assert_eq!(kinds("1.5")[0], TokenKind::Float(1.5, false));
+        assert_eq!(kinds("1.5L")[0], TokenKind::Float(1.5, true));
+        assert_eq!(kinds("2e3")[0], TokenKind::Float(2000.0, false));
+        assert_eq!(kinds("1.25e-2")[0], TokenKind::Float(0.0125, false));
+        assert_eq!(kinds("3f")[0], TokenKind::Float(3.0, false));
+    }
+
+    #[test]
+    fn lexes_hex_and_suffixes() {
+        assert_eq!(kinds("0xFF")[0], TokenKind::Int(255, false));
+        assert_eq!(kinds("42u")[0], TokenKind::Int(42, true));
+        assert_eq!(kinds("42UL")[0], TokenKind::Int(42, true));
+        assert_eq!(kinds("42L")[0], TokenKind::Int(42, false));
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        let k = kinds("a <= b >> 2 && c->d :: e");
+        assert!(k.contains(&TokenKind::Le));
+        assert!(k.contains(&TokenKind::Shr));
+        assert!(k.contains(&TokenKind::AmpAmp));
+        assert!(k.contains(&TokenKind::Arrow));
+        assert!(k.contains(&TokenKind::ColonColon));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let k = kinds("int /* c1 */ x; // trailing\nfloat y;");
+        assert_eq!(k.len(), 7);
+    }
+
+    #[test]
+    fn lexes_pragma_line() {
+        let k = kinds("#pragma HLS unroll factor=4\nint x;");
+        assert_eq!(k[0], TokenKind::PragmaLine("HLS unroll factor=4".into()));
+    }
+
+    #[test]
+    fn lexes_include_and_define() {
+        let k = kinds("#include <hls_stream.h>\n#define N 128\n");
+        assert_eq!(k[0], TokenKind::IncludeLine("<hls_stream.h>".into()));
+        assert_eq!(k[1], TokenKind::DefineLine("N 128".into()));
+    }
+
+    #[test]
+    fn lexes_string_and_char_escapes() {
+        assert_eq!(kinds("'\\n'")[0], TokenKind::Char(b'\n'));
+        assert_eq!(kinds("\"a\\tb\"")[0], TokenKind::Str("a\tb".into()));
+    }
+
+    #[test]
+    fn reports_unterminated_comment() {
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn reports_unknown_character() {
+        assert!(lex("int x = `;").is_err());
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("int a;\nint b;\n\nint c;").unwrap();
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.kind == TokenKind::Ident(name.into()))
+                .unwrap()
+                .span
+                .line
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("c"), 4);
+    }
+
+    #[test]
+    fn increment_and_compound_assign() {
+        let k = kinds("i++ + --j; x <<= 1; y >>= 2;");
+        assert!(k.contains(&TokenKind::PlusPlus));
+        assert!(k.contains(&TokenKind::MinusMinus));
+        assert!(k.contains(&TokenKind::ShlEq));
+        assert!(k.contains(&TokenKind::ShrEq));
+    }
+}

@@ -1,0 +1,296 @@
+//! Tokens and source spans produced by the [`lexer`](crate::lexer).
+
+use std::fmt;
+
+/// A half-open byte range into the original source, with a 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` on `line`.
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// Joins two spans into the smallest span covering both.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// Keywords of the supported C subset plus HLS extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Void,
+    Bool,
+    Char,
+    Short,
+    Int,
+    Long,
+    Float,
+    Double,
+    Signed,
+    Unsigned,
+    Struct,
+    Union,
+    Typedef,
+    Static,
+    Const,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Return,
+    Break,
+    Continue,
+    Goto,
+    Sizeof,
+    True,
+    False,
+}
+
+impl Keyword {
+    /// Looks up an identifier as a keyword.
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "void" => Keyword::Void,
+            "bool" => Keyword::Bool,
+            "char" => Keyword::Char,
+            "short" => Keyword::Short,
+            "int" => Keyword::Int,
+            "long" => Keyword::Long,
+            "float" => Keyword::Float,
+            "double" => Keyword::Double,
+            "signed" => Keyword::Signed,
+            "unsigned" => Keyword::Unsigned,
+            "struct" => Keyword::Struct,
+            "union" => Keyword::Union,
+            "typedef" => Keyword::Typedef,
+            "static" => Keyword::Static,
+            "const" => Keyword::Const,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "goto" => Keyword::Goto,
+            "sizeof" => Keyword::Sizeof,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Void => "void",
+            Keyword::Bool => "bool",
+            Keyword::Char => "char",
+            Keyword::Short => "short",
+            Keyword::Int => "int",
+            Keyword::Long => "long",
+            Keyword::Float => "float",
+            Keyword::Double => "double",
+            Keyword::Signed => "signed",
+            Keyword::Unsigned => "unsigned",
+            Keyword::Struct => "struct",
+            Keyword::Union => "union",
+            Keyword::Typedef => "typedef",
+            Keyword::Static => "static",
+            Keyword::Const => "const",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::Do => "do",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Goto => "goto",
+            Keyword::Sizeof => "sizeof",
+            Keyword::True => "true",
+            Keyword::False => "false",
+        }
+    }
+}
+
+/// A single lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (not a keyword).
+    Ident(String),
+    /// Reserved word.
+    Keyword(Keyword),
+    /// Integer literal (value, had an unsigned suffix).
+    Int(i128, bool),
+    /// Floating literal. The flag records a `long double` (`L`) suffix.
+    Float(f64, bool),
+    /// Character literal, stored as its code point.
+    Char(u8),
+    /// String literal with escapes resolved.
+    Str(String),
+    /// A `#pragma …` line, raw text after `#pragma`.
+    PragmaLine(String),
+    /// An `#include …` line, raw text after `#include`.
+    IncludeLine(String),
+    /// A `#define NAME VALUE` line, raw text after `#define`.
+    DefineLine(String),
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    ColonColon,
+    Colon,
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    BangEq,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    PlusPlus,
+    MinusMinus,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "`{}`", k.as_str()),
+            TokenKind::Int(v, _) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v, _) => write!(f, "float `{v}`"),
+            TokenKind::Char(c) => write!(f, "char `{}`", *c as char),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::PragmaLine(s) => write!(f, "#pragma {s}"),
+            TokenKind::IncludeLine(s) => write!(f, "#include {s}"),
+            TokenKind::DefineLine(s) => write!(f, "#define {s}"),
+            TokenKind::Eof => write!(f, "end of input"),
+            other => {
+                let s = match other {
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Semi => ";",
+                    TokenKind::Comma => ",",
+                    TokenKind::Dot => ".",
+                    TokenKind::Arrow => "->",
+                    TokenKind::ColonColon => "::",
+                    TokenKind::Colon => ":",
+                    TokenKind::Question => "?",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Star => "*",
+                    TokenKind::Slash => "/",
+                    TokenKind::Percent => "%",
+                    TokenKind::Amp => "&",
+                    TokenKind::Pipe => "|",
+                    TokenKind::Caret => "^",
+                    TokenKind::Tilde => "~",
+                    TokenKind::Bang => "!",
+                    TokenKind::Lt => "<",
+                    TokenKind::Gt => ">",
+                    TokenKind::Le => "<=",
+                    TokenKind::Ge => ">=",
+                    TokenKind::EqEq => "==",
+                    TokenKind::BangEq => "!=",
+                    TokenKind::AmpAmp => "&&",
+                    TokenKind::PipePipe => "||",
+                    TokenKind::Shl => "<<",
+                    TokenKind::Shr => ">>",
+                    TokenKind::Eq => "=",
+                    TokenKind::PlusEq => "+=",
+                    TokenKind::MinusEq => "-=",
+                    TokenKind::StarEq => "*=",
+                    TokenKind::SlashEq => "/=",
+                    TokenKind::PercentEq => "%=",
+                    TokenKind::AmpEq => "&=",
+                    TokenKind::PipeEq => "|=",
+                    TokenKind::CaretEq => "^=",
+                    TokenKind::ShlEq => "<<=",
+                    TokenKind::ShrEq => ">>=",
+                    TokenKind::PlusPlus => "++",
+                    TokenKind::MinusMinus => "--",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}

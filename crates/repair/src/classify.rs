@@ -1,0 +1,140 @@
+//! Error-message classification (paper §5.2).
+//!
+//! "HeteroGen classifies each HLS error message to one of the six types
+//! described in §5.1 by extracting keywords such as 'recursion', 'dataflow',
+//! or 'struct'." The classifier sees only the message *text* — the
+//! ground-truth category carried by [`hls_sim::HlsDiagnostic`] is used to evaluate it
+//! (and to regenerate Figure 3), never to drive repair.
+
+use hls_sim::ErrorCategory;
+
+/// Classifies an HLS error message into one of the six categories by
+/// keyword extraction.
+///
+/// Keyword priority mirrors the specificity of the vocabulary: struct and
+/// top-function wording is most distinctive, then loop/pragma terms, then
+/// dataflow, then the dynamic-memory and type terms.
+///
+/// # Examples
+///
+/// ```
+/// use hls_sim::ErrorCategory;
+/// use repair::classify::classify_message;
+///
+/// assert_eq!(
+///     classify_message("Synthesizability check failed: recursive functions are not supported"),
+///     ErrorCategory::DynamicDataStructures
+/// );
+/// ```
+pub fn classify_message(message: &str) -> ErrorCategory {
+    let m = message.to_ascii_lowercase();
+    // Most specific vocabulary first.
+    if m.contains("struct") || m.contains("union") || m.contains("'this'") {
+        return ErrorCategory::StructAndUnion;
+    }
+    if m.contains("top function") || m.contains("top-level design") || m.contains("clock") {
+        return ErrorCategory::TopFunction;
+    }
+    if m.contains("unroll")
+        || m.contains("pipeline")
+        || m.contains("partition")
+        || m.contains("tripcount")
+        || m.contains("pre-synthesis")
+        || m.contains("loop")
+    {
+        return ErrorCategory::LoopParallelization;
+    }
+    if m.contains("dataflow") {
+        return ErrorCategory::DataflowOptimization;
+    }
+    if m.contains("recursi")
+        || m.contains("dynamic memory")
+        || m.contains("malloc")
+        || m.contains("unknown size")
+    {
+        return ErrorCategory::DynamicDataStructures;
+    }
+    // Pointers, long double, overload ambiguity, and everything else about
+    // values falls into the broadest bucket, matching its plurality share in
+    // the forum study.
+    ErrorCategory::UnsupportedDataTypes
+}
+
+/// Classification accuracy against a labelled set of diagnostics.
+pub fn accuracy(labelled: &[(String, ErrorCategory)]) -> f64 {
+    if labelled.is_empty() {
+        return 1.0;
+    }
+    let correct = labelled
+        .iter()
+        .filter(|(m, c)| classify_message(m) == *c)
+        .count();
+    correct as f64 / labelled.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_table1_examples() {
+        for (category, _code, message) in hls_sim::errors::table1_examples() {
+            assert_eq!(
+                classify_message(message),
+                category,
+                "message: {message}"
+            );
+        }
+    }
+
+    #[test]
+    fn classifies_real_checker_output() {
+        let p = minic::parse(
+            r#"
+            void t(int n) { if (n > 0) { t(n - 1); } }
+            void kernel(int n) { long double x = 0.0L; t(n); }
+        "#,
+        )
+        .unwrap();
+        let diags = hls_sim::check_program(&p);
+        for d in diags {
+            assert_eq!(
+                classify_message(&d.message),
+                d.category,
+                "misclassified: {}",
+                d.message
+            );
+        }
+    }
+
+    #[test]
+    fn dataflow_vs_partition_keywords() {
+        assert_eq!(
+            classify_message("Argument 'data' failed dataflow checking"),
+            ErrorCategory::DataflowOptimization
+        );
+        assert_eq!(
+            classify_message("Array 'A' failed partition checking: factor 4 does not divide"),
+            ErrorCategory::LoopParallelization
+        );
+    }
+
+    #[test]
+    fn accuracy_on_labelled_set() {
+        let set = vec![
+            (
+                "recursive functions are not supported".to_string(),
+                ErrorCategory::DynamicDataStructures,
+            ),
+            (
+                "cannot find the top function".to_string(),
+                ErrorCategory::TopFunction,
+            ),
+            (
+                "unsynthesizable struct type".to_string(),
+                ErrorCategory::StructAndUnion,
+            ),
+        ];
+        assert_eq!(accuracy(&set), 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! The dependence/precedence structure among parameterized edits
+//! (paper Figure 7c).
+//!
+//! Some repairs only make sense after others: `resize` scales a size
+//! constant that `stack_trans`/`pointer_to_index`/`array_static` introduced;
+//! `stream_static` (➌) follows `constructor` (➊); `inst_update` (➍)
+//! follows `flatten` (➋); the `type_trans → type_casting → op_overload`
+//! chain mirrors Figure 4. HeteroGen enumerates candidate sequences in
+//! dependence order ({➊, ➋, ➊➌, ➋➍, …}); the `WithoutDependence`
+//! ablation ignores this structure and samples edits at random.
+
+/// Prerequisite families for an edit family. Semantics: the edit is
+/// applicable once **any** of the listed families has been applied
+/// (alternatives like `stack_trans`/`pointer_to_index` both introduce
+/// resizable constants).
+pub fn prerequisites(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "resize" => &["stack_trans", "pointer_to_index", "array_static"],
+        "type_casting" => &["type_trans"],
+        "op_overload" => &["type_casting"],
+        "stream_static" => &["constructor"],
+        "inst_update" => &["flatten"],
+        _ => &[],
+    }
+}
+
+/// Whether an edit family's prerequisites are satisfied by the already
+/// applied families.
+pub fn satisfied(kind: &str, applied: &[String]) -> bool {
+    let pre = prerequisites(kind);
+    pre.is_empty() || pre.iter().any(|p| applied.iter().any(|a| a == p))
+}
+
+/// A stable exploration order: independent (root) edits first, dependent
+/// chains after, mirroring the {➊, ➋, ➊➌, ➋➍, …} enumeration.
+pub fn dependence_rank(kind: &str) -> u8 {
+    match kind {
+        // Roots.
+        "set_top" | "fix_clock" => 0,
+        "constructor" | "flatten" => 1,
+        "stack_trans" | "pointer_to_index" | "array_static" | "type_trans"
+        | "pointer_param_to_array" | "duplicate_array_arg" | "pad_array" | "index_static"
+        | "delete_pragma" | "insert_pragma" | "explore" => 2,
+        // First-level dependents.
+        "stream_static" | "inst_update" | "type_casting" | "resize" => 3,
+        // Second-level dependents.
+        "op_overload" => 4,
+        _ => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_have_no_prerequisites() {
+        for k in ["constructor", "flatten", "stack_trans", "set_top"] {
+            assert!(prerequisites(k).is_empty());
+            assert!(satisfied(k, &[]));
+        }
+    }
+
+    #[test]
+    fn figure7_chains() {
+        assert!(!satisfied("stream_static", &[]));
+        assert!(satisfied("stream_static", &["constructor".to_string()]));
+        assert!(!satisfied("inst_update", &["constructor".to_string()]));
+        assert!(satisfied("inst_update", &["flatten".to_string()]));
+    }
+
+    #[test]
+    fn figure4_chain() {
+        assert!(!satisfied("op_overload", &["type_trans".to_string()]));
+        assert!(satisfied(
+            "op_overload",
+            &["type_trans".to_string(), "type_casting".to_string()]
+        ));
+    }
+
+    #[test]
+    fn resize_accepts_any_size_introducing_edit() {
+        assert!(!satisfied("resize", &[]));
+        for root in ["stack_trans", "pointer_to_index", "array_static"] {
+            assert!(satisfied("resize", &[root.to_string()]));
+        }
+    }
+
+    #[test]
+    fn ranks_respect_chains() {
+        assert!(dependence_rank("constructor") < dependence_rank("stream_static"));
+        assert!(dependence_rank("flatten") < dependence_rank("inst_update"));
+        assert!(dependence_rank("type_trans") < dependence_rank("type_casting"));
+        assert!(dependence_rank("type_casting") < dependence_rank("op_overload"));
+        assert!(dependence_rank("stack_trans") < dependence_rank("resize"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Behaviour preservation via differential testing (paper §5.3).
+//!
+//! The original C program runs on the CPU interpreter once per test to form
+//! the reference; each repair candidate is simulated on the FPGA side and
+//! compared. "HeteroGen computes the ratio of tests that have identical
+//! behavior, and compares the simulation latency … between CPU and FPGA."
+
+use hls_sim::FpgaSimulator;
+use minic::Program;
+use minic_exec::{CpuCostModel, Machine, MachineConfig, Outcome};
+use testgen::TestCase;
+
+/// Result of differentially testing one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffReport {
+    /// Fraction of tests with identical observable behaviour.
+    pub pass_ratio: f64,
+    /// Mean FPGA latency over the tests (ms).
+    pub fpga_latency_ms: f64,
+}
+
+/// Precomputed CPU reference outcomes for a test suite.
+#[derive(Debug)]
+pub struct DifferentialTester {
+    tests: Vec<TestCase>,
+    reference: Vec<Outcome>,
+    cpu_latency_ms: f64,
+}
+
+impl DifferentialTester {
+    /// Runs the original program on every test (capped at `max_tests`) and
+    /// records the reference outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the original program cannot be executed at all.
+    pub fn new(
+        original: &Program,
+        kernel: &str,
+        tests: &[TestCase],
+        max_tests: usize,
+    ) -> Result<DifferentialTester, String> {
+        let tests: Vec<TestCase> = tests.iter().take(max_tests.max(1)).cloned().collect();
+        if tests.is_empty() {
+            return Err("differential testing needs at least one test".to_string());
+        }
+        let cost = CpuCostModel::new();
+        let mut reference = Vec::with_capacity(tests.len());
+        let mut total_ms = 0.0;
+        for t in &tests {
+            let mut m = Machine::new(original, MachineConfig::cpu())
+                .map_err(|e| format!("reference machine: {e}"))?;
+            let before = m.ops();
+            let out = m.run_kernel(kernel, t);
+            total_ms += cost.latency_ms(m.ops() - before);
+            reference.push(out);
+        }
+        Ok(DifferentialTester {
+            cpu_latency_ms: total_ms / tests.len() as f64,
+            tests,
+            reference,
+        })
+    }
+
+    /// Number of tests in play.
+    pub fn test_count(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Mean CPU latency of the original program over the tests (ms).
+    pub fn cpu_latency_ms(&self) -> f64 {
+        self.cpu_latency_ms
+    }
+
+    /// Simulates a candidate on the FPGA side and compares against the
+    /// reference.
+    pub fn evaluate(&self, candidate: &Program) -> DiffReport {
+        let Ok(sim) = FpgaSimulator::new(candidate) else {
+            return DiffReport {
+                pass_ratio: 0.0,
+                fpga_latency_ms: f64::INFINITY,
+            };
+        };
+        let mut passed = 0usize;
+        let mut latency = 0.0;
+        for (t, want) in self.tests.iter().zip(&self.reference) {
+            let r = sim.run(t);
+            if want.behaviour_eq(&r.outcome) {
+                passed += 1;
+            }
+            latency += r.estimate.latency_ms;
+        }
+        DiffReport {
+            pass_ratio: passed as f64 / self.tests.len() as f64,
+            fpga_latency_ms: latency / self.tests.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic_exec::ArgValue;
+
+    #[test]
+    fn identical_program_passes_all() {
+        let p = minic::parse("int kernel(int x) { return x * 3 + 1; }").unwrap();
+        let tests: Vec<TestCase> = (0..5).map(|i| vec![ArgValue::Int(i)]).collect();
+        let d = DifferentialTester::new(&p, "kernel", &tests, 100).unwrap();
+        let r = d.evaluate(&p);
+        assert_eq!(r.pass_ratio, 1.0);
+        assert!(d.cpu_latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn narrowed_type_fails_on_large_inputs() {
+        let orig = minic::parse("int kernel(int x) { int r = x; return r; }").unwrap();
+        let narrowed =
+            minic::parse("int kernel(int x) { fpga_uint<7> r = x; return r; }").unwrap();
+        let tests: Vec<TestCase> = vec![
+            vec![ArgValue::Int(5)],    // fits 7 bits → identical
+            vec![ArgValue::Int(500)],  // wraps → diverges
+        ];
+        let d = DifferentialTester::new(&orig, "kernel", &tests, 100).unwrap();
+        let r = d.evaluate(&narrowed);
+        assert_eq!(r.pass_ratio, 0.5);
+    }
+
+    #[test]
+    fn caps_test_count() {
+        let p = minic::parse("int kernel(int x) { return x; }").unwrap();
+        let tests: Vec<TestCase> = (0..100).map(|i| vec![ArgValue::Int(i)]).collect();
+        let d = DifferentialTester::new(&p, "kernel", &tests, 10).unwrap();
+        assert_eq!(d.test_count(), 10);
+    }
+
+    #[test]
+    fn unsimulatable_candidate_scores_zero() {
+        let p = minic::parse("int kernel(int x) { return x; }").unwrap();
+        let broken = minic::parse("void helper(int x) { }").unwrap(); // no top
+        let tests: Vec<TestCase> = vec![vec![ArgValue::Int(1)]];
+        let d = DifferentialTester::new(&p, "kernel", &tests, 10).unwrap();
+        assert_eq!(d.evaluate(&broken).pass_ratio, 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Search-based program repair for C-to-HLS transpilation — the core of the
+//! HeteroGen reproduction (paper §5).
+//!
+//! The crate provides:
+//!
+//! * [`classify`] — keyword classification of HLS error messages into the
+//!   six categories of the paper's forum study;
+//! * [`localize`] — per-category repair localization from diagnostics to
+//!   concretized [`templates::RepairEdit`]s (Table 2);
+//! * [`deps`] — the dependence/precedence structure among edits (Fig. 7c);
+//! * [`diff`] — differential testing of candidates against the original;
+//! * [`search`] — the evolutionary repair loop with the style-checker and
+//!   dependence ablations of Figure 9;
+//! * the heavy transforms: recursion-to-stack ([`xform_stack`]), pointer
+//!   removal ([`xform_pointer`]) and struct repairs ([`xform_struct`]).
+
+pub mod classify;
+pub mod deps;
+pub mod diff;
+pub mod localize;
+pub mod search;
+pub mod templates;
+pub mod xform_pointer;
+pub mod xform_stack;
+pub mod xform_struct;
+
+pub use classify::classify_message;
+pub use diff::{DiffReport, DifferentialTester};
+pub use localize::candidate_edits;
+pub use search::{performance_edits, repair, RepairOutcome, SearchConfig, SearchStats};
+pub use templates::{RepairEdit, ResizeTarget};

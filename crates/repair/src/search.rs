@@ -1,0 +1,882 @@
+//! The evolutionary repair search (paper §5.3).
+//!
+//! Starting from the broken initial HLS version, the search repeatedly
+//! expands the fittest candidate with localized edits. Candidates that
+//! violate HLS coding style are rejected *before* the expensive full
+//! compilation (the checker ablation); applicable edits are enumerated in
+//! dependence order (the dependence ablation). Error-free candidates are
+//! differentially tested; divergences trigger `resize` exploration (§6.2);
+//! once behaviour is preserved the search keeps applying
+//! performance-improving edits until the budget expires.
+
+use crate::deps;
+use crate::diff::DifferentialTester;
+use crate::localize::{candidate_edits, resize_edits};
+use crate::templates::{RepairEdit, ResizeTarget};
+use hls_sim::{check_style, CompileCostModel, ErrorCategory, HlsDiagnostic, SimClock};
+use minic::ast::PragmaKind;
+use minic::Program;
+use minic_exec::Profile;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use testgen::TestCase;
+
+/// Search configuration (including the two Figure 9 ablation switches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Simulated-minute budget (the paper's default terminating limit is
+    /// three hours; `WithoutDependence` runs against a 12-hour limit).
+    pub budget_min: f64,
+    /// `false` = the `WithoutChecker` ablation: every candidate goes
+    /// straight to full compilation.
+    pub use_style_checker: bool,
+    /// `false` = the `WithoutDependence` ablation: edits are drawn in
+    /// random order from an unstructured pool.
+    pub use_dependence: bool,
+    /// RNG seed (relevant to the random ablation).
+    pub rng_seed: u64,
+    /// Cap on tests used per differential evaluation.
+    pub max_diff_tests: usize,
+    /// Keep applying performance edits after success.
+    pub explore_performance: bool,
+    /// Cap on expansions per popped candidate.
+    pub max_expansions: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            budget_min: 180.0,
+            use_style_checker: true,
+            use_dependence: true,
+            rng_seed: 7,
+            max_diff_tests: 48,
+            explore_performance: true,
+            max_expansions: 24,
+        }
+    }
+}
+
+/// Counters the Figure 9 ablations report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SearchStats {
+    /// Edits attempted (including inapplicable ones).
+    pub attempts: u64,
+    /// Edits that were structurally inapplicable (free rejections).
+    pub inapplicable: u64,
+    /// Style checks performed.
+    pub style_checks: u64,
+    /// Candidates rejected by the style checker (compilations avoided).
+    pub style_rejects: u64,
+    /// Full HLS compilations performed.
+    pub full_compiles: u64,
+    /// Differential-simulation batches performed.
+    pub simulations: u64,
+    /// Simulated minutes consumed (full budget including performance
+    /// exploration).
+    pub elapsed_min: f64,
+    /// Simulated minutes until the first fully-repaired, behaviour-
+    /// preserving candidate (the Figure 9 repair-time metric); `None`
+    /// when no success was found within budget.
+    pub first_success_min: Option<f64>,
+}
+
+impl SearchStats {
+    /// Fraction of compile-worthy attempts that actually invoked the full
+    /// HLS toolchain (the black bars of Figure 9).
+    pub fn hls_invocation_ratio(&self) -> f64 {
+        let reached_style_or_compile = self.full_compiles + self.style_rejects;
+        if reached_style_or_compile == 0 {
+            return 0.0;
+        }
+        self.full_compiles as f64 / reached_style_or_compile as f64
+    }
+}
+
+/// The result of a repair run.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The best program found.
+    pub program: Program,
+    /// All compatibility errors fixed *and* all tests behave identically.
+    pub success: bool,
+    /// Test pass ratio of the returned program.
+    pub pass_ratio: f64,
+    /// Mean FPGA latency of the returned program (ms).
+    pub fpga_latency_ms: f64,
+    /// Mean CPU latency of the original program (ms).
+    pub cpu_latency_ms: f64,
+    /// Whether the FPGA version beats the CPU original.
+    pub improved: bool,
+    /// Edit-family names applied along the winning path.
+    pub applied: Vec<String>,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+#[derive(Clone)]
+struct Candidate {
+    program: Program,
+    applied: Vec<String>,
+    diags: Vec<HlsDiagnostic>,
+    pass_ratio: Option<f64>,
+    latency: Option<f64>,
+}
+
+impl Candidate {
+    /// Lower is better: (errors, failing fraction, latency).
+    fn fitness(&self) -> (usize, u64, u64) {
+        let fail = ((1.0 - self.pass_ratio.unwrap_or(0.0)) * 1e6) as u64;
+        let lat = (self.latency.unwrap_or(f64::MAX / 2.0) * 1e6) as u64;
+        (self.diags.len(), fail, lat)
+    }
+}
+
+/// Full "compilation": the synthesizability check plus style violations
+/// (a real toolchain rejects both; the cheap pre-pass only sees the
+/// latter's subset).
+fn full_compile(p: &Program) -> Vec<HlsDiagnostic> {
+    let mut diags = hls_sim::check_program(p);
+    for v in check_style(p) {
+        diags.push(HlsDiagnostic::new(
+            "STYLE",
+            v.message.clone(),
+            ErrorCategory::LoopParallelization,
+        ));
+    }
+    diags
+}
+
+/// Runs the repair search.
+///
+/// `original` is the reference for differential testing; `broken` is the
+/// initial HLS version (estimated types); `kernel` the kernel function
+/// name; `tests` the generated suite; `profile` the execution profile from
+/// test generation.
+///
+/// # Errors
+///
+/// Fails when the reference itself cannot be executed.
+pub fn repair(
+    original: &Program,
+    broken: Program,
+    kernel: &str,
+    tests: &[TestCase],
+    profile: &Profile,
+    cfg: &SearchConfig,
+) -> Result<RepairOutcome, String> {
+    let costs = CompileCostModel::default();
+    let mut clock = SimClock::with_budget(cfg.budget_min);
+    let mut stats = SearchStats::default();
+    let mut rng = SmallRng::seed_from_u64(cfg.rng_seed);
+
+    let tester = DifferentialTester::new(original, kernel, tests, cfg.max_diff_tests)?;
+    clock.advance(costs.cpu_tests(tester.test_count()));
+
+    // Compile the initial version.
+    clock.advance(costs.full_compile(&broken));
+    stats.full_compiles += 1;
+    let diags0 = full_compile(&broken);
+    let mut frontier: Vec<Candidate> = vec![Candidate {
+        program: broken,
+        applied: Vec::new(),
+        diags: diags0,
+        pass_ratio: None,
+        latency: None,
+    }];
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut best: Option<Candidate> = None;
+
+    while !clock.expired() {
+        // Pop the fittest candidate.
+        let Some(idx) = frontier
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.fitness())
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let mut cand = frontier.swap_remove(idx);
+
+        // Error-free candidates are differentially tested.
+        if cand.diags.is_empty() && cand.pass_ratio.is_none() {
+            clock.advance(costs.simulate(tester.test_count()));
+            stats.simulations += 1;
+            let report = tester.evaluate(&cand.program);
+            cand.pass_ratio = Some(report.pass_ratio);
+            cand.latency = Some(report.fpga_latency_ms);
+            if report.pass_ratio == 1.0 {
+                if stats.first_success_min.is_none() {
+                    stats.first_success_min = Some(clock.elapsed_min());
+                }
+                let better = match &best {
+                    Some(b) => report.fpga_latency_ms < b.latency.unwrap_or(f64::MAX),
+                    None => true,
+                };
+                if better {
+                    best = Some(cand.clone());
+                }
+                if !cfg.explore_performance {
+                    break;
+                }
+            }
+        }
+
+        // Enumerate edits for this candidate.
+        let mut edits: Vec<RepairEdit> = if cand.diags.is_empty() {
+            if cand.pass_ratio.unwrap_or(0.0) < 1.0 {
+                // Divergence: explore larger finitization sizes (§6.2).
+                resize_edits(&cand.program)
+            } else {
+                performance_edits(&cand.program)
+            }
+        } else {
+            candidate_edits(&cand.program, &cand.diags, profile)
+        };
+        let perf_phase = cand.diags.is_empty() && cand.pass_ratio.unwrap_or(0.0) >= 1.0;
+        if cfg.use_dependence {
+            edits.retain(|e| deps::satisfied(e.kind(), &cand.applied));
+            if !perf_phase {
+                edits.sort_by_key(|e| deps::dependence_rank(e.kind()));
+            }
+            // Performance exploration keeps a narrow beam (the edits are
+            // already benefit-ordered) so the compile budget reaches
+            // multi-pragma combinations on the hot loops.
+            edits.truncate(if perf_phase { 10 } else { cfg.max_expansions });
+        } else {
+            // The ablation: no dependence structure — each expansion is a
+            // handful of *random* draws from an unstructured pool (localized
+            // candidates mixed with arbitrary edits), so coordinated
+            // multi-edit chains are only found by luck (paper §6.3: the
+            // naïve probability of selecting ➌ given ➊ is 1/10).
+            edits.extend(random_noise_edits(&cand.program, &mut rng, 24));
+            edits.shuffle(&mut rng);
+            edits.truncate(3);
+        }
+
+        // The repair phase expands siblings (alternative fixes compete);
+        // the performance phase chains edits cumulatively — "each iteration
+        // applies a number of edits to the current program version" — so a
+        // bounded compile budget stacks pragmas on many loops.
+        let chain = perf_phase && cfg.use_dependence;
+        let mut base_prog = cand.program.clone();
+        let mut base_applied = cand.applied.clone();
+        for edit in edits {
+            if clock.expired() {
+                break;
+            }
+            stats.attempts += 1;
+            let Some(child_prog) = edit.apply(&base_prog) else {
+                stats.inapplicable += 1;
+                continue;
+            };
+            // Dedup on source *and* design config (the config carries the
+            // top-function name and clock, which the printer may not).
+            let key = format!("{:?}\n{}", child_prog.config, minic::print_program(&child_prog));
+            if !seen.insert(key) {
+                continue;
+            }
+            if cfg.use_style_checker {
+                clock.advance(costs.style_check(&child_prog));
+                stats.style_checks += 1;
+                if !check_style(&child_prog).is_empty() {
+                    stats.style_rejects += 1;
+                    continue;
+                }
+            }
+            clock.advance(costs.full_compile(&child_prog));
+            stats.full_compiles += 1;
+            let child_diags = full_compile(&child_prog);
+            // Regressions (strictly more errors) are dropped.
+            if child_diags.len() > cand.diags.len() && !cand.diags.is_empty() {
+                continue;
+            }
+            let mut applied = base_applied.clone();
+            applied.push(edit.kind().to_string());
+            if chain && child_diags.is_empty() {
+                base_prog = child_prog.clone();
+                base_applied = applied.clone();
+            }
+            frontier.push(Candidate {
+                program: child_prog,
+                applied,
+                diags: child_diags,
+                pass_ratio: None,
+                latency: None,
+            });
+        }
+
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    stats.elapsed_min = clock.elapsed_min();
+    let cpu_ms = tester.cpu_latency_ms();
+    match best {
+        Some(b) => {
+            let lat = b.latency.unwrap_or(f64::INFINITY);
+            Ok(RepairOutcome {
+                program: b.program,
+                success: true,
+                pass_ratio: 1.0,
+                fpga_latency_ms: lat,
+                cpu_latency_ms: cpu_ms,
+                improved: lat < cpu_ms,
+                applied: b.applied,
+                stats,
+            })
+        }
+        None => {
+            // Return the fittest incomplete candidate with generated tests
+            // to guide manual repair (paper §1).
+            let fallback = frontier
+                .into_iter()
+                .min_by_key(|c| c.fitness());
+            let (program, applied, pass) = match fallback {
+                Some(c) => (c.program, c.applied, c.pass_ratio.unwrap_or(0.0)),
+                None => (original.clone(), Vec::new(), 0.0),
+            };
+            Ok(RepairOutcome {
+                program,
+                success: false,
+                pass_ratio: pass,
+                fpga_latency_ms: f64::INFINITY,
+                cpu_latency_ms: cpu_ms,
+                improved: false,
+                applied,
+                stats,
+            })
+        }
+    }
+}
+
+/// Performance-improving edits for an already-correct design: pragma
+/// exploration over loops and arrays (the paper's primary source of
+/// speedups, §6.1).
+///
+/// Edits are ordered by expected benefit — loop body weight × estimated
+/// trip count, heaviest first — so a bounded compile budget reaches the hot
+/// loops. Each loop's group also contains deliberately invalid placements
+/// (function-body head, dataflow inside a loop): they are part of the
+/// explored space and exist to be pruned by the cheap style checker (§5.3).
+pub fn performance_edits(p: &Program) -> Vec<RepairEdit> {
+    let Some(top) = p.top_function_name().map(str::to_string) else {
+        return Vec::new();
+    };
+    // The top function, everything it calls directly, and the methods of
+    // structs it instantiates.
+    let mut funcs: Vec<String> = vec![top.clone()];
+    let mut structs: Vec<String> = Vec::new();
+    if let Some(f) = p.function(&top) {
+        minic::visit::visit_function_exprs(f, &mut |e| {
+            match &e.kind {
+                minic::ast::ExprKind::Call(n, _) => {
+                    if p.function(n).is_some() && !funcs.contains(n) {
+                        funcs.push(n.clone());
+                    }
+                }
+                minic::ast::ExprKind::StructLit(n, _) => {
+                    if !structs.contains(n) {
+                        structs.push(n.clone());
+                    }
+                }
+                _ => {}
+            }
+        });
+    }
+
+    // (score, edits-for-this-loop) groups.
+    let mut groups: Vec<(f64, Vec<RepairEdit>)> = Vec::new();
+
+    let mut add_function_loops = |fname: &str, f: &minic::ast::Function, method_of: Option<&str>| {
+        let parts = hls_sim::check::partition_factors(f);
+        for (i, l) in hls_sim::check::collect_loops(p, f).iter().enumerate() {
+            let w = hls_sim::schedule::loop_weight(p, f, l.id).unwrap_or(4.0);
+            let trips = l.static_trip.unwrap_or(16) as f64;
+            let score = w * trips;
+            let has_pipeline = l
+                .pragmas
+                .iter()
+                .any(|pk| matches!(pk, PragmaKind::Pipeline { .. }));
+            let has_unroll = l
+                .pragmas
+                .iter()
+                .any(|pk| matches!(pk, PragmaKind::Unroll { .. }));
+            let mut edits = Vec::new();
+            let mk = |loop_index: Option<usize>, pragma: PragmaKind| match method_of {
+                Some(sname) => RepairEdit::InsertPragmaInMethod {
+                    struct_name: sname.to_string(),
+                    method: fname.to_string(),
+                    loop_index: loop_index.unwrap_or(i),
+                    pragma,
+                },
+                None => RepairEdit::InsertPragma {
+                    function: fname.to_string(),
+                    loop_index,
+                    pragma,
+                },
+            };
+            if !has_pipeline {
+                edits.push(mk(Some(i), PragmaKind::Pipeline { ii: Some(1) }));
+                if method_of.is_none() {
+                    // Invalid placements the style checker prunes cheaply.
+                    edits.push(RepairEdit::InsertPragma {
+                        function: fname.to_string(),
+                        loop_index: None,
+                        pragma: PragmaKind::Pipeline { ii: Some(1) },
+                    });
+                    edits.push(mk(Some(i), PragmaKind::Dataflow));
+                }
+            }
+            if !has_unroll && l.static_trip.is_some() && method_of.is_none() {
+                for factor in [8u32, 4, 2] {
+                    edits.push(mk(
+                        Some(i),
+                        PragmaKind::Unroll {
+                            factor: Some(factor),
+                        },
+                    ));
+                }
+                edits.push(RepairEdit::InsertPragma {
+                    function: fname.to_string(),
+                    loop_index: None,
+                    pragma: PragmaKind::Unroll { factor: Some(2) },
+                });
+            }
+            // Partition the arrays the loop touches so unrolling has ports.
+            if method_of.is_none() {
+                for arr in &l.arrays_accessed {
+                    if parts.contains_key(arr) {
+                        continue;
+                    }
+                    if let Some(minic::types::Type::Array(_, size)) =
+                        minic::edit::declared_type(p, Some(fname), arr)
+                    {
+                        if let Some(extent) = minic::edit::resolve_array_size(p, &size) {
+                            for factor in [8u32, 4, 2] {
+                                if extent % factor as u64 == 0 {
+                                    edits.push(RepairEdit::InsertPragma {
+                                        function: fname.to_string(),
+                                        loop_index: None,
+                                        pragma: PragmaKind::ArrayPartition {
+                                            var: arr.clone(),
+                                            factor,
+                                            dim: 1,
+                                            complete: false,
+                                        },
+                                    });
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !edits.is_empty() {
+                groups.push((score, edits));
+            }
+        }
+    };
+
+    for fname in &funcs {
+        if let Some(f) = p.function(fname) {
+            add_function_loops(fname, f, None);
+        }
+    }
+    for sname in &structs {
+        if let Some(def) = p.struct_def(sname) {
+            for m in &def.methods {
+                add_function_loops(&m.name, m, Some(sname));
+            }
+        }
+    }
+
+    groups.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<RepairEdit> = groups.into_iter().flat_map(|(_, e)| e).collect();
+
+    // Dataflow when the top function runs several tasks in sequence —
+    // highest leverage of all, so it goes first.
+    if let Some(f) = p.function(&top) {
+        if let Some(body) = &f.body {
+            let has_dataflow = body.stmts.iter().any(
+                |s| matches!(&s.kind, minic::ast::StmtKind::Pragma(pr) if pr.kind == PragmaKind::Dataflow),
+            );
+            let task_calls = body
+                .stmts
+                .iter()
+                .filter(|s| {
+                    matches!(
+                        &s.kind,
+                        minic::ast::StmtKind::Expr(e)
+                            if matches!(&e.kind, minic::ast::ExprKind::Call(n, _) if p.function(n).is_some())
+                    )
+                })
+                .count();
+            if !has_dataflow && task_calls >= 2 {
+                out.insert(
+                    0,
+                    RepairEdit::InsertPragma {
+                        function: top,
+                        loop_index: None,
+                        pragma: PragmaKind::Dataflow,
+                    },
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Unstructured edits for the `WithoutDependence` ablation: random pragma
+/// toggles, random retypes, random pads and random resizes. Most apply
+/// cleanly and compile — wasting a full HLS compilation each — without
+/// advancing the repair, which is exactly the cost structure the paper's
+/// ablation measures.
+fn random_noise_edits(p: &Program, rng: &mut SmallRng, n: usize) -> Vec<RepairEdit> {
+    let funcs: Vec<String> = p.functions().map(|f| f.name.clone()).collect();
+    if funcs.is_empty() {
+        return Vec::new();
+    }
+    // Arrays and integer locals make good targets for useless-but-valid
+    // parameter exploration.
+    let mut arrays: Vec<(String, String, u64)> = Vec::new();
+    let mut int_locals: Vec<(String, String)> = Vec::new();
+    for f in p.functions() {
+        let fname = f.name.clone();
+        if let Some(body) = &f.body {
+            for s in &body.stmts {
+                minic::visit::walk_stmt(s, &mut |s| {
+                    if let minic::ast::StmtKind::Decl(d) = &s.kind {
+                        match &d.ty {
+                            minic::types::Type::Array(_, size) => {
+                                if let Some(ext) = minic::edit::resolve_array_size(p, size) {
+                                    arrays.push((fname.clone(), d.name.clone(), ext));
+                                }
+                            }
+                            t if t.is_integer() => {
+                                int_locals.push((fname.clone(), d.name.clone()));
+                            }
+                            _ => {}
+                        }
+                    }
+                });
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let f = funcs[rng.gen_range(0..funcs.len())].clone();
+        let edit = match rng.gen_range(0u8..8) {
+            6 => match arrays.choose(rng) {
+                Some((func, var, ext)) => RepairEdit::PadArray {
+                    var: var.clone(),
+                    function: Some(func.clone()),
+                    new_size: ext + rng.gen_range(1..=3) * 4,
+                },
+                None => continue,
+            },
+            7 => match int_locals.choose(rng) {
+                Some((func, var)) => RepairEdit::TypeTrans {
+                    var: var.clone(),
+                    function: Some(func.clone()),
+                    to: minic::types::Type::FpgaInt {
+                        bits: rng.gen_range(33..=48),
+                        signed: true,
+                    },
+                },
+                None => continue,
+            },
+            roll => match roll {
+            0 => RepairEdit::InsertPragma {
+                function: f,
+                loop_index: Some(rng.gen_range(0..3)),
+                pragma: match rng.gen_range(0u8..3) {
+                    0 => PragmaKind::Unroll {
+                        factor: Some(*[2u32, 7, 13, 50].choose(rng).unwrap()),
+                    },
+                    1 => PragmaKind::Pipeline {
+                        ii: Some(rng.gen_range(1..4)),
+                    },
+                    _ => PragmaKind::Dataflow,
+                },
+            },
+            1 => RepairEdit::InsertPragma {
+                function: f,
+                loop_index: None,
+                pragma: PragmaKind::Dataflow,
+            },
+            2 => RepairEdit::DeletePragma {
+                function: f,
+                kind: ["unroll", "pipeline", "dataflow"][rng.gen_range(0..3)].to_string(),
+            },
+            3 => RepairEdit::ReplacePragmaFactor {
+                function: f,
+                kind: "unroll".to_string(),
+                var: None,
+                value: *[3u32, 5, 6, 12, 50].choose(rng).unwrap(),
+            },
+            4 => {
+                let defines: Vec<String> = p
+                    .items
+                    .iter()
+                    .filter_map(|i| match i {
+                        minic::ast::Item::Define(n, _) => Some(n.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                match defines.choose(rng) {
+                    Some(d) => RepairEdit::Resize {
+                        target: ResizeTarget::Define(d.clone()),
+                        factor: *[2u64, 3].choose(rng).unwrap(),
+                    },
+                    None => continue,
+                }
+            }
+                _ => RepairEdit::SetTop {
+                    name: funcs[rng.gen_range(0..funcs.len())].clone(),
+                },
+            },
+        };
+        out.push(edit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic_exec::ArgValue;
+
+    fn quick_cfg() -> SearchConfig {
+        SearchConfig {
+            budget_min: 500.0,
+            max_diff_tests: 8,
+            explore_performance: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn repairs_unknown_size_array() {
+        let src = r#"
+            void kernel(int out[16], int n) {
+                int buf[n];
+                for (int i = 0; i < n; i++) { buf[i] = i * 2; }
+                for (int i = 0; i < n; i++) { out[i] = buf[i]; }
+            }
+        "#;
+        let p = minic::parse(src).unwrap();
+        let mut profile = Profile::new();
+        profile.record_index("kernel", "buf", 15);
+        let tests: Vec<TestCase> = (1..=4)
+            .map(|i| vec![ArgValue::IntArray(vec![0; 16]), ArgValue::Int(i * 4)])
+            .collect();
+        let out = repair(&p, p.clone(), "kernel", &tests, &profile, &quick_cfg()).unwrap();
+        assert!(out.success, "applied: {:?}", out.applied);
+        assert!(out.applied.contains(&"array_static".to_string()));
+        assert!(hls_sim::check_program(&out.program).is_empty());
+    }
+
+    #[test]
+    fn repairs_long_double() {
+        let src = "int kernel(int x) { long double y = x; y = y + 1; return y; }";
+        let p = minic::parse(src).unwrap();
+        let tests: Vec<TestCase> = (0..4).map(|i| vec![ArgValue::Int(i * 7)]).collect();
+        let out = repair(
+            &p,
+            p.clone(),
+            "kernel",
+            &tests,
+            &Profile::new(),
+            &quick_cfg(),
+        )
+        .unwrap();
+        assert!(out.success, "applied: {:?}", out.applied);
+        assert!(out.applied.contains(&"type_trans".to_string()));
+    }
+
+    #[test]
+    fn repairs_struct_error_via_figure7_chain() {
+        let src = r#"
+            struct If2 {
+                hls::stream<unsigned> &in;
+                hls::stream<unsigned> &out;
+                void do1() { out.write(in.read() + 1u); }
+            };
+            void kernel(hls::stream<unsigned> &in, hls::stream<unsigned> &out) {
+            #pragma HLS dataflow
+                hls::stream<unsigned> tmp;
+                If2{in, tmp}.do1();
+                If2{tmp, out}.do1();
+            }
+        "#;
+        let p = minic::parse(src).unwrap();
+        let tests: Vec<TestCase> = (0..4)
+            .map(|i| {
+                vec![
+                    ArgValue::IntStream(vec![i, i + 1, i + 2]),
+                    ArgValue::IntStream(vec![]),
+                ]
+            })
+            .collect();
+        let out = repair(
+            &p,
+            p.clone(),
+            "kernel",
+            &tests,
+            &Profile::new(),
+            &quick_cfg(),
+        )
+        .unwrap();
+        assert!(out.success, "applied: {:?}", out.applied);
+        // Either Figure 7 branch is acceptable.
+        let a = &out.applied;
+        assert!(
+            (a.contains(&"constructor".to_string()) && a.contains(&"stream_static".to_string()))
+                || (a.contains(&"flatten".to_string())
+                    && a.contains(&"inst_update".to_string())),
+            "applied: {a:?}"
+        );
+    }
+
+    #[test]
+    fn repairs_recursion_with_stack_and_resize_on_divergence() {
+        let src = r#"
+            #define N 32
+            int buf[N];
+            void walk(int i) {
+                if (i >= 31) { return; }
+                walk(i + 1);
+                buf[i] = buf[i] + buf[i + 1];
+            }
+            void kernel(int a[32]) {
+                for (int i = 0; i < 32; i++) { buf[i] = a[i]; }
+                walk(0);
+                for (int i = 0; i < 32; i++) { a[i] = buf[i]; }
+            }
+        "#;
+        let p = minic::parse(src).unwrap();
+        // Deliberately under-profiled depth: the first stack size (based on
+        // depth 8) is too small, differential testing catches the wrap, and
+        // `resize` must fire.
+        let mut profile = Profile::new();
+        profile.record_depth("walk", 8);
+        let tests: Vec<TestCase> = (0..3)
+            .map(|k| vec![ArgValue::IntArray((0..32).map(|i| i + k).collect())])
+            .collect();
+        let out = repair(&p, p.clone(), "kernel", &tests, &profile, &quick_cfg()).unwrap();
+        assert!(out.success, "applied: {:?}", out.applied);
+        assert!(out.applied.contains(&"stack_trans".to_string()));
+        assert!(
+            out.applied.contains(&"resize".to_string()),
+            "resize must repair the undersized stack: {:?}",
+            out.applied
+        );
+    }
+
+    #[test]
+    fn performance_exploration_improves_latency() {
+        let src = r#"
+            void kernel(int a[64]) {
+                for (int i = 0; i < 64; i++) {
+                    a[i] = a[i] * 3 + 1;
+                }
+            }
+        "#;
+        let p = minic::parse(src).unwrap();
+        let tests: Vec<TestCase> = (0..3)
+            .map(|k| vec![ArgValue::IntArray((0..64).map(|i| i * k).collect())])
+            .collect();
+        let mut cfg = quick_cfg();
+        cfg.explore_performance = true;
+        cfg.budget_min = 300.0;
+        let out = repair(&p, p.clone(), "kernel", &tests, &Profile::new(), &cfg).unwrap();
+        assert!(out.success);
+        assert!(
+            out.applied.iter().any(|k| k == "insert_pragma"),
+            "expected pragma exploration, applied: {:?}",
+            out.applied
+        );
+        assert!(out.improved, "fpga {} vs cpu {}", out.fpga_latency_ms, out.cpu_latency_ms);
+    }
+
+    #[test]
+    fn without_dependence_is_slower() {
+        let src = r#"
+            struct If2 {
+                hls::stream<unsigned> &in;
+                hls::stream<unsigned> &out;
+                void do1() { out.write(in.read() + 1u); }
+            };
+            void kernel(hls::stream<unsigned> &in, hls::stream<unsigned> &out) {
+            #pragma HLS dataflow
+                hls::stream<unsigned> tmp;
+                If2{in, tmp}.do1();
+                If2{tmp, out}.do1();
+            }
+        "#;
+        let p = minic::parse(src).unwrap();
+        let tests: Vec<TestCase> = (0..3)
+            .map(|i| {
+                vec![
+                    ArgValue::IntStream(vec![i, i + 5]),
+                    ArgValue::IntStream(vec![]),
+                ]
+            })
+            .collect();
+        let with = repair(
+            &p,
+            p.clone(),
+            "kernel",
+            &tests,
+            &Profile::new(),
+            &quick_cfg(),
+        )
+        .unwrap();
+        assert!(with.success);
+        let t_with = with.stats.first_success_min.unwrap();
+        // The random ablation's time-to-success varies by seed; on average
+        // it must not beat the dependence-guided search.
+        let mut total_without = 0.0;
+        let mut failures = 0;
+        for seed in 0..4u64 {
+            let mut cfg = quick_cfg();
+            cfg.use_dependence = false;
+            cfg.budget_min = 720.0;
+            cfg.rng_seed = seed;
+            let without =
+                repair(&p, p.clone(), "kernel", &tests, &Profile::new(), &cfg).unwrap();
+            match without.stats.first_success_min {
+                Some(t) => total_without += t,
+                None => {
+                    failures += 1;
+                    total_without += 720.0;
+                }
+            }
+        }
+        let mean_without = total_without / 4.0;
+        assert!(
+            mean_without >= t_with || failures > 0,
+            "dependence-guided search must be faster on average: {t_with} vs {mean_without}"
+        );
+    }
+
+    #[test]
+    fn without_checker_compiles_more() {
+        let src = "void kernel(int n) { int buf[n]; for (int i = 0; i < n; i++) { buf[i] = i; } }";
+        let p = minic::parse(src).unwrap();
+        let tests: Vec<TestCase> = vec![vec![ArgValue::Int(3)]];
+        let mut profile = Profile::new();
+        profile.record_index("kernel", "buf", 7);
+        let with = repair(&p, p.clone(), "kernel", &tests, &profile, &quick_cfg()).unwrap();
+        let mut cfg = quick_cfg();
+        cfg.use_style_checker = false;
+        let without = repair(&p, p.clone(), "kernel", &tests, &profile, &cfg).unwrap();
+        assert!(with.success && without.success);
+        assert_eq!(without.stats.style_checks, 0);
+    }
+}

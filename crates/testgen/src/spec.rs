@@ -1,0 +1,216 @@
+//! Kernel argument specifications derived from the kernel signature.
+//!
+//! The paper's test generator "analyzes the argument types used in the
+//! kernel function and inserts additional type checkers in the fuzzing loop"
+//! (Alg. 1 line 5) so that mutated inputs stay HLS-type-valid and exercise
+//! kernel logic instead of dying at the entry. An [`ArgSpec`] is that type
+//! checker: it bounds scalar ranges by declared bit width and pins array
+//! extents to declared sizes.
+
+use minic::types::Type;
+use minic::Program;
+use minic_exec::ArgValue;
+
+/// The fuzzable shape of one kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgSpec {
+    /// Integer scalar with the declared width/signedness.
+    Int {
+        /// Bit width of the declared type.
+        bits: u16,
+        /// Signedness of the declared type.
+        signed: bool,
+    },
+    /// Floating-point scalar.
+    Float,
+    /// Integer array.
+    IntArray {
+        /// Element bit width.
+        bits: u16,
+        /// Element signedness.
+        signed: bool,
+        /// Fixed extent (declared size), or `None` for unknown-size arrays.
+        len: Option<usize>,
+    },
+    /// Floating-point array.
+    FloatArray {
+        /// Fixed extent, or `None` for unknown-size arrays.
+        len: Option<usize>,
+    },
+    /// Integer input stream.
+    IntStream {
+        /// Element bit width.
+        bits: u16,
+        /// Element signedness.
+        signed: bool,
+    },
+}
+
+impl ArgSpec {
+    /// The inclusive integer range valid for this spec's element type.
+    pub fn int_range(&self) -> (i128, i128) {
+        let (bits, signed) = match self {
+            ArgSpec::Int { bits, signed }
+            | ArgSpec::IntArray { bits, signed, .. }
+            | ArgSpec::IntStream { bits, signed } => (*bits, *signed),
+            _ => (64, true),
+        };
+        let bits = bits.clamp(1, 63) as u32;
+        if signed {
+            (-(1i128 << (bits - 1)), (1i128 << (bits - 1)) - 1)
+        } else {
+            (0, (1i128 << bits) - 1)
+        }
+    }
+
+    /// Clamps a candidate integer into the valid range (the "type checker"
+    /// of Alg. 1).
+    pub fn clamp_int(&self, v: i128) -> i128 {
+        let (lo, hi) = self.int_range();
+        v.clamp(lo, hi)
+    }
+
+    /// Whether an [`ArgValue`] conforms to this spec.
+    pub fn accepts(&self, v: &ArgValue) -> bool {
+        let (lo, hi) = self.int_range();
+        match (self, v) {
+            (ArgSpec::Int { .. }, ArgValue::Int(x)) => (lo..=hi).contains(x),
+            (ArgSpec::Float, ArgValue::Float(x)) => x.is_finite(),
+            (ArgSpec::IntArray { len, .. }, ArgValue::IntArray(xs)) => {
+                len.map(|n| xs.len() == n).unwrap_or(!xs.is_empty())
+                    && xs.iter().all(|x| (lo..=hi).contains(x))
+            }
+            (ArgSpec::FloatArray { len }, ArgValue::FloatArray(xs)) => {
+                len.map(|n| xs.len() == n).unwrap_or(!xs.is_empty())
+                    && xs.iter().all(|x| x.is_finite())
+            }
+            (ArgSpec::IntStream { .. }, ArgValue::IntStream(xs)) => {
+                xs.iter().all(|x| (lo..=hi).contains(x))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Derives the argument specs of a kernel from its signature.
+///
+/// # Errors
+///
+/// Returns a message when the kernel is missing or a parameter type is not
+/// fuzzable (e.g. a struct parameter).
+pub fn kernel_specs(p: &Program, kernel: &str) -> Result<Vec<ArgSpec>, String> {
+    let f = p
+        .function(kernel)
+        .ok_or_else(|| format!("kernel `{kernel}` not found"))?;
+    let mut specs = Vec::new();
+    let resolver = |n: &str| p.typedef(n).cloned();
+    for par in &f.params {
+        let ty = par.ty.resolve_named(&resolver);
+        let spec = match &ty {
+            Type::Bool => ArgSpec::Int {
+                bits: 1,
+                signed: false,
+            },
+            t if t.is_integer() => ArgSpec::Int {
+                bits: t.int_bits().unwrap_or(32),
+                signed: t.int_signed().unwrap_or(true),
+            },
+            t if t.is_float() => ArgSpec::Float,
+            Type::Array(elem, _) | Type::Pointer(elem) => {
+                let len = match &ty {
+                    Type::Array(_, size) => match size {
+                        minic::types::ArraySize::Const(n) => Some(*n as usize),
+                        minic::types::ArraySize::Named(n) => {
+                            p.define(n).map(|v| v as usize)
+                        }
+                        minic::types::ArraySize::Runtime(_)
+                        | minic::types::ArraySize::Unknown => None,
+                    },
+                    _ => None,
+                };
+                if elem.is_float() {
+                    ArgSpec::FloatArray { len }
+                } else {
+                    ArgSpec::IntArray {
+                        bits: elem.int_bits().unwrap_or(32),
+                        signed: elem.int_signed().unwrap_or(true),
+                        len,
+                    }
+                }
+            }
+            Type::Stream(elem) => ArgSpec::IntStream {
+                bits: elem.int_bits().unwrap_or(32),
+                signed: elem.int_signed().unwrap_or(false),
+            },
+            other => {
+                return Err(format!(
+                    "parameter `{}` of type `{other}` is not fuzzable",
+                    par.name
+                ))
+            }
+        };
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_specs_from_signature() {
+        let p = minic::parse(
+            "void kernel(int n, float x, int a[8], float b[], hls::stream<unsigned> &s) { }",
+        )
+        .unwrap();
+        let specs = kernel_specs(&p, "kernel").unwrap();
+        assert_eq!(specs.len(), 5);
+        assert_eq!(
+            specs[0],
+            ArgSpec::Int {
+                bits: 32,
+                signed: true
+            }
+        );
+        assert_eq!(specs[1], ArgSpec::Float);
+        assert_eq!(
+            specs[2],
+            ArgSpec::IntArray {
+                bits: 32,
+                signed: true,
+                len: Some(8)
+            }
+        );
+        assert_eq!(specs[3], ArgSpec::FloatArray { len: None });
+        assert!(matches!(specs[4], ArgSpec::IntStream { .. }));
+    }
+
+    #[test]
+    fn fpga_types_bound_the_range() {
+        let p = minic::parse("void kernel(fpga_uint<7> x) { }").unwrap();
+        let specs = kernel_specs(&p, "kernel").unwrap();
+        assert_eq!(specs[0].int_range(), (0, 127));
+        assert_eq!(specs[0].clamp_int(500), 127);
+        assert_eq!(specs[0].clamp_int(-2), 0);
+    }
+
+    #[test]
+    fn accepts_checks_shape_and_range() {
+        let spec = ArgSpec::IntArray {
+            bits: 8,
+            signed: false,
+            len: Some(3),
+        };
+        assert!(spec.accepts(&ArgValue::IntArray(vec![0, 255, 7])));
+        assert!(!spec.accepts(&ArgValue::IntArray(vec![0, 256, 7])), "out of range");
+        assert!(!spec.accepts(&ArgValue::IntArray(vec![0, 1])), "wrong length");
+        assert!(!spec.accepts(&ArgValue::Int(1)), "wrong shape");
+    }
+
+    #[test]
+    fn missing_kernel_is_an_error() {
+        let p = minic::parse("void f() { }").unwrap();
+        assert!(kernel_specs(&p, "kernel").is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! The paper's §3 working example: a binary-tree kernel with dynamic memory
+//! management and recursion (Figure 2).
+//!
+//! ```text
+//! cargo run --release --example binary_tree
+//! ```
+//!
+//! The HLS compiler rejects the original three ways: `malloc` (dynamic
+//! memory), pointer-typed helpers, and the recursive traversal. HeteroGen
+//! applies the array-replacement edit (`Node_malloc` over a backing
+//! `Node_arr`), the pointer-removal edit (`Node*` → `Node_ptr` indices), and
+//! the stack-replacement edit (recursion → explicit stack), then explores
+//! sizes and pragmas — the exact sequence of Figure 2b/2c.
+
+use heterogen_core::{HeteroGen, PipelineConfig};
+
+/// A BST build-and-sum kernel in the shape of the paper's Figure 2a.
+const BINARY_TREE: &str = r#"
+struct Node {
+    int val;
+    struct Node* left;
+    struct Node* right;
+};
+
+int bt_sum;
+
+void insert(struct Node* root, int v) {
+    struct Node* cur = root;
+    while (1) {
+        if (v < cur->val) {
+            if (cur->left == 0) {
+                struct Node* n = (struct Node*)malloc(sizeof(struct Node));
+                n->val = v;
+                n->left = 0;
+                n->right = 0;
+                cur->left = n;
+                return;
+            }
+            cur = cur->left;
+        } else {
+            if (cur->right == 0) {
+                struct Node* n = (struct Node*)malloc(sizeof(struct Node));
+                n->val = v;
+                n->left = 0;
+                n->right = 0;
+                cur->right = n;
+                return;
+            }
+            cur = cur->right;
+        }
+    }
+}
+
+void traverse(struct Node* curr) {
+    if (curr == 0) { return; }
+    traverse(curr->left);
+    bt_sum = bt_sum + curr->val;
+    traverse(curr->right);
+}
+
+int kernel(int input[12], int n) {
+    if (n > 12) { n = 12; }
+    if (n < 1) { n = 1; }
+    struct Node* root = (struct Node*)malloc(sizeof(struct Node));
+    root->val = input[0];
+    root->left = 0;
+    root->right = 0;
+    for (int i = 1; i < n; i++) {
+        insert(root, input[i]);
+    }
+    bt_sum = 0;
+    traverse(root);
+    return bt_sum;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = minic::parse(BINARY_TREE)?;
+
+    println!("=== diagnostics on the original (paper Figure 2a) ===");
+    for d in hls_sim::check_program(&program) {
+        println!("{d}");
+    }
+
+    let mut cfg = PipelineConfig::quick();
+    cfg.fuzz.idle_stop_min = 1.0;
+    cfg.fuzz.max_execs = 600;
+    cfg.search.budget_min = 600.0;
+    let seeds = vec![vec![
+        minic_exec::ArgValue::IntArray(vec![50, 20, 70, 10, 30, 60, 80, 5, 25, 65, 85, 15]),
+        minic_exec::ArgValue::Int(12),
+    ]];
+    let report = HeteroGen::new(cfg).run(&program, "kernel", seeds)?;
+
+    println!("\n=== repair trace ===");
+    println!("edits applied: {:?}", report.repair.applied);
+    println!(
+        "success={} pass ratio={:.2} ΔLOC={}",
+        report.success(),
+        report.repair.pass_ratio,
+        report.delta_loc
+    );
+
+    println!("\n=== converted kernel (paper Figure 2b/2c shape) ===");
+    let src = minic::print_program(&report.program);
+    println!("{src}");
+
+    assert!(report.success());
+    assert!(src.contains("Node_malloc"), "array-replacement edit applied");
+    assert!(src.contains("Node_ptr"), "pointer-removal edit applied");
+    assert!(
+        src.contains("traverse_stk") || src.contains("traverse_frame"),
+        "stack-replacement edit applied"
+    );
+    Ok(())
+}

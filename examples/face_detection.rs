@@ -1,0 +1,62 @@
+//! End-to-end run on the largest subject: P9, the Viola–Jones-style
+//! streaming face-detection cascade (paper §6, Rosetta suite).
+//!
+//! ```text
+//! cargo run --release --example face_detection
+//! ```
+//!
+//! The design arrives with three incompatibilities — a misconfigured top
+//! function, an unsynthesizable stream-wrapper struct (no constructor), and
+//! a non-static connecting stream — and leaves with all three repaired plus
+//! pipelined stage loops.
+
+use heterogen_core::HeteroGen;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let subject = benchsuite::subject("P9").expect("P9 exists");
+    let program = subject.parse();
+
+    println!("=== {} ({}) ===", subject.id, subject.name);
+    println!("kernel: {}  |  {} lines", subject.kernel, minic::loc(&program));
+
+    println!("\n=== diagnostics on the original ===");
+    for d in hls_sim::check_program(&program) {
+        println!("{d}");
+    }
+
+    let cfg = bench_config();
+    let mut seeds = subject.seed_inputs.clone();
+    seeds.extend(subject.existing_tests.clone());
+    let report = HeteroGen::new(cfg).run(&program, subject.kernel, seeds)?;
+
+    println!("\n=== pipeline report ===");
+    println!("tests generated ..... {}", report.testgen.tests);
+    println!("coverage ............ {:.0}%", report.testgen.coverage * 100.0);
+    println!("edits applied ....... {:?}", report.repair.applied);
+    println!("simulated minutes ... {:.0}", report.repair.minutes);
+    println!("full compiles ....... {}", report.repair.full_compiles);
+    println!(
+        "CPU {:.4} ms vs FPGA {:.4} ms → {:.2}x",
+        report.repair.cpu_latency_ms,
+        report.repair.fpga_latency_ms,
+        report.speedup()
+    );
+
+    println!("\n=== repaired design ===");
+    println!("{}", minic::print_program(&report.program));
+
+    assert!(report.success(), "P9 must transpile");
+    assert!(
+        report.program.config.top.as_deref() == Some("detect"),
+        "top function reconfigured"
+    );
+    Ok(())
+}
+
+fn bench_config() -> heterogen_core::PipelineConfig {
+    let mut cfg = heterogen_core::PipelineConfig::quick();
+    cfg.fuzz.idle_stop_min = 1.0;
+    cfg.fuzz.max_execs = 600;
+    cfg.search.budget_min = 240.0;
+    cfg
+}

@@ -1,0 +1,61 @@
+//! Quickstart: transpile a small C kernel with an HLS-incompatible type.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The kernel uses `long double`, which no HLS dialect synthesizes. The
+//! pipeline generates tests, builds an initial HLS version with estimated
+//! types, repairs the incompatibility (`type_trans` to a custom float), and
+//! verifies behaviour preservation by differential testing.
+
+use heterogen_core::{HeteroGen, PipelineConfig};
+
+const KERNEL: &str = r#"
+float kernel(float x0) {
+    long double x = x0;
+    long double acc = 1.0L;
+    for (int i = 1; i < 12; i++) {
+        acc = acc + x / i;
+    }
+    return (float)acc;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = minic::parse(KERNEL)?;
+
+    println!("=== original C kernel ===");
+    println!("{}", minic::print_program(&program));
+
+    let diags = hls_sim::check_program(&program);
+    println!("=== HLS compiler diagnostics ===");
+    for d in &diags {
+        println!("{d}");
+    }
+
+    let mut cfg = PipelineConfig::quick();
+    cfg.fuzz.idle_stop_min = 1.0;
+    cfg.fuzz.max_execs = 500;
+    let report = HeteroGen::new(cfg).run(&program, "kernel", vec![])?;
+
+    println!("\n=== HeteroGen report ===");
+    println!("generated tests ........ {}", report.testgen.tests);
+    println!("branch coverage ........ {:.0}%", report.testgen.coverage * 100.0);
+    println!("repair success ......... {}", report.success());
+    println!("edits applied .......... {:?}", report.repair.applied);
+    println!("lines added ............ {}", report.delta_loc);
+    println!(
+        "CPU {:.4} ms  vs  FPGA {:.4} ms  ({}{:.2}x)",
+        report.repair.cpu_latency_ms,
+        report.repair.fpga_latency_ms,
+        if report.repair.improved { "speedup " } else { "slowdown " },
+        report.speedup(),
+    );
+
+    println!("\n=== generated HLS-C ===");
+    println!("{}", minic::print_program(&report.program));
+
+    assert!(report.success(), "expected a successful transpilation");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # HeteroGen (reproduction)
+//!
+//! A from-scratch Rust reproduction of *HeteroGen: Transpiling C to
+//! Heterogeneous HLS Code with Automated Test Generation and Program
+//! Repair* (Zhang, Wang, Xu, Kim — ASPLOS 2022).
+//!
+//! HeteroGen takes a C kernel and automatically produces an HLS-C version
+//! that passes synthesizability checking, preserves test behaviour, and —
+//! where the paper's subjects allow — runs faster than the CPU original.
+//! This crate is a façade over the workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`minic`] | C-subset frontend: lexer, parser, AST, type checker, printer, edits |
+//! | [`minic_exec`] | interpreter with coverage, profiling and a CPU cost model |
+//! | [`hls_sim`] | simulated HLS toolchain: checkers, scheduler, FPGA simulator |
+//! | [`testgen`] | coverage-guided, HLS-type-aware test generation (Alg. 1) |
+//! | [`repair`] | localization, parameterized edits, dependence-guided search |
+//! | [`heterorefactor`] | the ICSE'20 baseline (dynamic data structures only) |
+//! | [`benchsuite`] | the ten evaluation subjects P1–P10 |
+//! | [`heterogen_core`] | the end-to-end pipeline |
+//!
+//! # Examples
+//!
+//! ```
+//! use heterogen::prelude::*;
+//!
+//! let program = minic::parse(
+//!     "int kernel(int x) { long double y = x; y = y + 1; return y; }",
+//! )?;
+//! let mut cfg = PipelineConfig::quick();
+//! cfg.fuzz.idle_stop_min = 0.5;
+//! cfg.fuzz.max_execs = 200;
+//! let report = HeteroGen::new(cfg).run(&program, "kernel", vec![])?;
+//! assert!(report.success());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use benchsuite;
+pub use heterogen_core;
+pub use heterorefactor;
+pub use hls_sim;
+pub use minic;
+pub use minic_exec;
+pub use repair;
+pub use testgen;
+
+/// The most common imports for driving the pipeline.
+pub mod prelude {
+    pub use heterogen_core::{
+        HeteroGen, PipelineConfig, PipelineError, PipelineReport,
+    };
+    pub use minic::{parse, print_program, Program};
+    pub use minic_exec::{ArgValue, Outcome};
+    pub use repair::{RepairOutcome, SearchConfig};
+    pub use testgen::{FuzzConfig, TestCase};
+}

@@ -1,0 +1,298 @@
+//! Property-based tests over the core data structures and the two heavy
+//! program transforms.
+
+use minic::ast::{BinOp, Expr};
+use minic::types::Type;
+use minic_exec::{ArgValue, Machine, MachineConfig};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ expressions
+
+/// A generator for well-formed expressions over `int` variables a, b, c.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i128..1000).prop_map(Expr::int),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Expr::ident),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::BitAnd),
+                Just(BinOp::BitOr),
+                Just(BinOp::BitXor),
+                Just(BinOp::Lt),
+                Just(BinOp::Eq),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| Expr::bin(op, l, r))
+    })
+}
+
+/// Renders a generated expression into a complete kernel.
+fn expr_program(e: &Expr) -> String {
+    format!(
+        "int kernel(int a, int b, int c) {{ int r = {}; return r; }}",
+        minic::printer::print_expr(e)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Printing and reparsing an expression is a fixpoint.
+    #[test]
+    fn printer_parser_round_trip(e in arb_expr()) {
+        let src = expr_program(&e);
+        let p1 = minic::parse(&src).expect("generated source parses");
+        let printed = minic::print_program(&p1);
+        let p2 = minic::parse(&printed).expect("printed source reparses");
+        prop_assert_eq!(printed, minic::print_program(&p2));
+    }
+
+    /// The interpreter is deterministic.
+    #[test]
+    fn interpreter_is_deterministic(
+        e in arb_expr(),
+        a in -100i128..100,
+        b in -100i128..100,
+        c in -100i128..100,
+    ) {
+        let src = expr_program(&e);
+        let p = minic::parse(&src).unwrap();
+        let args = vec![ArgValue::Int(a), ArgValue::Int(b), ArgValue::Int(c)];
+        let mut m1 = Machine::new(&p, MachineConfig::cpu()).unwrap();
+        let r1 = m1.run_kernel("kernel", &args);
+        let mut m2 = Machine::new(&p, MachineConfig::cpu()).unwrap();
+        let r2 = m2.run_kernel("kernel", &args);
+        prop_assert!(r1.behaviour_eq(&r2));
+    }
+
+    /// Reparsing the printed program computes the same results.
+    #[test]
+    fn round_trip_preserves_semantics(
+        e in arb_expr(),
+        a in -50i128..50,
+        b in -50i128..50,
+    ) {
+        let p1 = minic::parse(&expr_program(&e)).unwrap();
+        let p2 = minic::parse(&minic::print_program(&p1)).unwrap();
+        let args = vec![ArgValue::Int(a), ArgValue::Int(b), ArgValue::Int(0)];
+        let mut m1 = Machine::new(&p1, MachineConfig::cpu()).unwrap();
+        let mut m2 = Machine::new(&p2, MachineConfig::cpu()).unwrap();
+        prop_assert!(m1.run_kernel("kernel", &args).behaviour_eq(&m2.run_kernel("kernel", &args)));
+    }
+}
+
+// ------------------------------------------------------------ value model
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Wrapping is idempotent and lands inside the type's range.
+    #[test]
+    fn wrap_int_is_idempotent_and_in_range(
+        v in any::<i64>().prop_map(|x| x as i128),
+        bits in 1u16..64,
+        signed in any::<bool>(),
+    ) {
+        let w = minic_exec::value::wrap_int(v, bits, signed);
+        prop_assert_eq!(w, minic_exec::value::wrap_int(w, bits, signed));
+        if signed {
+            let lo = -(1i128 << (bits - 1));
+            let hi = (1i128 << (bits - 1)) - 1;
+            prop_assert!((lo..=hi).contains(&w));
+        } else {
+            prop_assert!((0..(1i128 << bits)).contains(&w));
+        }
+    }
+
+    /// Quantization is idempotent and bounded by the mantissa precision.
+    #[test]
+    fn quantize_float_is_idempotent_and_close(
+        v in -1.0e12f64..1.0e12,
+        mant in 4u16..52,
+    ) {
+        prop_assume!(v != 0.0);
+        let q = minic_exec::value::quantize_float(v, 10, mant);
+        let q2 = minic_exec::value::quantize_float(q, 10, mant);
+        prop_assert_eq!(q.to_bits(), q2.to_bits());
+        if q.is_finite() && q != 0.0 {
+            let rel = ((q - v) / v).abs();
+            let ulp = 2f64.powi(-(mant as i32));
+            prop_assert!(rel <= ulp, "rel {rel} > ulp {ulp}");
+        }
+    }
+
+    /// `bits_for_range` produces a width that actually holds both bounds.
+    #[test]
+    fn bits_for_range_holds_its_range(
+        lo in -100_000i128..100_000,
+        hi in -100_000i128..100_000,
+    ) {
+        prop_assume!(lo <= hi);
+        let signed = lo < 0;
+        let bits = minic::types::bits_for_range(lo, hi, signed);
+        prop_assert_eq!(minic_exec::value::wrap_int(lo, bits, signed), lo);
+        prop_assert_eq!(minic_exec::value::wrap_int(hi, bits, signed), hi);
+    }
+
+    /// Line diff invariants: identity is empty; swap mirrors; counts bound.
+    #[test]
+    fn line_diff_invariants(
+        a in proptest::collection::vec("[a-d]{1,3}", 0..12),
+        b in proptest::collection::vec("[a-d]{1,3}", 0..12),
+    ) {
+        let ta = a.join("\n");
+        let tb = b.join("\n");
+        let same = minic::diff::line_diff(&ta, &ta);
+        prop_assert_eq!(same.churn(), 0);
+        let fwd = minic::diff::line_diff(&ta, &tb);
+        let bwd = minic::diff::line_diff(&tb, &ta);
+        prop_assert_eq!(fwd.added, bwd.removed);
+        prop_assert_eq!(fwd.removed, bwd.added);
+        prop_assert!(fwd.common <= a.len().min(b.len()));
+    }
+}
+
+// ------------------------------------------------------------ transforms
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The recursion-to-stack transform preserves sorting behaviour on
+    /// arbitrary inputs (when the stack is large enough).
+    #[test]
+    fn stack_trans_preserves_merge_sort(
+        input in proptest::collection::vec(-1000i128..1000, 32),
+        n in 1i128..=32,
+    ) {
+        let s = benchsuite::subject("P3").unwrap();
+        let p = s.parse();
+        let q = repair::xform_stack::stack_trans(&p, "msort", 256).expect("applicable");
+        let args = vec![ArgValue::IntArray(input), ArgValue::Int(n)];
+        let mut m1 = Machine::new(&p, MachineConfig::cpu()).unwrap();
+        let a = m1.run_kernel("kernel", &args);
+        let mut m2 = Machine::new(&q, MachineConfig::cpu()).unwrap();
+        let b = m2.run_kernel("kernel", &args);
+        prop_assert!(!a.trapped && !b.trapped);
+        prop_assert!(a.behaviour_eq(&b));
+    }
+
+    /// The pointer-removal transform preserves linked-list behaviour on
+    /// arbitrary inputs (when the pool is large enough).
+    #[test]
+    fn pointer_to_index_preserves_linked_list(
+        input in proptest::collection::vec(-1000i128..1000, 64),
+        n in 1i128..=64,
+    ) {
+        let s = benchsuite::subject("P8").unwrap();
+        let p = s.parse();
+        let q = repair::xform_pointer::pointer_to_index(&p, "LNode", 256).expect("applicable");
+        let args = vec![ArgValue::IntArray(input), ArgValue::Int(n)];
+        let mut m1 = Machine::new(&p, MachineConfig::cpu()).unwrap();
+        let a = m1.run_kernel("kernel", &args);
+        let mut m2 = Machine::new(&q, MachineConfig::cpu()).unwrap();
+        let b = m2.run_kernel("kernel", &args);
+        prop_assert!(!a.trapped && !b.trapped);
+        prop_assert!(a.behaviour_eq(&b));
+    }
+
+    /// Type-valid mutation stays type-valid over long chains, for every
+    /// subject's kernel signature.
+    #[test]
+    fn mutation_preserves_validity_for_all_subjects(
+        seed in any::<u64>(),
+        rounds in 1usize..40,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for s in benchsuite::subjects() {
+            let p = s.parse();
+            let specs = testgen::kernel_specs(&p, s.kernel).expect("fuzzable");
+            let mut case: Vec<ArgValue> =
+                specs.iter().map(|sp| testgen::random_value(sp, &mut rng)).collect();
+            for _ in 0..rounds {
+                case = testgen::mutate_case(&specs, &case, &mut rng);
+                for (spec, v) in specs.iter().zip(&case) {
+                    prop_assert!(spec.accepts(v), "{}: {spec:?} rejected {v:?}", s.id);
+                }
+            }
+        }
+    }
+
+    /// Finitized bitwidths never change behaviour on inputs inside the
+    /// profiled range.
+    #[test]
+    fn bitwidth_finitization_preserves_profiled_behaviour(
+        xs in proptest::collection::vec(0i128..200, 1..16),
+    ) {
+        let p = minic::parse(
+            "int kernel(int x) { int r = 0; r = x * 2; return r + 1; }",
+        ).unwrap();
+        // Profile over the exact input set…
+        let mut profile = minic_exec::Profile::new();
+        for &x in &xs {
+            let mut m = Machine::new(&p, MachineConfig::cpu()).unwrap();
+            let _ = m.run_kernel("kernel", &[ArgValue::Int(x)]);
+            profile.merge(&m.profile);
+        }
+        let narrowed = heterogen_core::initial_version(&p, &profile);
+        // …then replay the same inputs: identical behaviour.
+        for &x in &xs {
+            let mut m1 = Machine::new(&p, MachineConfig::cpu()).unwrap();
+            let a = m1.run_kernel("kernel", &[ArgValue::Int(x)]);
+            let mut m2 = Machine::new(&narrowed, MachineConfig::fpga()).unwrap();
+            let b = m2.run_kernel("kernel", &[ArgValue::Int(x)]);
+            prop_assert!(a.behaviour_eq(&b), "diverged on x={x}");
+        }
+    }
+}
+
+// ------------------------------------------------------------ checker
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every `array_partition` factor that divides the extent is clean;
+    /// every factor that does not divide it is rejected.
+    #[test]
+    fn partition_divisibility_rule(extent in 2u64..64, factor in 2u32..16) {
+        let src = format!(
+            "void kernel(int x) {{\n    int a[{extent}];\n#pragma HLS array_partition variable=a factor={factor} dim=1\n    for (int i = 0; i < {extent}; i++) {{ a[i] = x; }}\n}}"
+        );
+        let p = minic::parse(&src).unwrap();
+        let diags = hls_sim::check_program(&p);
+        let has_partition_error = diags.iter().any(|d| d.message.contains("partition"));
+        prop_assert_eq!(has_partition_error, extent % factor as u64 != 0);
+    }
+
+    /// The coerce-on-store rule: any value stored into `fpga_uint<N>`
+    /// reads back inside `[0, 2^N)`.
+    #[test]
+    fn stores_respect_declared_widths(v in any::<i32>(), bits in 1u16..31) {
+        let src = format!(
+            "int kernel(int x) {{ fpga_uint<{bits}> r = x; return r; }}"
+        );
+        let p = minic::parse(&src).unwrap();
+        let mut m = Machine::new(&p, MachineConfig::cpu()).unwrap();
+        let out = m.run_kernel("kernel", &[ArgValue::Int(v as i128)]);
+        prop_assert!(!out.trapped);
+        if let Some(minic_exec::ScalarOut::Int(r)) = out.ret {
+            prop_assert!((0..(1i128 << bits)).contains(&r), "{r} outside {bits} bits");
+        } else {
+            prop_assert!(false, "int return expected");
+        }
+    }
+}
+
+// A tiny non-proptest sanity check that the generated strategies build.
+#[test]
+fn arb_expr_strategy_builds() {
+    let _ = arb_expr();
+    let _ = Type::int();
+}
