@@ -1,0 +1,92 @@
+//! Criterion benches for the repair-search hot loop and its parallel
+//! evaluation engine.
+//!
+//! The interesting comparison is the same search at different thread
+//! counts: the deterministic merge guarantees identical outcomes, so any
+//! timing difference is pure evaluation parallelism. On a single-core
+//! machine the thread variants should tie (the pool degrades to the
+//! inline sequential path at `threads = 1` and to one worker otherwise).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn prepared(
+    id: &str,
+) -> (
+    minic::Program,
+    minic::Program,
+    &'static str,
+    Vec<testgen::TestCase>,
+    minic_exec::Profile,
+) {
+    let s = benchsuite::subject(id).unwrap();
+    let p = s.parse();
+    let mut seeds = s.seed_inputs.clone();
+    seeds.extend(s.existing_tests.clone());
+    let fuzz_cfg = testgen::FuzzConfig {
+        idle_stop_min: 0.3,
+        max_execs: 200,
+        ..testgen::FuzzConfig::default()
+    };
+    let fr = testgen::fuzz(&p, s.kernel, seeds, &fuzz_cfg).unwrap();
+    let broken = heterogen_core::initial_version(&p, &fr.profile);
+    (p, broken, s.kernel, fr.corpus, fr.profile)
+}
+
+/// The repair search at increasing thread counts on one repair-heavy
+/// subject (P3: recursion + resize) and one performance-heavy subject
+/// (P6: pragma exploration).
+fn bench_search_threads(c: &mut Criterion) {
+    for id in ["P3", "P6"] {
+        let (p, broken, kernel, corpus, profile) = prepared(id);
+        let mut g = c.benchmark_group(format!("repair_search/{id}"));
+        g.sample_size(10);
+        for threads in [1usize, 2, 4] {
+            let sc = repair::SearchConfig {
+                budget_min: 200.0,
+                max_diff_tests: 8,
+                explore_performance: true,
+                threads,
+                ..repair::SearchConfig::default()
+            };
+            g.bench_function(format!("threads{threads}"), |b| {
+                b.iter(|| {
+                    repair::repair(
+                        black_box(&p),
+                        broken.clone(),
+                        kernel,
+                        &corpus,
+                        &profile,
+                        &sc,
+                    )
+                    .unwrap()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+/// The structural-fingerprint dedup key against the pretty-print key it
+/// replaced: the cost of admitting one candidate to the `seen` set.
+fn bench_fingerprint(c: &mut Criterion) {
+    let s = benchsuite::subject("P6").unwrap();
+    let p = s.parse();
+    let mut g = c.benchmark_group("repair_search/dedup_key");
+    g.bench_function("fingerprint", |b| {
+        b.iter(|| minic::fingerprint_program(black_box(&p)))
+    });
+    g.bench_function("print_string", |b| {
+        b.iter(|| {
+            format!(
+                "{:?}\n{}",
+                black_box(&p).config,
+                minic::print_program(black_box(&p))
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_search_threads, bench_fingerprint);
+criterion_main!(benches);

@@ -26,9 +26,15 @@ fn main() {
         "table4" => run_table4(&mut bundle),
         "table5" => run_table5(&mut bundle),
         "fig8" => run_fig8(&mut bundle),
-        "fig9" => run_fig9(&mut bundle, args.get(1).filter(|a| a.starts_with('P')).map(String::as_str)),
+        "fig9" => run_fig9(
+            &mut bundle,
+            args.get(1)
+                .filter(|a| a.starts_with('P'))
+                .map(String::as_str),
+        ),
         "ablation-seed" => run_ablation_seed(),
         "ablation-bitwidth" => run_ablation_bitwidth(),
+        "bench-repair" => run_bench_repair(),
         "summary" | "all" => {
             run_fig3(&mut bundle);
             run_table1();
@@ -40,10 +46,11 @@ fn main() {
             run_fig9(&mut bundle, None);
             run_ablation_seed();
             run_ablation_bitwidth();
+            run_bench_repair();
             run_summary(&bundle);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth summary all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair summary all");
             std::process::exit(2);
         }
     }
@@ -112,7 +119,14 @@ fn run_table3(bundle: &mut ExperimentBundle) {
     println!("\n== Table 3: subjects and overall results ==");
     let rows = table3();
     print_table(
-        &["ID", "Subject", "HLS Compat.", "Improved?", "Speedup", "Paper Improved?"],
+        &[
+            "ID",
+            "Subject",
+            "HLS Compat.",
+            "Improved?",
+            "Speedup",
+            "Paper Improved?",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -134,7 +148,15 @@ fn run_table4(bundle: &mut ExperimentBundle) {
     println!("\n== Table 4: generated tests ==");
     let rows = table4();
     print_table(
-        &["ID", "# Tests", "Executed", "Time (min)", "Cov.", "# Existing", "Existing Cov."],
+        &[
+            "ID",
+            "# Tests",
+            "Executed",
+            "Time (min)",
+            "Cov.",
+            "# Existing",
+            "Existing Cov.",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -156,7 +178,10 @@ fn run_table4(bundle: &mut ExperimentBundle) {
     );
     let avg: f64 = rows.iter().map(|r| r.executed as f64).sum::<f64>() / rows.len() as f64;
     let avg_cov: f64 = rows.iter().map(|r| r.coverage).sum::<f64>() / rows.len() as f64;
-    println!("average executed inputs: {avg:.0}; average coverage: {}", pct(avg_cov));
+    println!(
+        "average executed inputs: {avg:.0}; average coverage: {}",
+        pct(avg_cov)
+    );
     bundle.table4 = Some(rows);
 }
 
@@ -167,8 +192,15 @@ fn run_table5(bundle: &mut ExperimentBundle) {
     let opt_ms = |v: Option<f64>| v.map(|x| format!("{:.4}", x)).unwrap_or_else(|| "✗".into());
     print_table(
         &[
-            "ID", "Origin LOC", "ΔLOC Manual", "ΔLOC HR", "ΔLOC HG", "Origin ms", "Manual ms",
-            "HR ms", "HG ms",
+            "ID",
+            "Origin LOC",
+            "ΔLOC Manual",
+            "ΔLOC HR",
+            "ΔLOC HG",
+            "Origin ms",
+            "Manual ms",
+            "HR ms",
+            "HG ms",
         ],
         &rows
             .iter()
@@ -228,11 +260,18 @@ fn run_fig8(bundle: &mut ExperimentBundle) {
 fn run_fig9(bundle: &mut ExperimentBundle, filter: Option<&str>) {
     println!("\n== Figure 9: repair time and HLS invocations (ablations) ==");
     let rows = fig9(filter);
-    let opt_min =
-        |v: Option<f64>| v.map(|x| format!("{:.0}", x)).unwrap_or_else(|| "timeout".into());
+    let opt_min = |v: Option<f64>| {
+        v.map(|x| format!("{:.0}", x))
+            .unwrap_or_else(|| "timeout".into())
+    };
     print_table(
         &[
-            "ID", "HG (min)", "WithoutDep (min)", "Slowdown", "HG invoked", "HG avoided",
+            "ID",
+            "HG (min)",
+            "WithoutDep (min)",
+            "Slowdown",
+            "HG invoked",
+            "HG avoided",
             "WC compiles",
         ],
         &rows
@@ -263,7 +302,11 @@ fn run_summary(bundle: &ExperimentBundle) {
     if let Some(t3) = &bundle.table3 {
         let compat = t3.iter().filter(|r| r.compatible).count();
         let improved = t3.iter().filter(|r| r.improved).count();
-        let speedups: Vec<f64> = t3.iter().filter(|r| r.improved).map(|r| r.speedup).collect();
+        let speedups: Vec<f64> = t3
+            .iter()
+            .filter(|r| r.improved)
+            .map(|r| r.speedup)
+            .collect();
         println!(
             "HLS-compatible: {compat}/10 (paper: 10/10); faster than CPU: {improved}/10 (paper: 9/10); mean speedup of winners {:.2}x (paper: 1.63x)",
             mean(&speedups)
@@ -288,11 +331,8 @@ fn run_summary(bundle: &ExperimentBundle) {
             })
             .collect();
         let wd_timeouts = f9.iter().filter(|r| r.wd_min.is_none()).count();
-        let avoided: f64 = f9
-            .iter()
-            .map(|r| 1.0 - r.hg_invocation_ratio)
-            .sum::<f64>()
-            / f9.len() as f64;
+        let avoided: f64 =
+            f9.iter().map(|r| 1.0 - r.hg_invocation_ratio).sum::<f64>() / f9.len() as f64;
         println!(
             "dependence guidance: up to {:.0}x faster, {wd_timeouts} WithoutDependence timeouts (paper: up to 35x, P9 timeout); style checker avoids {} of compilations on average (paper: up to 75% on P3)",
             slowdowns.iter().cloned().fold(0.0, f64::max),
@@ -305,7 +345,13 @@ fn run_ablation_seed() {
     println!("\n== Ablation: kernel-entry seeds vs random seeds (DESIGN §6) ==");
     let rows = ablation_seed();
     print_table(
-        &["ID", "Seeded execs", "Seeded cov.", "Random execs", "Random cov."],
+        &[
+            "ID",
+            "Seeded execs",
+            "Seeded cov.",
+            "Random execs",
+            "Random cov.",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -345,8 +391,48 @@ fn run_ablation_bitwidth() {
     );
 }
 
+fn run_bench_repair() {
+    println!("\n== Repair-loop wall-clock benchmark (BENCH_repair.json) ==");
+    let bench = bench_repair(0);
+    print_table(
+        &[
+            "ID",
+            "Wall (ms)",
+            "Attempts",
+            "Compiles",
+            "Cand/s",
+            "Success",
+        ],
+        &bench
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.id.clone(),
+                    format!("{:.1}", r.wall_ms),
+                    r.attempts.to_string(),
+                    r.full_compiles.to_string(),
+                    format!("{:.0}", r.candidates_per_sec),
+                    tick(r.success),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "threads: {} (effective {}, hardware {}); total wall: {:.1} ms",
+        bench.threads, bench.effective_threads, bench.available_parallelism, bench.total_wall_ms
+    );
+    let json = serde_json::to_string_pretty(&bench).expect("serializable bench");
+    std::fs::write("BENCH_repair.json", json).expect("write BENCH_repair.json");
+    println!("wrote BENCH_repair.json");
+}
+
 fn tick(b: bool) -> String {
-    if b { "✓".to_string() } else { "✗".to_string() }
+    if b {
+        "✓".to_string()
+    } else {
+        "✗".to_string()
+    }
 }
 
 fn mean(xs: &[f64]) -> f64 {

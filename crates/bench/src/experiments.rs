@@ -1,4 +1,9 @@
 //! One runner per paper table/figure.
+//!
+//! The ten subjects are independent (each pipeline carries its own seeded
+//! RNG and simulated clock), so the per-subject runners fan out across the
+//! worker pool; `parallel_map` returns rows in subject order, so the tables
+//! read identically regardless of thread count.
 
 use crate::{fpga_latency_ms, run_subject, standard_config};
 use hls_sim::ErrorCategory;
@@ -135,7 +140,11 @@ pub fn table2() -> Vec<(String, Vec<&'static str>)> {
         ),
         (
             ErrorCategory::TopFunction.name().to_string(),
-            vec!["set_top($f1:func)", "fix_clock()", "insert($p1:pragma,$f1:func)"],
+            vec![
+                "set_top($f1:func)",
+                "fix_clock()",
+                "insert($p1:pragma,$f1:func)",
+            ],
         ),
     ]
 }
@@ -162,20 +171,18 @@ pub struct Table3Row {
 /// Regenerates Table 3 by running the full pipeline on every subject.
 pub fn table3() -> Vec<Table3Row> {
     let cfg = standard_config();
-    benchsuite::subjects()
-        .iter()
-        .map(|s| {
-            let r = run_subject(s, &cfg);
-            Table3Row {
-                id: s.id.to_string(),
-                name: s.name.to_string(),
-                compatible: r.success(),
-                improved: r.repair.improved,
-                speedup: r.speedup(),
-                paper_improved: s.paper.improved,
-            }
-        })
-        .collect()
+    let subjects = benchsuite::subjects();
+    parallel::parallel_map(0, &subjects, |_, s| {
+        let r = run_subject(s, &cfg);
+        Table3Row {
+            id: s.id.to_string(),
+            name: s.name.to_string(),
+            compatible: r.success(),
+            improved: r.repair.improved,
+            speedup: r.speedup(),
+            paper_improved: s.paper.improved,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- Table 4
@@ -203,37 +210,35 @@ pub struct Table4Row {
 /// of the subjects' pre-existing tests measured by replay.
 pub fn table4() -> Vec<Table4Row> {
     let cfg = standard_config();
-    benchsuite::subjects()
-        .iter()
-        .map(|s| {
-            let p = s.parse();
-            let mut seeds = s.seed_inputs.clone();
-            seeds.extend(s.existing_tests.clone());
-            let fr = testgen::fuzz(&p, s.kernel, seeds, &cfg.fuzz)
-                .unwrap_or_else(|e| panic!("{}: {e}", s.id));
-            let existing_coverage = if s.existing_tests.is_empty() {
-                None
-            } else {
-                let mut cov = CoverageMap::new();
-                for t in &s.existing_tests {
-                    if let Ok(mut m) = Machine::new(&p, MachineConfig::cpu()) {
-                        let _ = m.run_kernel(s.kernel, t);
-                        cov.merge(&m.coverage);
-                    }
+    let subjects = benchsuite::subjects();
+    parallel::parallel_map(0, &subjects, |_, s| {
+        let p = s.parse();
+        let mut seeds = s.seed_inputs.clone();
+        seeds.extend(s.existing_tests.clone());
+        let fr = testgen::fuzz(&p, s.kernel, seeds, &cfg.fuzz)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+        let existing_coverage = if s.existing_tests.is_empty() {
+            None
+        } else {
+            let mut cov = CoverageMap::new();
+            for t in &s.existing_tests {
+                if let Ok(mut m) = Machine::new(&p, MachineConfig::cpu()) {
+                    let _ = m.run_kernel(s.kernel, t);
+                    cov.merge(&m.coverage);
                 }
-                Some(minic_exec::coverage::coverage_ratio(&cov, &p))
-            };
-            Table4Row {
-                id: s.id.to_string(),
-                tests: fr.corpus.len(),
-                executed: fr.executed,
-                time_min: fr.sim_minutes,
-                coverage: fr.coverage,
-                existing_tests: (!s.existing_tests.is_empty()).then(|| s.existing_tests.len()),
-                existing_coverage,
             }
-        })
-        .collect()
+            Some(minic_exec::coverage::coverage_ratio(&cov, &p))
+        };
+        Table4Row {
+            id: s.id.to_string(),
+            tests: fr.corpus.len(),
+            executed: fr.executed,
+            time_min: fr.sim_minutes,
+            coverage: fr.coverage,
+            existing_tests: (!s.existing_tests.is_empty()).then_some(s.existing_tests.len()),
+            existing_coverage,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- Table 5
@@ -265,51 +270,46 @@ pub struct Table5Row {
 /// HeteroGen per subject.
 pub fn table5() -> Vec<Table5Row> {
     let cfg = standard_config();
-    benchsuite::subjects()
-        .iter()
-        .map(|s| {
-            let p = s.parse();
-            let hg = run_subject(s, &cfg);
-            let orig_src = minic::print_program(&p);
+    let subjects = benchsuite::subjects();
+    parallel::parallel_map(0, &subjects, |_, s| {
+        let p = s.parse();
+        let hg = run_subject(s, &cfg);
+        let orig_src = minic::print_program(&p);
 
-            let manual = s.parse_manual();
-            let (manual_delta_loc, manual_ms) = match &manual {
-                Some(m) => (
-                    Some(
-                        minic::diff::line_diff(&orig_src, &minic::print_program(m))
-                            .delta_loc(),
-                    ),
-                    Some(fpga_latency_ms(&p, m, s.kernel, &hg.tests)),
+        let manual = s.parse_manual();
+        let (manual_delta_loc, manual_ms) = match &manual {
+            Some(m) => (
+                Some(minic::diff::line_diff(&orig_src, &minic::print_program(m)).delta_loc()),
+                Some(fpga_latency_ms(&p, m, s.kernel, &hg.tests)),
+            ),
+            None => (None, None),
+        };
+
+        let hr = heterorefactor::refactor(&p);
+        let (hr_delta_loc, hr_ms) = if hr.success {
+            (
+                Some(
+                    minic::diff::line_diff(&orig_src, &minic::print_program(&hr.program))
+                        .delta_loc(),
                 ),
-                None => (None, None),
-            };
+                Some(fpga_latency_ms(&p, &hr.program, s.kernel, &hg.tests)),
+            )
+        } else {
+            (None, None)
+        };
 
-            let hr = heterorefactor::refactor(&p);
-            let (hr_delta_loc, hr_ms) = if hr.success {
-                (
-                    Some(
-                        minic::diff::line_diff(&orig_src, &minic::print_program(&hr.program))
-                            .delta_loc(),
-                    ),
-                    Some(fpga_latency_ms(&p, &hr.program, s.kernel, &hg.tests)),
-                )
-            } else {
-                (None, None)
-            };
-
-            Table5Row {
-                id: s.id.to_string(),
-                origin_loc: hg.origin_loc,
-                manual_delta_loc,
-                hr_delta_loc,
-                hg_delta_loc: hg.delta_loc,
-                origin_ms: hg.repair.cpu_latency_ms,
-                manual_ms,
-                hr_ms,
-                hg_ms: hg.repair.fpga_latency_ms,
-            }
-        })
-        .collect()
+        Table5Row {
+            id: s.id.to_string(),
+            origin_loc: hg.origin_loc,
+            manual_delta_loc,
+            hr_delta_loc,
+            hg_delta_loc: hg.delta_loc,
+            origin_ms: hg.repair.cpu_latency_ms,
+            manual_ms,
+            hr_ms,
+            hg_ms: hg.repair.fpga_latency_ms,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- Figure 8
@@ -391,44 +391,45 @@ pub struct Fig9Row {
 /// exploration, and HLS-invocation counts with/without the style checker.
 pub fn fig9(subject_filter: Option<&str>) -> Vec<Fig9Row> {
     let cfg = standard_config();
-    benchsuite::subjects()
+    let subjects = benchsuite::subjects();
+    let picked: Vec<_> = subjects
         .iter()
         .filter(|s| subject_filter.map(|f| s.id == f).unwrap_or(true))
-        .map(|s| {
-            let p = s.parse();
-            let mut seeds = s.seed_inputs.clone();
-            seeds.extend(s.existing_tests.clone());
-            let fr = testgen::fuzz(&p, s.kernel, seeds, &cfg.fuzz)
-                .unwrap_or_else(|e| panic!("{}: {e}", s.id));
-            let broken = heterogen_core::initial_version(&p, &fr.profile);
+        .collect();
+    parallel::parallel_map(0, &picked, |_, s| {
+        let p = s.parse();
+        let mut seeds = s.seed_inputs.clone();
+        seeds.extend(s.existing_tests.clone());
+        let fr = testgen::fuzz(&p, s.kernel, seeds, &cfg.fuzz)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+        let broken = heterogen_core::initial_version(&p, &fr.profile);
 
-            let run = |sc: SearchConfig| {
-                repair::repair(&p, broken.clone(), s.kernel, &fr.corpus, &fr.profile, &sc)
-                    .unwrap_or_else(|e| panic!("{}: {e}", s.id))
-            };
-            let hg = run(cfg.search);
-            let wd = run(SearchConfig {
-                use_dependence: false,
-                budget_min: 720.0,
-                explore_performance: false,
-                ..cfg.search
-            });
-            let wc = run(SearchConfig {
-                use_style_checker: false,
-                ..cfg.search
-            });
-            Fig9Row {
-                id: s.id.to_string(),
-                hg_min: hg.stats.first_success_min,
-                wd_min: wd.stats.first_success_min,
-                hg_invocation_ratio: hg.stats.hls_invocation_ratio(),
-                hg_compiles: hg.stats.full_compiles,
-                hg_style_rejects: hg.stats.style_rejects,
-                wc_compiles: wc.stats.full_compiles,
-                wc_min: wc.stats.first_success_min,
-            }
-        })
-        .collect()
+        let run = |sc: SearchConfig| {
+            repair::repair(&p, broken.clone(), s.kernel, &fr.corpus, &fr.profile, &sc)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.id))
+        };
+        let hg = run(cfg.search);
+        let wd = run(SearchConfig {
+            use_dependence: false,
+            budget_min: 720.0,
+            explore_performance: false,
+            ..cfg.search
+        });
+        let wc = run(SearchConfig {
+            use_style_checker: false,
+            ..cfg.search
+        });
+        Fig9Row {
+            id: s.id.to_string(),
+            hg_min: hg.stats.first_success_min,
+            wd_min: wd.stats.first_success_min,
+            hg_invocation_ratio: hg.stats.hls_invocation_ratio(),
+            hg_compiles: hg.stats.full_compiles,
+            hg_style_rejects: hg.stats.style_rejects,
+            wc_compiles: wc.stats.full_compiles,
+            wc_min: wc.stats.first_success_min,
+        }
+    })
 }
 
 // -------------------------------------------------- extra ablations (DESIGN §6)
@@ -455,25 +456,23 @@ pub struct SeedAblationRow {
 /// efficiency" claim for kernel-entry seeds).
 pub fn ablation_seed() -> Vec<SeedAblationRow> {
     let cfg = standard_config().fuzz;
-    benchsuite::subjects()
-        .iter()
-        .map(|s| {
-            let p = s.parse();
-            let mut seeds = s.seed_inputs.clone();
-            seeds.extend(s.existing_tests.clone());
-            let seeded = testgen::fuzz(&p, s.kernel, seeds, &cfg)
-                .unwrap_or_else(|e| panic!("{}: {e}", s.id));
-            let random = testgen::fuzz(&p, s.kernel, vec![], &cfg)
-                .unwrap_or_else(|e| panic!("{}: {e}", s.id));
-            SeedAblationRow {
-                id: s.id.to_string(),
-                seeded_execs: seeded.executed,
-                seeded_coverage: seeded.coverage,
-                random_execs: random.executed,
-                random_coverage: random.coverage,
-            }
-        })
-        .collect()
+    let subjects = benchsuite::subjects();
+    parallel::parallel_map(0, &subjects, |_, s| {
+        let p = s.parse();
+        let mut seeds = s.seed_inputs.clone();
+        seeds.extend(s.existing_tests.clone());
+        let seeded =
+            testgen::fuzz(&p, s.kernel, seeds, &cfg).unwrap_or_else(|e| panic!("{}: {e}", s.id));
+        let random =
+            testgen::fuzz(&p, s.kernel, vec![], &cfg).unwrap_or_else(|e| panic!("{}: {e}", s.id));
+        SeedAblationRow {
+            id: s.id.to_string(),
+            seeded_execs: seeded.executed,
+            seeded_coverage: seeded.coverage,
+            random_execs: random.executed,
+            random_coverage: random.coverage,
+        }
+    })
 }
 
 /// Result of the bitwidth-finitization ablation.
@@ -493,20 +492,95 @@ pub struct BitwidthAblationRow {
 /// paper's §2 motivation: oversized variables waste on-chip resources).
 pub fn ablation_bitwidth() -> Vec<BitwidthAblationRow> {
     let cfg = standard_config();
-    benchsuite::subjects()
+    let subjects = benchsuite::subjects();
+    parallel::parallel_map(0, &subjects, |_, s| {
+        let with = run_subject(s, &cfg);
+        let mut cfg_off = cfg;
+        cfg_off.bitwidth_finitization = false;
+        let without = run_subject(s, &cfg_off);
+        BitwidthAblationRow {
+            id: s.id.to_string(),
+            finitized_resources: hls_sim::resource_estimate(&with.program),
+            declared_resources: hls_sim::resource_estimate(&without.program),
+        }
+    })
+}
+
+// ------------------------------------------------- repair-loop wall-clock
+
+/// One `BENCH_repair.json` row: real wall-clock performance of the repair
+/// hot loop on one subject (the simulated-minute numbers live in Figure 9;
+/// this measures the reproduction itself).
+#[derive(Debug, Clone, Serialize)]
+pub struct RepairBenchRow {
+    /// Paper id.
+    pub id: String,
+    /// Wall-clock milliseconds for the repair search on this subject.
+    pub wall_ms: f64,
+    /// Edit attempts the search made.
+    pub attempts: u64,
+    /// Full HLS compilations the search performed.
+    pub full_compiles: u64,
+    /// Candidate attempts processed per wall-clock second.
+    pub candidates_per_sec: f64,
+    /// Whether the repair succeeded.
+    pub success: bool,
+}
+
+/// The `BENCH_repair.json` payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct RepairBench {
+    /// Configured worker threads (0 = auto).
+    pub threads: usize,
+    /// Threads the pool actually resolves to on this machine.
+    pub effective_threads: usize,
+    /// Hardware parallelism reported by the OS.
+    pub available_parallelism: usize,
+    /// Total wall-clock milliseconds across all subjects.
+    pub total_wall_ms: f64,
+    /// Per-subject measurements.
+    pub rows: Vec<RepairBenchRow>,
+}
+
+/// Benchmarks the repair-search hot loop per subject with real wall-clock
+/// timing. Fuzzing runs once per subject (outside the timed region); the
+/// timed region is exactly the `repair::repair` call that the parallel
+/// evaluation engine accelerates.
+pub fn bench_repair(threads: usize) -> RepairBench {
+    let mut cfg = standard_config();
+    cfg.search.threads = threads;
+    let subjects = benchsuite::subjects();
+    let rows: Vec<RepairBenchRow> = subjects
         .iter()
         .map(|s| {
-            let with = run_subject(s, &cfg);
-            let mut cfg_off = cfg;
-            cfg_off.bitwidth_finitization = false;
-            let without = run_subject(s, &cfg_off);
-            BitwidthAblationRow {
+            let p = s.parse();
+            let mut seeds = s.seed_inputs.clone();
+            seeds.extend(s.existing_tests.clone());
+            let fr = testgen::fuzz(&p, s.kernel, seeds, &cfg.fuzz)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+            let broken = heterogen_core::initial_version(&p, &fr.profile);
+            let started = std::time::Instant::now();
+            let out = repair::repair(&p, broken, s.kernel, &fr.corpus, &fr.profile, &cfg.search)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let secs = (wall_ms / 1e3).max(1e-9);
+            RepairBenchRow {
                 id: s.id.to_string(),
-                finitized_resources: hls_sim::resource_estimate(&with.program),
-                declared_resources: hls_sim::resource_estimate(&without.program),
+                wall_ms,
+                attempts: out.stats.attempts,
+                full_compiles: out.stats.full_compiles,
+                candidates_per_sec: out.stats.attempts as f64 / secs,
+                success: out.success,
             }
         })
-        .collect()
+        .collect();
+    RepairBench {
+        threads,
+        effective_threads: parallel::effective_threads(threads),
+        available_parallelism: parallel::effective_threads(0),
+        total_wall_ms: rows.iter().map(|r| r.wall_ms).sum(),
+        rows,
+    }
 }
 
 #[cfg(test)]

@@ -43,8 +43,7 @@ pub fn fpga_latency_ms(
     kernel: &str,
     tests: &[testgen::TestCase],
 ) -> f64 {
-    let d = DifferentialTester::new(original, kernel, tests, 24)
-        .expect("reference executes");
+    let d = DifferentialTester::new(original, kernel, tests, 24).expect("reference executes");
     d.evaluate(candidate).fpga_latency_ms
 }
 

@@ -193,7 +193,9 @@ mod tests {
     #[test]
     fn manual_versions_preserve_behaviour_on_seeds() {
         for s in subjects() {
-            let Some(manual) = s.parse_manual() else { continue };
+            let Some(manual) = s.parse_manual() else {
+                continue;
+            };
             let orig = s.parse();
             for seed in &s.seed_inputs {
                 let mut m1 = Machine::new(&orig, MachineConfig::cpu()).unwrap();

@@ -224,8 +224,7 @@ impl HeteroGen {
     ) -> Result<PipelineReport, PipelineError> {
         let mut profile = Profile::new();
         for t in &tests {
-            if let Ok(mut m) =
-                minic_exec::Machine::new(original, minic_exec::MachineConfig::cpu())
+            if let Ok(mut m) = minic_exec::Machine::new(original, minic_exec::MachineConfig::cpu())
             {
                 let _ = m.run_kernel(kernel, t);
                 profile.merge(&m.profile);
@@ -308,7 +307,9 @@ impl HeteroGen {
 pub fn initial_version(p: &Program, profile: &Profile) -> Program {
     let mut out = p.clone();
     for ((function, var), range) in &profile.int_ranges {
-        let Some(f) = p.function(function) else { continue };
+        let Some(f) = p.function(function) else {
+            continue;
+        };
         if f.params.iter().any(|q| &q.name == var) {
             continue;
         }
@@ -348,10 +349,8 @@ mod tests {
 
     #[test]
     fn initial_version_narrows_profiled_locals() {
-        let p = minic::parse(
-            "int kernel(int x) { int ret = 0; ret = 83; return ret + x; }",
-        )
-        .unwrap();
+        let p =
+            minic::parse("int kernel(int x) { int ret = 0; ret = 83; return ret + x; }").unwrap();
         let mut profile = Profile::new();
         profile.record_int("kernel", "ret", 0);
         profile.record_int("kernel", "ret", 83);
@@ -371,10 +370,8 @@ mod tests {
 
     #[test]
     fn pipeline_repairs_and_reports() {
-        let p = minic::parse(
-            "int kernel(int x) { long double y = x; y = y + 1; return y; }",
-        )
-        .unwrap();
+        let p =
+            minic::parse("int kernel(int x) { long double y = x; y = y + 1; return y; }").unwrap();
         let mut cfg = PipelineConfig::quick();
         cfg.fuzz.idle_stop_min = 0.5;
         cfg.fuzz.max_execs = 200;
@@ -401,10 +398,8 @@ mod tests {
 
     #[test]
     fn existing_tests_mode_profiles_by_replay() {
-        let p = minic::parse(
-            "int kernel(int x) { int r = 0; if (x > 0) { r = x; } return r; }",
-        )
-        .unwrap();
+        let p = minic::parse("int kernel(int x) { int r = 0; if (x > 0) { r = x; } return r; }")
+            .unwrap();
         let cfg = PipelineConfig::quick();
         let tests = vec![vec![ArgValue::Int(5)], vec![ArgValue::Int(-1)]];
         let report = HeteroGen::new(cfg)

@@ -15,8 +15,8 @@ use crate::memory::Memory;
 use crate::profile::Profile;
 use crate::value::{coerce, ArgValue, Outcome, ScalarOut, Value};
 use minic::ast::*;
-use minic::types::Type;
 use minic::typeck;
+use minic::types::Type;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// What happens when a static-array index falls outside the declared extent.
@@ -192,9 +192,9 @@ impl<'p> Machine<'p> {
                         ArgValue::IntArray(vals.iter().map(Value::as_int).collect())
                     }
                 }
-                Value::StreamRef(h) => ArgValue::IntStream(
-                    self.streams.get(*h)?.iter().map(Value::as_int).collect(),
-                ),
+                Value::StreamRef(h) => {
+                    ArgValue::IntStream(self.streams.get(*h)?.iter().map(Value::as_int).collect())
+                }
                 Value::Unit => return None,
             };
             out.push(snap);
@@ -275,9 +275,8 @@ impl<'p> Machine<'p> {
         let t = self.resolve(t);
         Ok(match &t {
             Type::Array(inner, size) => {
-                let n = minic::edit::resolve_array_size(self.program, size).ok_or_else(|| {
-                    ExecError::setup("sizeof array with unknown extent")
-                })?;
+                let n = minic::edit::resolve_array_size(self.program, size)
+                    .ok_or_else(|| ExecError::setup("sizeof array with unknown extent"))?;
                 (n as usize) * self.size_of(inner)?
             }
             Type::Struct(name) => {
@@ -377,12 +376,6 @@ impl<'p> Machine<'p> {
             }
             if let Some((base, sname)) = &frame.self_struct {
                 if let Ok((off, ty)) = self.field_offset(sname, name) {
-                    let def = self.program.struct_def(sname);
-                    let by_ref = def
-                        .and_then(|d| d.field(name))
-                        .map(|f| f.by_ref)
-                        .unwrap_or(false);
-                    let ty = if by_ref { ty } else { ty };
                     return Some(Binding {
                         addr: base + off,
                         ty,
@@ -434,11 +427,7 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn run_kernel_inner(
-        &mut self,
-        name: &str,
-        args: &[ArgValue],
-    ) -> Result<Outcome, ExecError> {
+    fn run_kernel_inner(&mut self, name: &str, args: &[ArgValue]) -> Result<Outcome, ExecError> {
         let f = self
             .program
             .function(name)
@@ -459,7 +448,15 @@ impl<'p> Machine<'p> {
             match (arg, &pty) {
                 (ArgValue::Int(v), _) if pty.is_integer() || matches!(pty, Type::Bool) => {
                     let size = |_: &Type| 1usize;
-                    values.push(coerce(Value::Int { v: *v, bits: 127, signed: true }, &pty, &size));
+                    values.push(coerce(
+                        Value::Int {
+                            v: *v,
+                            bits: 127,
+                            signed: true,
+                        },
+                        &pty,
+                        &size,
+                    ));
                     array_views.push(None);
                     stream_views.push(None);
                 }
@@ -521,18 +518,16 @@ impl<'p> Machine<'p> {
             Value::Unit => None,
             other => Some(ScalarOut::from(&other)),
         };
-        for view in &array_views {
-            if let Some((addr, len, _)) = view {
-                let vals = self.mem.load_run(*addr, *len)?;
-                outcome.arrays.push(vals.iter().map(ScalarOut::from).collect());
-            }
+        for (addr, len, _) in array_views.iter().flatten() {
+            let vals = self.mem.load_run(*addr, *len)?;
+            outcome
+                .arrays
+                .push(vals.iter().map(ScalarOut::from).collect());
         }
-        for view in &stream_views {
-            if let Some(h) = view {
-                outcome.streams.push(
-                    self.streams[*h].iter().map(ScalarOut::from).collect(),
-                );
-            }
+        for h in stream_views.iter().flatten() {
+            outcome
+                .streams
+                .push(self.streams[*h].iter().map(ScalarOut::from).collect());
         }
         Ok(outcome)
     }
@@ -609,8 +604,7 @@ impl<'p> Machine<'p> {
             *d -= 1;
         }
         if self.config.profile {
-            self.profile.peak_heap_cells =
-                self.profile.peak_heap_cells.max(self.mem.peak_cells());
+            self.profile.peak_heap_cells = self.profile.peak_heap_cells.max(self.mem.peak_cells());
         }
         match result? {
             Flow::Return(v) => Ok(v),
@@ -627,9 +621,10 @@ impl<'p> Machine<'p> {
             }
             match self.exec_stmt(&body.stmts[idx])? {
                 Flow::Goto(label) => {
-                    let target = body.stmts.iter().position(
-                        |s| matches!(&s.kind, StmtKind::Label(l) if *l == label),
-                    );
+                    let target = body
+                        .stmts
+                        .iter()
+                        .position(|s| matches!(&s.kind, StmtKind::Label(l) if *l == label));
                     match target {
                         Some(t) => idx = t + 1,
                         None => {
@@ -919,8 +914,7 @@ impl<'p> Machine<'p> {
                                 let Value::Ptr { addr, stride } = pv else {
                                     return Err(ExecError::setup("indexing non-pointer"));
                                 };
-                                let target =
-                                    addr as i128 + i * stride.max(1) as i128;
+                                let target = addr as i128 + i * stride.max(1) as i128;
                                 if target <= 0 {
                                     return Err(ExecError::trap(Trap::NullDeref));
                                 }
@@ -1057,7 +1051,9 @@ impl<'p> Machine<'p> {
         } else {
             // Positional aggregate initialization.
             for (i, v) in arg_values.into_iter().enumerate() {
-                let Some(field) = def.fields.get(i) else { break };
+                let Some(field) = def.fields.get(i) else {
+                    break;
+                };
                 let (off, fty) = self.field_offset(name, &field.name)?;
                 if field.by_ref || matches!(fty, Type::Stream(_)) {
                     self.mem.store(addr + off, v)?;
@@ -1176,9 +1172,7 @@ impl<'p> Machine<'p> {
                     self.eval(f)
                 }
             }
-            ExprKind::InitList(_) => Err(ExecError::setup(
-                "initializer list outside declaration",
-            )),
+            ExprKind::InitList(_) => Err(ExecError::setup("initializer list outside declaration")),
             ExprKind::StructLit(name, args) => {
                 let addr = self.construct_struct(name, args)?;
                 Ok(Value::Ptr { addr, stride: 1 })
@@ -1441,11 +1435,7 @@ impl<'p> Machine<'p> {
         }
         // Sibling method call inside a struct method body (`doRead()` from
         // `do1()`): dispatch on the current receiver.
-        if let Some((base, sname)) = self
-            .frames
-            .last()
-            .and_then(|fr| fr.self_struct.clone())
-        {
+        if let Some((base, sname)) = self.frames.last().and_then(|fr| fr.self_struct.clone()) {
             if let Some(m) = self
                 .program
                 .struct_def(&sname)
@@ -1476,9 +1466,7 @@ impl<'p> Machine<'p> {
             values.push(v);
         }
         if values.len() != f.params.len() {
-            return Err(ExecError::setup(format!(
-                "arity mismatch calling `{name}`"
-            )));
+            return Err(ExecError::setup(format!("arity mismatch calling `{name}`")));
         }
         self.call_function(&f, values, None)
     }
@@ -1519,9 +1507,7 @@ impl<'p> Machine<'p> {
                     .ok_or_else(|| ExecError::setup(format!("unknown struct `{sname}`")))?;
                 let m = def
                     .method(method)
-                    .ok_or_else(|| {
-                        ExecError::setup(format!("no method `{method}` on `{sname}`"))
-                    })?
+                    .ok_or_else(|| ExecError::setup(format!("no method `{method}` on `{sname}`")))?
                     .clone();
                 let mut values = Vec::with_capacity(args.len());
                 for a in args {
@@ -1662,7 +1648,8 @@ mod tests {
 
     #[test]
     fn static_array_wrap_policy() {
-        let src = "int f(int i) { int a[4]; a[0] = 10; a[1] = 11; a[2] = 12; a[3] = 13; return a[i]; }";
+        let src =
+            "int f(int i) { int a[4]; a[0] = 10; a[1] = 11; a[2] = 12; a[3] = 13; return a[i]; }";
         let p = minic::parse(src).unwrap();
         let mut cpu = Machine::new(&p, MachineConfig::cpu()).unwrap();
         assert!(cpu.run_function("f", vec![Value::int(7)]).is_err());
@@ -1692,8 +1679,7 @@ mod tests {
 
     #[test]
     fn stream_underflow_traps() {
-        let p = minic::parse("unsigned f() { hls::stream<unsigned> s; return s.read(); }")
-            .unwrap();
+        let p = minic::parse("unsigned f() { hls::stream<unsigned> s; return s.read(); }").unwrap();
         let mut m = Machine::new(&p, MachineConfig::cpu()).unwrap();
         let err = m.run_function("f", vec![]).unwrap_err();
         assert_eq!(err.as_trap(), Some(&Trap::StreamUnderflow));
@@ -1793,10 +1779,8 @@ mod tests {
 
     #[test]
     fn profile_records_max_value() {
-        let p = minic::parse(
-            "int f(int x) { int ret = 0; ret = x; ret = 83; return ret; }",
-        )
-        .unwrap();
+        let p =
+            minic::parse("int f(int x) { int ret = 0; ret = x; ret = 83; return ret; }").unwrap();
         let mut m = Machine::new(&p, MachineConfig::cpu()).unwrap();
         m.run_function("f", vec![Value::int(10)]).unwrap();
         let r = m.profile.range_of("f", "ret").unwrap();
@@ -1806,10 +1790,8 @@ mod tests {
 
     #[test]
     fn profile_records_recursion_depth() {
-        let p = minic::parse(
-            "void t(int n) { if (n > 0) { t(n - 1); } } void k(int n) { t(n); }",
-        )
-        .unwrap();
+        let p = minic::parse("void t(int n) { if (n > 0) { t(n - 1); } } void k(int n) { t(n); }")
+            .unwrap();
         let mut m = Machine::new(&p, MachineConfig::cpu()).unwrap();
         m.run_function("k", vec![Value::int(9)]).unwrap();
         assert_eq!(m.profile.max_depth["t"], 10);
@@ -1817,10 +1799,9 @@ mod tests {
 
     #[test]
     fn run_kernel_returns_arrays() {
-        let p = minic::parse(
-            "void k(int a[4]) { for (int i = 0; i < 4; i++) { a[i] = a[i] * 2; } }",
-        )
-        .unwrap();
+        let p =
+            minic::parse("void k(int a[4]) { for (int i = 0; i < 4; i++) { a[i] = a[i] * 2; } }")
+                .unwrap();
         let mut m = Machine::new(&p, MachineConfig::cpu()).unwrap();
         let out = m.run_kernel("k", &[ArgValue::IntArray(vec![1, 2, 3, 4])]);
         assert!(!out.trapped, "{:?}", out.trap_reason);
@@ -1848,10 +1829,7 @@ mod tests {
         let mut m = Machine::new(&p, MachineConfig::cpu()).unwrap();
         let out = m.run_kernel(
             "k",
-            &[
-                ArgValue::IntStream(vec![1, 2]),
-                ArgValue::IntStream(vec![]),
-            ],
+            &[ArgValue::IntStream(vec![1, 2]), ArgValue::IntStream(vec![])],
         );
         assert!(!out.trapped, "{:?}", out.trap_reason);
         assert_eq!(out.streams[0], Vec::<ScalarOut>::new());
@@ -2034,8 +2012,16 @@ mod tests {
             vec![],
         );
         let mut x: i128 = 100;
-        x += 5; x -= 1; x *= 2; x /= 4; x %= 13;
-        x <<= 2; x >>= 1; x |= 8; x &= 14; x ^= 1;
+        x += 5;
+        x -= 1;
+        x *= 2;
+        x /= 4;
+        x %= 13;
+        x <<= 2;
+        x >>= 1;
+        x |= 8;
+        x &= 14;
+        x ^= 1;
         assert_eq!(v.as_int(), x);
     }
 

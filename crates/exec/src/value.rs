@@ -338,17 +338,15 @@ impl Outcome {
             (None, None) => true,
             _ => false,
         };
-        ret_eq
-            && vecs_eq(&self.arrays, &other.arrays)
-            && vecs_eq(&self.streams, &other.streams)
+        ret_eq && vecs_eq(&self.arrays, &other.arrays) && vecs_eq(&self.streams, &other.streams)
     }
 }
 
 fn vecs_eq(a: &[Vec<ScalarOut>], b: &[Vec<ScalarOut>]) -> bool {
     a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| {
-            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.approx_eq(q))
-        })
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.approx_eq(q)))
 }
 
 #[cfg(test)]
@@ -446,7 +444,10 @@ mod tests {
             _ => 1,
         };
         let p = coerce(
-            Value::Ptr { addr: 10, stride: 1 },
+            Value::Ptr {
+                addr: 10,
+                stride: 1,
+            },
             &Type::ptr(Type::Struct("Node".into())),
             &size,
         );

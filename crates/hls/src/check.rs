@@ -258,12 +258,7 @@ fn check_function(p: &Program, f: &Function, is_top: bool, out: &mut Vec<HlsDiag
     check_pragmas(p, f, out);
 }
 
-fn collect_stmt_issues(
-    p: &Program,
-    s: &Stmt,
-    fname: &str,
-    out: &mut Vec<HlsDiagnostic>,
-) {
+fn collect_stmt_issues(p: &Program, s: &Stmt, fname: &str, out: &mut Vec<HlsDiagnostic>) {
     match &s.kind {
         StmtKind::Decl(d) => {
             if contains_long_double(&d.ty) {
@@ -470,23 +465,23 @@ fn check_pragmas(p: &Program, f: &Function, out: &mut Vec<HlsDiagnostic>) {
                 if *complete {
                     return;
                 }
-                if let Some(ty) = minic::edit::declared_type(p, Some(&f.name), var) {
-                    if let Type::Array(_, size) = &ty {
-                        if let Some(n) = minic::edit::resolve_array_size(p, size) {
-                            if *factor == 0 || n % (*factor as u64) != 0 {
-                                out.push(
-                                    HlsDiagnostic::new(
-                                        "XFORM 202-711",
-                                        format!(
-                                            "Array '{var}' failed partition checking: factor {factor} does not divide array extent {n}"
-                                        ),
-                                        ErrorCategory::LoopParallelization,
-                                    )
-                                    .on(var.clone())
-                                    .in_function(f.name.clone())
-                                    .at(s.id),
-                                );
-                            }
+                if let Some(Type::Array(_, size)) =
+                    &minic::edit::declared_type(p, Some(&f.name), var)
+                {
+                    if let Some(n) = minic::edit::resolve_array_size(p, size) {
+                        if *factor == 0 || n % (*factor as u64) != 0 {
+                            out.push(
+                                HlsDiagnostic::new(
+                                    "XFORM 202-711",
+                                    format!(
+                                        "Array '{var}' failed partition checking: factor {factor} does not divide array extent {n}"
+                                    ),
+                                    ErrorCategory::LoopParallelization,
+                                )
+                                .on(var.clone())
+                                .in_function(f.name.clone())
+                                .at(s.id),
+                            );
                         }
                     }
                 }
@@ -593,7 +588,9 @@ fn check_struct_instantiation(p: &Program, out: &mut Vec<HlsDiagnostic>) {
             }
         });
         for sname in &instantiated {
-            let Some(def) = p.struct_def(sname) else { continue };
+            let Some(def) = p.struct_def(sname) else {
+                continue;
+            };
             if !def.methods.is_empty() && def.ctor.is_none() {
                 out.push(
                     HlsDiagnostic::new(
@@ -633,10 +630,8 @@ fn is_static_local(b: &Block, var: &str) -> bool {
     for s in &b.stmts {
         match &s.kind {
             StmtKind::Decl(d) if d.name == var => return d.is_static,
-            StmtKind::Block(inner) => {
-                if is_static_local(inner, var) {
-                    return true;
-                }
+            StmtKind::Block(inner) if is_static_local(inner, var) => {
+                return true;
             }
             _ => {}
         }
@@ -658,7 +653,8 @@ mod tests {
 
     #[test]
     fn clean_kernel_is_synthesizable() {
-        let ds = diags("void kernel(int a[16]) { for (int i = 0; i < 16; i++) { a[i] = a[i] + 1; } }");
+        let ds =
+            diags("void kernel(int a[16]) { for (int i = 0; i < 16; i++) { a[i] = a[i] + 1; } }");
         assert!(ds.is_empty(), "{ds:?}");
     }
 
@@ -686,9 +682,8 @@ mod tests {
     fn pointer_local_reported_but_top_param_allowed() {
         let ds = diags("void kernel(float* out) { float x = out[0]; out[0] = x; }");
         assert!(ds.is_empty(), "top interface pointers allowed: {ds:?}");
-        let ds = diags(
-            "void helper(float* p) { p[0] = 1.0; } void kernel(float a[4]) { helper(a); }",
-        );
+        let ds =
+            diags("void helper(float* p) { p[0] = 1.0; } void kernel(float a[4]) { helper(a); }");
         assert!(has_category(&ds, ErrorCategory::UnsupportedDataTypes));
     }
 
@@ -822,7 +817,9 @@ mod tests {
         "#,
         );
         assert!(has_category(&ds, ErrorCategory::StructAndUnion));
-        assert!(ds.iter().any(|d| d.message.contains("unsynthesizable struct")));
+        assert!(ds
+            .iter()
+            .any(|d| d.message.contains("unsynthesizable struct")));
         // Non-static connecting stream also reported.
         assert!(ds.iter().any(|d| d.message.contains("must be static")));
     }

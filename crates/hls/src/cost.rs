@@ -44,7 +44,16 @@ impl CompileCostModel {
 
     /// Cost of one full HLS compilation.
     pub fn full_compile(&self, p: &Program) -> f64 {
-        self.full_compile_base_min + self.full_compile_per_loc_min * minic::loc(p) as f64
+        self.full_compile_loc(minic::loc(p))
+    }
+
+    /// Cost of one full HLS compilation of a program with `loc` lines.
+    ///
+    /// The repair loop's worker threads pre-compute each candidate's LOC
+    /// while evaluating it, so the accounting thread can bill the compile
+    /// without re-rendering the program.
+    pub fn full_compile_loc(&self, loc: usize) -> f64 {
+        self.full_compile_base_min + self.full_compile_per_loc_min * loc as f64
     }
 
     /// Cost of simulating `n` tests on the FPGA side.

@@ -133,9 +133,7 @@ fn stmt_weight(p: &Program, s: &Stmt) -> f64 {
                 + body_weight(p, t)
                 + e.as_ref().map(|b| body_weight(p, b)).unwrap_or(0.0)
         }
-        StmtKind::Decl(d) => {
-            1.0 + d.init.as_ref().map(|e| expr_weight(p, e)).unwrap_or(0.0)
-        }
+        StmtKind::Decl(d) => 1.0 + d.init.as_ref().map(|e| expr_weight(p, e)).unwrap_or(0.0),
         StmtKind::Expr(e) | StmtKind::Return(Some(e)) => 1.0 + expr_weight(p, e),
         StmtKind::Block(b) => body_weight(p, b),
         _ => 1.0,
@@ -233,8 +231,7 @@ pub fn estimate_latency(
                 let loop_ops = iters as f64 * w;
                 let capped = loop_ops.min(effective);
                 effective -= capped * (1.0 - 1.0 / s);
-                if l
-                    .pragmas
+                if l.pragmas
                     .iter()
                     .any(|p| matches!(p, PragmaKind::Pipeline { .. }))
                 {
@@ -244,11 +241,15 @@ pub fn estimate_latency(
         }
     }
     // Dataflow overlap at the top function.
-    if let Some(top) = program.top_function_name().and_then(|n| program.function(n)) {
+    if let Some(top) = program
+        .top_function_name()
+        .and_then(|n| program.function(n))
+    {
         if let Some(body) = &top.body {
-            let has_dataflow = body.stmts.iter().any(
-                |s| matches!(&s.kind, StmtKind::Pragma(p) if p.kind == PragmaKind::Dataflow),
-            );
+            let has_dataflow = body
+                .stmts
+                .iter()
+                .any(|s| matches!(&s.kind, StmtKind::Pragma(p) if p.kind == PragmaKind::Dataflow));
             if has_dataflow {
                 let tasks = body
                     .stmts
@@ -293,9 +294,9 @@ fn find_loop_body(f: &Function, id: NodeId) -> Option<&Block> {
                 }
             }
             let nested = match &s.kind {
-                StmtKind::If(_, t, e) => in_block(t, id).or_else(|| {
-                    e.as_ref().and_then(|e| in_block(e, id))
-                }),
+                StmtKind::If(_, t, e) => {
+                    in_block(t, id).or_else(|| e.as_ref().and_then(|e| in_block(e, id)))
+                }
                 StmtKind::While(_, body)
                 | StmtKind::DoWhile(body, _)
                 | StmtKind::For(_, _, _, body)
@@ -345,13 +346,7 @@ mod tests {
         let mut m = Machine::new(&p, MachineConfig::fpga()).unwrap();
         let top = p.top_function_name().unwrap().to_string();
         m.run_function(&top, args).unwrap();
-        estimate_latency(
-            &ScheduleModel::default(),
-            &p,
-            m.ops(),
-            &m.loop_stats,
-            250.0,
-        )
+        estimate_latency(&ScheduleModel::default(), &p, m.ops(), &m.loop_stats, 250.0)
     }
 
     #[test]
@@ -425,7 +420,8 @@ mod tests {
 
     #[test]
     fn resource_estimate_shrinks_with_narrow_types() {
-        let wide = minic::parse("void kernel(int a[64]) { int r = 0; r = a[0]; a[0] = r; }").unwrap();
+        let wide =
+            minic::parse("void kernel(int a[64]) { int r = 0; r = a[0]; a[0] = r; }").unwrap();
         let narrow = minic::parse(
             "void kernel(fpga_uint<7> a[64]) { fpga_uint<7> r = 0; r = a[0]; a[0] = r; }",
         )

@@ -93,22 +93,14 @@ fn check_function(p: &Program, f: &Function, out: &mut Vec<StyleViolation>) {
     }
 }
 
-fn check_stmt(
-    p: &Program,
-    f: &Function,
-    s: &Stmt,
-    in_loop: bool,
-    out: &mut Vec<StyleViolation>,
-) {
+fn check_stmt(p: &Program, f: &Function, s: &Stmt, in_loop: bool, out: &mut Vec<StyleViolation>) {
     match &s.kind {
         StmtKind::Pragma(pr) => match &pr.kind {
-            PragmaKind::Dataflow => {
-                if in_loop {
-                    out.push(StyleViolation {
-                        message: "dataflow pragma is not valid inside a loop body".to_string(),
-                        function: Some(f.name.clone()),
-                    });
-                }
+            PragmaKind::Dataflow if in_loop => {
+                out.push(StyleViolation {
+                    message: "dataflow pragma is not valid inside a loop body".to_string(),
+                    function: Some(f.name.clone()),
+                });
             }
             PragmaKind::Unroll { factor } => {
                 if !in_loop {
@@ -138,7 +130,12 @@ fn check_stmt(
                     });
                 }
             }
-            PragmaKind::ArrayPartition { var, factor, complete, .. } => {
+            PragmaKind::ArrayPartition {
+                var,
+                factor,
+                complete,
+                ..
+            } => {
                 if minic::edit::declared_type(p, Some(&f.name), var).is_none() {
                     out.push(StyleViolation {
                         message: format!(
@@ -149,9 +146,7 @@ fn check_stmt(
                 } else if let Some(ty) = minic::edit::declared_type(p, Some(&f.name), var) {
                     if !ty.is_array() {
                         out.push(StyleViolation {
-                            message: format!(
-                                "array_partition target `{var}` is not an array"
-                            ),
+                            message: format!("array_partition target `{var}` is not an array"),
                             function: Some(f.name.clone()),
                         });
                     }
@@ -167,8 +162,7 @@ fn check_stmt(
             PragmaKind::LoopTripcount { min, max } => {
                 if !in_loop {
                     out.push(StyleViolation {
-                        message: "loop_tripcount pragma must appear within a loop body"
-                            .to_string(),
+                        message: "loop_tripcount pragma must appear within a loop body".to_string(),
                         function: Some(f.name.clone()),
                     });
                 }
@@ -233,9 +227,7 @@ mod tests {
 
     #[test]
     fn unroll_outside_loop_rejected() {
-        let v = violations(
-            "void kernel(int a[4]) {\n#pragma HLS unroll factor=2\n a[0] = 1; }",
-        );
+        let v = violations("void kernel(int a[4]) {\n#pragma HLS unroll factor=2\n a[0] = 1; }");
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("within a loop"));
     }

@@ -293,7 +293,10 @@ impl fmt::Display for Pragma {
                 if *complete {
                     write!(f, "array_partition variable={var} complete dim={dim}")
                 } else {
-                    write!(f, "array_partition variable={var} factor={factor} dim={dim}")
+                    write!(
+                        f,
+                        "array_partition variable={var} factor={factor} dim={dim}"
+                    )
                 }
             }
             PragmaKind::Interface { mode, port } => write!(f, "interface mode={mode} port={port}"),
@@ -357,12 +360,7 @@ pub enum StmtKind {
     /// `do { … } while (c);`
     DoWhile(Block, Expr),
     /// `for (init; cond; step) { … }` — any part may be absent.
-    For(
-        Option<Box<Stmt>>,
-        Option<Expr>,
-        Option<Expr>,
-        Block,
-    ),
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Block),
     /// `return [e];`
     Return(Option<Expr>),
     /// `break;`
@@ -604,12 +602,9 @@ impl Program {
         if let Some(t) = &self.config.top {
             return Some(t);
         }
-        for candidate in ["top", "kernel"] {
-            if self.function(candidate).is_some() {
-                return Some(candidate);
-            }
-        }
-        None
+        ["top", "kernel"]
+            .into_iter()
+            .find(|candidate| self.function(candidate).is_some())
     }
 
     /// Assigns fresh ids to every synthesized node (id == [`NodeId::SYNTH`])

@@ -77,11 +77,7 @@ fn lcs_len(a: &[&str], b: &[&str]) -> usize {
 
 /// Convenience: ΔLOC between two parsed programs via the pretty printer.
 pub fn delta_loc(old: &crate::Program, new: &crate::Program) -> usize {
-    line_diff(
-        &crate::print_program(old),
-        &crate::print_program(new),
-    )
-    .delta_loc()
+    line_diff(&crate::print_program(old), &crate::print_program(new)).delta_loc()
 }
 
 #[cfg(test)]
@@ -142,8 +138,7 @@ mod tests {
     #[test]
     fn delta_loc_on_programs() {
         let p1 = crate::parse("int f(int a) { return a; }").unwrap();
-        let p2 =
-            crate::parse("int f(int a) { int b = a + 1; return b; }").unwrap();
+        let p2 = crate::parse("int f(int a) { int b = a + 1; return b; }").unwrap();
         assert!(delta_loc(&p1, &p2) >= 1);
     }
 }

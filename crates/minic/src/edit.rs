@@ -217,6 +217,9 @@ fn make_block_static(b: &mut Block, var: &str) -> bool {
                     }
                 }
             }
+            // Not expressible as a pattern guard: the recursion needs the
+            // mutable binding, which guards freeze.
+            #[allow(clippy::collapsible_match)]
             StmtKind::While(_, body)
             | StmtKind::DoWhile(body, _)
             | StmtKind::For(_, _, _, body)
@@ -398,8 +401,7 @@ mod tests {
 
     #[test]
     fn renames_function_and_calls() {
-        let mut p =
-            parse("void t(int x) { if (x > 0) { t(x - 1); } } void k() { t(3); }").unwrap();
+        let mut p = parse("void t(int x) { if (x > 0) { t(x - 1); } } void k() { t(3); }").unwrap();
         assert!(rename_function(&mut p, "t", "t_converted"));
         let s = crate::print_program(&p);
         assert!(!s.contains(" t("), "{s}");
@@ -412,7 +414,11 @@ mod tests {
         let mut p = parse("struct Node { int v; };\nvoid f() {}").unwrap();
         add_global(
             &mut p,
-            VarDecl::new("Node_arr", Type::array(Type::Struct("Node".into()), 64), None),
+            VarDecl::new(
+                "Node_arr",
+                Type::array(Type::Struct("Node".into()), 64),
+                None,
+            ),
         );
         let s = crate::print_program(&p);
         let arr_pos = s.find("Node_arr").unwrap();
@@ -430,10 +436,8 @@ mod tests {
 
     #[test]
     fn detects_recursion() {
-        let p = parse(
-            "void t(int x) { if (x > 0) { t(x - 1); } } void u(int x) { t(x); }",
-        )
-        .unwrap();
+        let p =
+            parse("void t(int x) { if (x > 0) { t(x - 1); } } void u(int x) { t(x); }").unwrap();
         assert!(is_recursive(&p, "t"));
         assert!(!is_recursive(&p, "u"));
         assert_eq!(callers_of(&p, "t"), vec!["t".to_string(), "u".to_string()]);

@@ -38,6 +38,7 @@ pub mod ast;
 pub mod diff;
 pub mod edit;
 pub mod error;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -51,6 +52,7 @@ pub use ast::{
     PragmaKind, Program, Stmt, StmtKind, StructDef, VarDecl,
 };
 pub use error::{ParseError, TypeError};
+pub use fingerprint::fingerprint_program;
 pub use parser::parse;
 pub use printer::print_program;
 pub use types::{ArraySize, IntWidth, Type};

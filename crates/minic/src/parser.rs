@@ -655,8 +655,7 @@ impl Parser {
             }
             // Label: `ident:` not followed by `::`.
             TokenKind::Ident(name)
-                if self.peek_at(1) == &TokenKind::Colon
-                    && self.peek_at(2) != &TokenKind::Colon =>
+                if self.peek_at(1) == &TokenKind::Colon && self.peek_at(2) != &TokenKind::Colon =>
             {
                 self.bump();
                 self.bump();
@@ -1462,8 +1461,9 @@ mod tests {
 
     #[test]
     fn parses_typedef() {
-        let p = parse("typedef unsigned int Node_ptr;\nNode_ptr next(Node_ptr c) { return c + 1; }")
-            .unwrap();
+        let p =
+            parse("typedef unsigned int Node_ptr;\nNode_ptr next(Node_ptr c) { return c + 1; }")
+                .unwrap();
         assert_eq!(p.typedef("Node_ptr"), Some(&Type::uint()));
     }
 

@@ -145,7 +145,13 @@ fn params_str(params: &[Param]) -> String {
 fn print_function(out: &mut String, level: usize, f: &Function) {
     indent(out, level);
     let staticity = if f.is_static { "static " } else { "" };
-    let _ = write!(out, "{staticity}{} {}({})", f.ret, f.name, params_str(&f.params));
+    let _ = write!(
+        out,
+        "{staticity}{} {}({})",
+        f.ret,
+        f.name,
+        params_str(&f.params)
+    );
     match &f.body {
         Some(body) => {
             out.push_str(" {\n");
@@ -486,9 +492,7 @@ mod tests {
 
     #[test]
     fn round_trips_casts_inside_expressions() {
-        round_trip(
-            "float f(int a, float b) { return (float)a * b + (float)(a + 1) / 2.0; }",
-        );
+        round_trip("float f(int a, float b) { return (float)a * b + (float)(a + 1) / 2.0; }");
     }
 
     #[test]

@@ -266,9 +266,7 @@ impl<'a> Checker<'a> {
             ExprKind::Binary(op, a, b) => {
                 let at = self.type_expr(a);
                 let bt = self.type_expr(b);
-                if op.is_comparison() {
-                    Type::Bool
-                } else if matches!(op, BinOp::And | BinOp::Or) {
+                if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
                     Type::Bool
                 } else {
                     usual_conversion(&at, &bt)
@@ -307,10 +305,7 @@ impl<'a> Checker<'a> {
                         if n != args.len() {
                             self.err(
                                 e.span,
-                                format!(
-                                    "builtin `{name}` takes {n} arguments, got {}",
-                                    args.len()
-                                ),
+                                format!("builtin `{name}` takes {n} arguments, got {}", args.len()),
                             );
                         }
                     }
@@ -391,10 +386,7 @@ impl<'a> Checker<'a> {
                         match self.program.struct_def(sname).and_then(|s| s.field(field)) {
                             Some(f) => self.resolve(&f.ty.clone()),
                             None => {
-                                self.err(
-                                    e.span,
-                                    format!("no field `{field}` on struct `{sname}`"),
-                                );
+                                self.err(e.span, format!("no field `{field}` on struct `{sname}`"));
                                 Type::int()
                             }
                         }
@@ -536,8 +528,7 @@ mod tests {
 
     #[test]
     fn builtins_are_known() {
-        let p =
-            parse("double f(double x) { return sqrt(x) + pow(x, 2.0) + fabs(x); }").unwrap();
+        let p = parse("double f(double x) { return sqrt(x) + pow(x, 2.0) + fabs(x); }").unwrap();
         let info = check(&p);
         assert!(info.is_clean(), "{:?}", info.errors);
     }
@@ -611,18 +602,17 @@ mod tests {
 
     #[test]
     fn long_double_decl_finder() {
-        let p = parse("long double g;\nvoid f() { long double x = 0.0L; double y = 1.0; }")
-            .unwrap();
+        let p =
+            parse("long double g;\nvoid f() { long double x = 0.0L; double y = 1.0; }").unwrap();
         let found = long_double_decls(&p);
         assert_eq!(found, vec!["g".to_string(), "x".to_string()]);
     }
 
     #[test]
     fn typedef_resolution_in_exprs() {
-        let p = parse(
-            "typedef unsigned int Node_ptr;\nNode_ptr next(Node_ptr c) { return c + 1u; }",
-        )
-        .unwrap();
+        let p =
+            parse("typedef unsigned int Node_ptr;\nNode_ptr next(Node_ptr c) { return c + 1u; }")
+                .unwrap();
         let info = check(&p);
         assert!(info.is_clean(), "{:?}", info.errors);
     }

@@ -347,10 +347,12 @@ mod tests {
 
     #[test]
     fn resolve_named_rewrites_nested() {
-        let resolver = |n: &str| (n == "Node_ptr").then(|| Type::FpgaInt {
-            bits: 16,
-            signed: false,
-        });
+        let resolver = |n: &str| {
+            (n == "Node_ptr").then_some(Type::FpgaInt {
+                bits: 16,
+                signed: false,
+            })
+        };
         let t = Type::ptr(Type::Named("Node_ptr".into()));
         let r = t.resolve_named(&resolver);
         assert_eq!(r.to_string(), "fpga_uint<16>*");

@@ -439,8 +439,8 @@ mod tests {
 
     #[test]
     fn counts_calls() {
-        let p = parse("int g(int x) { return x; } int f(int a) { return g(a) + g(a + 1); }")
-            .unwrap();
+        let p =
+            parse("int g(int x) { return x; } int f(int a) { return g(a) + g(a + 1); }").unwrap();
         let mut calls = 0;
         visit_exprs(&p, &mut |e| {
             if matches!(e.kind, ExprKind::Call(..)) {
@@ -466,10 +466,9 @@ mod tests {
 
     #[test]
     fn rewrites_types_everywhere() {
-        let mut p = parse(
-            "long double g; long double f(long double a) { long double b = a; return b; }",
-        )
-        .unwrap();
+        let mut p =
+            parse("long double g; long double f(long double a) { long double b = a; return b; }")
+                .unwrap();
         visit_types_mut(&mut p, &mut |t| {
             if *t == crate::Type::LongDouble {
                 *t = crate::Type::Double;

@@ -1,0 +1,196 @@
+//! Order-preserving parallel evaluation over borrowed data.
+//!
+//! This is the workspace's one threading primitive: a [`parallel_map`] built
+//! on `std::thread::scope` (std-only, no external dependencies). Work items
+//! are claimed from a shared atomic cursor, so imbalanced items (one slow
+//! candidate compile next to nine fast ones) do not serialize a batch, and
+//! results always come back **in input order** regardless of completion
+//! order. That ordering is what lets the repair-search and fuzzing loops
+//! bill their simulated clocks and merge results deterministically: the
+//! parallel run performs the same merges in the same order as the
+//! sequential run, so `threads` only changes wall-clock time, never output.
+//!
+//! With `threads <= 1` (or a single item) no threads are spawned at all —
+//! the closure runs inline on the caller's thread, byte-identical to a
+//! hand-written sequential loop and free of pool overhead.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a requested thread count: `0` means "use available parallelism".
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `items`, evaluating up to `threads` items concurrently,
+/// and return the results in input order.
+///
+/// `f` runs once per item; panics in `f` propagate to the caller after the
+/// scope joins. The closure receives `(index, &item)` so callers can key
+/// side tables without re-finding the item.
+pub fn parallel_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = effective_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slot_ptr = SlotBox(slots.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            let slot_ptr = &slot_ptr;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(i, &items[i]);
+                // SAFETY: each index is claimed by exactly one worker (the
+                // atomic fetch_add hands out each value once), every slot
+                // outlives the scope, and distinct indices never alias.
+                unsafe { slot_ptr.0.add(i).write(Some(out)) };
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Raw pointer wrapper so the slot array can be shared across the scoped
+/// workers. Safe because workers write disjoint indices (see SAFETY above).
+struct SlotBox<U>(*mut Option<U>);
+
+unsafe impl<U: Send> Sync for SlotBox<U> {}
+
+/// Like [`parallel_map`], but over owned items; results still in order.
+pub fn parallel_map_owned<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let threads = effective_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let mut owned: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let taken = TakeBox(owned.as_mut_ptr());
+    let len = owned.len();
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+    let slot_ptr = SlotBox(slots.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            let slot_ptr = &slot_ptr;
+            let taken = &taken;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                // SAFETY: index claimed exactly once; see parallel_map.
+                let item = unsafe { (*taken.0.add(i)).take() }.expect("item present");
+                let out = f(i, item);
+                unsafe { slot_ptr.0.add(i).write(Some(out)) };
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+struct TakeBox<T>(*mut Option<T>);
+
+unsafe impl<T: Send> Sync for TakeBox<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..50).map(|i| i * 7 + 1).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x)).collect();
+        for threads in [0, 1, 2, 3, 16] {
+            let got = parallel_map(threads, &items, |_, &x| x.wrapping_mul(x));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn each_item_evaluated_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<u8> = vec![0; 64];
+        parallel_map(4, &items, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn owned_variant_moves_items_through() {
+        let items: Vec<String> = (0..20).map(|i| format!("s{i}")).collect();
+        let expect: Vec<String> = items.iter().map(|s| format!("{s}!")).collect();
+        for threads in [1, 4] {
+            let got = parallel_map_owned(threads, items.clone(), |_, s| format!("{s}!"));
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

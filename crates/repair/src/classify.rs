@@ -79,11 +79,7 @@ mod tests {
     #[test]
     fn classifies_table1_examples() {
         for (category, _code, message) in hls_sim::errors::table1_examples() {
-            assert_eq!(
-                classify_message(message),
-                category,
-                "message: {message}"
-            );
+            assert_eq!(classify_message(message), category, "message: {message}");
         }
     }
 

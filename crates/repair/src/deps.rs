@@ -38,9 +38,17 @@ pub fn dependence_rank(kind: &str) -> u8 {
         // Roots.
         "set_top" | "fix_clock" => 0,
         "constructor" | "flatten" => 1,
-        "stack_trans" | "pointer_to_index" | "array_static" | "type_trans"
-        | "pointer_param_to_array" | "duplicate_array_arg" | "pad_array" | "index_static"
-        | "delete_pragma" | "insert_pragma" | "explore" => 2,
+        "stack_trans"
+        | "pointer_to_index"
+        | "array_static"
+        | "type_trans"
+        | "pointer_param_to_array"
+        | "duplicate_array_arg"
+        | "pad_array"
+        | "index_static"
+        | "delete_pragma"
+        | "insert_pragma"
+        | "explore" => 2,
         // First-level dependents.
         "stream_static" | "inst_update" | "type_casting" | "resize" => 3,
         // Second-level dependents.

@@ -25,11 +25,12 @@ pub struct DifferentialTester {
     tests: Vec<TestCase>,
     reference: Vec<Outcome>,
     cpu_latency_ms: f64,
+    threads: usize,
 }
 
 impl DifferentialTester {
     /// Runs the original program on every test (capped at `max_tests`) and
-    /// records the reference outcomes.
+    /// records the reference outcomes, single-threaded.
     ///
     /// # Errors
     ///
@@ -40,25 +41,47 @@ impl DifferentialTester {
         tests: &[TestCase],
         max_tests: usize,
     ) -> Result<DifferentialTester, String> {
+        DifferentialTester::with_threads(original, kernel, tests, max_tests, 1)
+    }
+
+    /// Like [`DifferentialTester::new`], running the reference executions —
+    /// and later [`DifferentialTester::evaluate`] simulations — on up to
+    /// `threads` workers (`0` = available parallelism). Per-test results
+    /// are merged back in test order, so latency sums accumulate in the
+    /// same order as the sequential loop and the reported numbers are
+    /// bit-identical for every thread count.
+    pub fn with_threads(
+        original: &Program,
+        kernel: &str,
+        tests: &[TestCase],
+        max_tests: usize,
+        threads: usize,
+    ) -> Result<DifferentialTester, String> {
         let tests: Vec<TestCase> = tests.iter().take(max_tests.max(1)).cloned().collect();
         if tests.is_empty() {
             return Err("differential testing needs at least one test".to_string());
         }
         let cost = CpuCostModel::new();
+        let runs: Vec<Result<(Outcome, f64), String>> =
+            parallel::parallel_map(threads, &tests, |_, t| {
+                let mut m = Machine::new(original, MachineConfig::cpu())
+                    .map_err(|e| format!("reference machine: {e}"))?;
+                let before = m.ops();
+                let out = m.run_kernel(kernel, t);
+                Ok((out, cost.latency_ms(m.ops() - before)))
+            });
         let mut reference = Vec::with_capacity(tests.len());
         let mut total_ms = 0.0;
-        for t in &tests {
-            let mut m = Machine::new(original, MachineConfig::cpu())
-                .map_err(|e| format!("reference machine: {e}"))?;
-            let before = m.ops();
-            let out = m.run_kernel(kernel, t);
-            total_ms += cost.latency_ms(m.ops() - before);
+        for run in runs {
+            let (out, ms) = run?;
+            total_ms += ms;
             reference.push(out);
         }
         Ok(DifferentialTester {
             cpu_latency_ms: total_ms / tests.len() as f64,
             tests,
             reference,
+            threads,
         })
     }
 
@@ -73,7 +96,9 @@ impl DifferentialTester {
     }
 
     /// Simulates a candidate on the FPGA side and compares against the
-    /// reference.
+    /// reference. Tests run on the tester's worker pool; the pass count
+    /// and latency sum are folded in test order, so the report does not
+    /// depend on the thread count.
     pub fn evaluate(&self, candidate: &Program) -> DiffReport {
         let Ok(sim) = FpgaSimulator::new(candidate) else {
             return DiffReport {
@@ -81,14 +106,20 @@ impl DifferentialTester {
                 fpga_latency_ms: f64::INFINITY,
             };
         };
+        let runs: Vec<(bool, f64)> = parallel::parallel_map(self.threads, &self.tests, |i, t| {
+            let r = sim.run(t);
+            (
+                self.reference[i].behaviour_eq(&r.outcome),
+                r.estimate.latency_ms,
+            )
+        });
         let mut passed = 0usize;
         let mut latency = 0.0;
-        for (t, want) in self.tests.iter().zip(&self.reference) {
-            let r = sim.run(t);
-            if want.behaviour_eq(&r.outcome) {
+        for (ok, ms) in runs {
+            if ok {
                 passed += 1;
             }
-            latency += r.estimate.latency_ms;
+            latency += ms;
         }
         DiffReport {
             pass_ratio: passed as f64 / self.tests.len() as f64,
@@ -115,11 +146,10 @@ mod tests {
     #[test]
     fn narrowed_type_fails_on_large_inputs() {
         let orig = minic::parse("int kernel(int x) { int r = x; return r; }").unwrap();
-        let narrowed =
-            minic::parse("int kernel(int x) { fpga_uint<7> r = x; return r; }").unwrap();
+        let narrowed = minic::parse("int kernel(int x) { fpga_uint<7> r = x; return r; }").unwrap();
         let tests: Vec<TestCase> = vec![
-            vec![ArgValue::Int(5)],    // fits 7 bits → identical
-            vec![ArgValue::Int(500)],  // wraps → diverges
+            vec![ArgValue::Int(5)],   // fits 7 bits → identical
+            vec![ArgValue::Int(500)], // wraps → diverges
         ];
         let d = DifferentialTester::new(&orig, "kernel", &tests, 100).unwrap();
         let r = d.evaluate(&narrowed);

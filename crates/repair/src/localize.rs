@@ -24,11 +24,7 @@ pub fn next_pow2(n: u64) -> u64 {
 ///
 /// Multiple alternatives per diagnostic are intentional — the search ranks
 /// and tries them; dependence gating happens in the search, not here.
-pub fn candidate_edits(
-    p: &Program,
-    diags: &[HlsDiagnostic],
-    profile: &Profile,
-) -> Vec<RepairEdit> {
+pub fn candidate_edits(p: &Program, diags: &[HlsDiagnostic], profile: &Profile) -> Vec<RepairEdit> {
     let mut out: Vec<RepairEdit> = Vec::new();
     for d in diags {
         let edits = match classify_message(&d.message) {
@@ -149,9 +145,7 @@ fn type_edits(p: &Program, d: &HlsDiagnostic, profile: &Profile) -> Vec<RepairEd
                 }
             }
             // A struct pointer: the index transform covers it.
-            if let Some(Type::Pointer(inner)) =
-                minic::edit::declared_type(p, Some(function), var)
-            {
+            if let Some(Type::Pointer(inner)) = minic::edit::declared_type(p, Some(function), var) {
                 if let Type::Struct(s) = inner.as_ref() {
                     out.push(RepairEdit::PointerToIndex {
                         struct_name: s.clone(),
@@ -201,9 +195,7 @@ fn loop_edits(p: &Program, d: &HlsDiagnostic) -> Vec<RepairEdit> {
     };
     if m.contains("partition") {
         if let Some(var) = &d.symbol {
-            if let Some(Type::Array(_, size)) =
-                minic::edit::declared_type(p, Some(function), var)
-            {
+            if let Some(Type::Array(_, size)) = minic::edit::declared_type(p, Some(function), var) {
                 if let Some(extent) = minic::edit::resolve_array_size(p, &size) {
                     let factor = declared_partition_factor(p, function, var).unwrap_or(2);
                     // Alternative 1: pad the array up to a multiple.
@@ -347,9 +339,7 @@ pub fn malloced_structs(p: &Program) -> Vec<String> {
     visit::visit_exprs(p, &mut |e| {
         if let ExprKind::Cast(Type::Pointer(inner), arg) = &e.kind {
             if let Type::Struct(s) = inner.as_ref() {
-                if matches!(&arg.kind, ExprKind::Call(n, _) if n == "malloc")
-                    && !out.contains(s)
-                {
+                if matches!(&arg.kind, ExprKind::Call(n, _) if n == "malloc") && !out.contains(s) {
                     out.push(s.clone());
                 }
             }
@@ -364,7 +354,9 @@ fn declared_partition_factor(p: &Program, function: &str, var: &str) -> Option<u
 }
 
 fn largest_divisor_at_most(n: u64, at_most: u32) -> Option<u32> {
-    (1..=at_most.min(n as u32)).rev().find(|d| n % *d as u64 == 0)
+    (1..=at_most.min(n as u32))
+        .rev()
+        .find(|d| n.is_multiple_of(*d as u64))
 }
 
 #[cfg(test)]
@@ -380,7 +372,9 @@ mod tests {
     #[test]
     fn recursion_yields_stack_trans() {
         let es = edits_for("void kernel(int n) { if (n > 0) { kernel(n - 1); } }");
-        assert!(es.iter().any(|e| matches!(e, RepairEdit::StackTrans { function, .. } if function == "kernel")));
+        assert!(es
+            .iter()
+            .any(|e| matches!(e, RepairEdit::StackTrans { function, .. } if function == "kernel")));
     }
 
     #[test]
@@ -428,9 +422,9 @@ mod tests {
         assert!(es
             .iter()
             .any(|e| matches!(e, RepairEdit::PadArray { new_size: 16, .. })));
-        assert!(es.iter().any(
-            |e| matches!(e, RepairEdit::ReplacePragmaFactor { value, .. } if *value == 1)
-        ));
+        assert!(es
+            .iter()
+            .any(|e| matches!(e, RepairEdit::ReplacePragmaFactor { value, .. } if *value == 1)));
     }
 
     #[test]

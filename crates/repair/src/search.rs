@@ -8,6 +8,26 @@
 //! differentially tested; divergences trigger `resize` exploration (§6.2);
 //! once behaviour is preserved the search keeps applying
 //! performance-improving edits until the budget expires.
+//!
+//! # Parallel candidate evaluation
+//!
+//! Each expansion batch is evaluated in three phases so that worker threads
+//! never touch the simulated clock, the stats counters, or the dedup set:
+//!
+//! 1. **Plan** (caller thread): apply every edit, fingerprint the children,
+//!    and classify them as inapplicable / duplicate / fresh *without*
+//!    mutating any search state.
+//! 2. **Evaluate** (worker pool): style-check and fully compile the fresh
+//!    children concurrently, memoized by structural fingerprint.
+//! 3. **Merge** (caller thread): replay the exact sequential accounting in
+//!    edit order — budget expiry, attempt/reject counters, clock billing,
+//!    dedup insertion, frontier growth.
+//!
+//! Because phase 3 performs the same state transitions in the same order as
+//! the sequential loop, `threads` changes wall-clock time only: the applied
+//! edits, stats, and RNG trajectory are identical for any thread count.
+//! Performance-phase chains (each accepted edit feeds the next) stay
+//! sequential by construction.
 
 use crate::deps;
 use crate::diff::DifferentialTester;
@@ -20,7 +40,8 @@ use minic_exec::Profile;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 use testgen::TestCase;
 
 /// Search configuration (including the two Figure 9 ablation switches).
@@ -43,6 +64,14 @@ pub struct SearchConfig {
     pub explore_performance: bool,
     /// Cap on expansions per popped candidate.
     pub max_expansions: usize,
+    /// Beam width during performance exploration (the edits are already
+    /// benefit-ordered, so a narrow beam reaches multi-pragma combinations
+    /// on the hot loops within a bounded compile budget).
+    pub perf_beam: usize,
+    /// Worker threads for candidate evaluation and differential testing;
+    /// `0` means "use available parallelism". Any value produces the same
+    /// applied edits, stats, and outcome — only wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for SearchConfig {
@@ -55,6 +84,8 @@ impl Default for SearchConfig {
             max_diff_tests: 48,
             explore_performance: true,
             max_expansions: 24,
+            perf_beam: 10,
+            threads: 0,
         }
     }
 }
@@ -118,35 +149,123 @@ pub struct RepairOutcome {
 
 #[derive(Clone)]
 struct Candidate {
-    program: Program,
+    program: Arc<Program>,
     applied: Vec<String>,
-    diags: Vec<HlsDiagnostic>,
+    diags: Arc<Vec<HlsDiagnostic>>,
     pass_ratio: Option<f64>,
     latency: Option<f64>,
 }
 
+/// Maps an `f64` to a `u64` whose natural order matches `f64::total_cmp`
+/// (sign bit set → complement, else set the sign bit). Unlike scaling by
+/// `1e6` and truncating, this never saturates and never collapses nearby
+/// values onto the same key.
+fn ordered_f64_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
 impl Candidate {
-    /// Lower is better: (errors, failing fraction, latency).
+    /// Lower is better: (errors, failing fraction, latency). Candidates
+    /// whose latency is not yet measured sort after every measured one
+    /// (`u64::MAX` sentinel, past the key of `f64::INFINITY`).
     fn fitness(&self) -> (usize, u64, u64) {
-        let fail = ((1.0 - self.pass_ratio.unwrap_or(0.0)) * 1e6) as u64;
-        let lat = (self.latency.unwrap_or(f64::MAX / 2.0) * 1e6) as u64;
+        let fail = ordered_f64_key(1.0 - self.pass_ratio.unwrap_or(0.0));
+        let lat = self.latency.map(ordered_f64_key).unwrap_or(u64::MAX);
         (self.diags.len(), fail, lat)
     }
 }
 
-/// Full "compilation": the synthesizability check plus style violations
-/// (a real toolchain rejects both; the cheap pre-pass only sees the
-/// latter's subset).
-fn full_compile(p: &Program) -> Vec<HlsDiagnostic> {
-    let mut diags = hls_sim::check_program(p);
-    for v in check_style(p) {
-        diags.push(HlsDiagnostic::new(
-            "STYLE",
-            v.message.clone(),
-            ErrorCategory::LoopParallelization,
-        ));
+/// Memoized result of style-checking and fully "compiling" one candidate.
+#[derive(Clone)]
+struct EvalResult {
+    /// The cheap style pre-pass found nothing.
+    style_clean: bool,
+    /// Pretty-printed line count (drives the compile-cost billing); only
+    /// meaningful when `diags` is present.
+    loc: usize,
+    /// Full-compile diagnostics: the synthesizability check plus style
+    /// violations (a real toolchain rejects both; the cheap pre-pass only
+    /// sees the latter's subset). `None` when the enabled style checker
+    /// rejected the candidate before the toolchain was ever invoked.
+    diags: Option<Arc<Vec<HlsDiagnostic>>>,
+}
+
+/// Fingerprint-keyed memo cache shared across the worker pool. It caches
+/// *computation* only — simulated-clock billing is still charged per
+/// sequential-accounting rules by the merge phase.
+struct EvalCache(Mutex<HashMap<u64, EvalResult>>);
+
+impl EvalCache {
+    fn new() -> EvalCache {
+        EvalCache(Mutex::new(HashMap::new()))
     }
-    diags
+
+    fn get(&self, fp: u64) -> Option<EvalResult> {
+        self.0.lock().unwrap().get(&fp).cloned()
+    }
+
+    fn insert(&self, fp: u64, r: EvalResult) {
+        self.0.lock().unwrap().insert(fp, r);
+    }
+}
+
+/// Style-checks and (unless the enabled checker rejects it first) fully
+/// compiles `p`, memoized by structural fingerprint. Runs on worker
+/// threads; touches no search state.
+fn evaluate_candidate(
+    p: &Program,
+    fp: u64,
+    use_style_checker: bool,
+    cache: &EvalCache,
+) -> EvalResult {
+    if let Some(hit) = cache.get(fp) {
+        return hit;
+    }
+    let style = check_style(p);
+    let style_clean = style.is_empty();
+    let result = if use_style_checker && !style_clean {
+        EvalResult {
+            style_clean,
+            loc: 0,
+            diags: None,
+        }
+    } else {
+        let mut diags = hls_sim::check_program(p);
+        for v in style {
+            diags.push(HlsDiagnostic::new(
+                "STYLE",
+                v.message,
+                ErrorCategory::LoopParallelization,
+            ));
+        }
+        EvalResult {
+            style_clean,
+            loc: minic::loc(p),
+            diags: Some(Arc::new(diags)),
+        }
+    };
+    cache.insert(fp, result.clone());
+    result
+}
+
+/// One edit's classification from the speculative planning pass.
+enum Planned {
+    /// `edit.apply` returned `None` — structurally inapplicable.
+    Inapplicable,
+    /// Fingerprint already admitted (by the global dedup set or by an
+    /// earlier edit in the same batch).
+    Duplicate,
+    /// A new program for the worker pool to evaluate.
+    Fresh {
+        program: Arc<Program>,
+        fingerprint: u64,
+        kind: String,
+    },
 }
 
 /// Runs the repair search.
@@ -172,21 +291,29 @@ pub fn repair(
     let mut stats = SearchStats::default();
     let mut rng = SmallRng::seed_from_u64(cfg.rng_seed);
 
-    let tester = DifferentialTester::new(original, kernel, tests, cfg.max_diff_tests)?;
+    let tester =
+        DifferentialTester::with_threads(original, kernel, tests, cfg.max_diff_tests, cfg.threads)?;
     clock.advance(costs.cpu_tests(tester.test_count()));
 
-    // Compile the initial version.
+    let cache = EvalCache::new();
+
+    // Compile the initial version (style checker bypassed: the initial
+    // candidate always gets a full diagnosis, as a real flow would).
     clock.advance(costs.full_compile(&broken));
     stats.full_compiles += 1;
-    let diags0 = full_compile(&broken);
+    let fp0 = minic::fingerprint_program(&broken);
+    let eval0 = evaluate_candidate(&broken, fp0, false, &cache);
+    let diags0 = eval0.diags.expect("full compile always diagnoses");
     let mut frontier: Vec<Candidate> = vec![Candidate {
-        program: broken,
+        program: Arc::new(broken),
         applied: Vec::new(),
         diags: diags0,
         pass_ratio: None,
         latency: None,
     }];
-    let mut seen: HashSet<String> = HashSet::new();
+    // Dedup on structural fingerprint (config included: it carries the
+    // top-function name and clock, which the printer may not).
+    let mut seen: HashSet<u64> = HashSet::new();
     let mut best: Option<Candidate> = None;
 
     while !clock.expired() {
@@ -245,7 +372,11 @@ pub fn repair(
             // Performance exploration keeps a narrow beam (the edits are
             // already benefit-ordered) so the compile budget reaches
             // multi-pragma combinations on the hot loops.
-            edits.truncate(if perf_phase { 10 } else { cfg.max_expansions });
+            edits.truncate(if perf_phase {
+                cfg.perf_beam
+            } else {
+                cfg.max_expansions
+            });
         } else {
             // The ablation: no dependence structure — each expansion is a
             // handful of *random* draws from an unstructured pool (localized
@@ -262,51 +393,142 @@ pub fn repair(
         // applies a number of edits to the current program version" — so a
         // bounded compile budget stacks pragmas on many loops.
         let chain = perf_phase && cfg.use_dependence;
-        let mut base_prog = cand.program.clone();
-        let mut base_applied = cand.applied.clone();
-        for edit in edits {
-            if clock.expired() {
-                break;
-            }
-            stats.attempts += 1;
-            let Some(child_prog) = edit.apply(&base_prog) else {
-                stats.inapplicable += 1;
-                continue;
-            };
-            // Dedup on source *and* design config (the config carries the
-            // top-function name and clock, which the printer may not).
-            let key = format!("{:?}\n{}", child_prog.config, minic::print_program(&child_prog));
-            if !seen.insert(key) {
-                continue;
-            }
-            if cfg.use_style_checker {
-                clock.advance(costs.style_check(&child_prog));
-                stats.style_checks += 1;
-                if !check_style(&child_prog).is_empty() {
-                    stats.style_rejects += 1;
+        if chain {
+            // Chained expansion is inherently sequential: every accepted
+            // edit becomes the base for the next one.
+            let mut base_prog = cand.program.clone();
+            let mut base_applied = cand.applied.clone();
+            for edit in edits {
+                if clock.expired() {
+                    break;
+                }
+                stats.attempts += 1;
+                let Some(child_prog) = edit.apply(&base_prog) else {
+                    stats.inapplicable += 1;
+                    continue;
+                };
+                let fp = minic::fingerprint_program(&child_prog);
+                if !seen.insert(fp) {
                     continue;
                 }
+                let child_prog = Arc::new(child_prog);
+                let eval = evaluate_candidate(&child_prog, fp, cfg.use_style_checker, &cache);
+                if cfg.use_style_checker {
+                    clock.advance(costs.style_check(&child_prog));
+                    stats.style_checks += 1;
+                    if !eval.style_clean {
+                        stats.style_rejects += 1;
+                        continue;
+                    }
+                }
+                clock.advance(costs.full_compile_loc(eval.loc));
+                stats.full_compiles += 1;
+                let child_diags = eval.diags.expect("style-clean candidates are compiled");
+                // Regressions (strictly more errors) are dropped.
+                if child_diags.len() > cand.diags.len() && !cand.diags.is_empty() {
+                    continue;
+                }
+                let mut applied = base_applied.clone();
+                applied.push(edit.kind().to_string());
+                if child_diags.is_empty() {
+                    base_prog = child_prog.clone();
+                    base_applied = applied.clone();
+                }
+                frontier.push(Candidate {
+                    program: child_prog,
+                    applied,
+                    diags: child_diags,
+                    pass_ratio: None,
+                    latency: None,
+                });
             }
-            clock.advance(costs.full_compile(&child_prog));
-            stats.full_compiles += 1;
-            let child_diags = full_compile(&child_prog);
-            // Regressions (strictly more errors) are dropped.
-            if child_diags.len() > cand.diags.len() && !cand.diags.is_empty() {
-                continue;
+        } else {
+            // Sibling expansion: every edit applies to the same base, so
+            // the batch is evaluated speculatively on the worker pool and
+            // merged back in edit order (see the module docs).
+            //
+            // Phase 1 — plan: pure with respect to search state.
+            let mut planned: Vec<Planned> = Vec::with_capacity(edits.len());
+            let mut batch_fresh: HashSet<u64> = HashSet::new();
+            for edit in edits {
+                match edit.apply(&cand.program) {
+                    None => planned.push(Planned::Inapplicable),
+                    Some(child) => {
+                        let fp = minic::fingerprint_program(&child);
+                        if seen.contains(&fp) || !batch_fresh.insert(fp) {
+                            planned.push(Planned::Duplicate);
+                        } else {
+                            planned.push(Planned::Fresh {
+                                program: Arc::new(child),
+                                fingerprint: fp,
+                                kind: edit.kind().to_string(),
+                            });
+                        }
+                    }
+                }
             }
-            let mut applied = base_applied.clone();
-            applied.push(edit.kind().to_string());
-            if chain && child_diags.is_empty() {
-                base_prog = child_prog.clone();
-                base_applied = applied.clone();
+
+            // Phase 2 — evaluate fresh children concurrently.
+            let evals: Vec<Option<EvalResult>> =
+                parallel::parallel_map(cfg.threads, &planned, |_, p| match p {
+                    Planned::Fresh {
+                        program,
+                        fingerprint,
+                        ..
+                    } => Some(evaluate_candidate(
+                        program,
+                        *fingerprint,
+                        cfg.use_style_checker,
+                        &cache,
+                    )),
+                    _ => None,
+                });
+
+            // Phase 3 — merge: replay the sequential accounting in order.
+            // Children evaluated past the expiry point are discarded
+            // (speculation wasted is bounded by one batch).
+            for (plan, eval) in planned.into_iter().zip(evals) {
+                if clock.expired() {
+                    break;
+                }
+                stats.attempts += 1;
+                match plan {
+                    Planned::Inapplicable => stats.inapplicable += 1,
+                    Planned::Duplicate => {}
+                    Planned::Fresh {
+                        program,
+                        fingerprint,
+                        kind,
+                    } => {
+                        seen.insert(fingerprint);
+                        let eval = eval.expect("fresh children are evaluated in phase 2");
+                        if cfg.use_style_checker {
+                            clock.advance(costs.style_check(&program));
+                            stats.style_checks += 1;
+                            if !eval.style_clean {
+                                stats.style_rejects += 1;
+                                continue;
+                            }
+                        }
+                        clock.advance(costs.full_compile_loc(eval.loc));
+                        stats.full_compiles += 1;
+                        let child_diags = eval.diags.expect("style-clean candidates are compiled");
+                        // Regressions (strictly more errors) are dropped.
+                        if child_diags.len() > cand.diags.len() && !cand.diags.is_empty() {
+                            continue;
+                        }
+                        let mut applied = cand.applied.clone();
+                        applied.push(kind);
+                        frontier.push(Candidate {
+                            program,
+                            applied,
+                            diags: child_diags,
+                            pass_ratio: None,
+                            latency: None,
+                        });
+                    }
+                }
             }
-            frontier.push(Candidate {
-                program: child_prog,
-                applied,
-                diags: child_diags,
-                pass_ratio: None,
-                latency: None,
-            });
         }
 
         if frontier.is_empty() {
@@ -320,7 +542,7 @@ pub fn repair(
         Some(b) => {
             let lat = b.latency.unwrap_or(f64::INFINITY);
             Ok(RepairOutcome {
-                program: b.program,
+                program: unwrap_program(b.program),
                 success: true,
                 pass_ratio: 1.0,
                 fpga_latency_ms: lat,
@@ -333,11 +555,13 @@ pub fn repair(
         None => {
             // Return the fittest incomplete candidate with generated tests
             // to guide manual repair (paper §1).
-            let fallback = frontier
-                .into_iter()
-                .min_by_key(|c| c.fitness());
+            let fallback = frontier.into_iter().min_by_key(|c| c.fitness());
             let (program, applied, pass) = match fallback {
-                Some(c) => (c.program, c.applied, c.pass_ratio.unwrap_or(0.0)),
+                Some(c) => (
+                    unwrap_program(c.program),
+                    c.applied,
+                    c.pass_ratio.unwrap_or(0.0),
+                ),
                 None => (original.clone(), Vec::new(), 0.0),
             };
             Ok(RepairOutcome {
@@ -352,6 +576,12 @@ pub fn repair(
             })
         }
     }
+}
+
+/// Extracts a `Program` from candidate bookkeeping without copying when
+/// this candidate holds the last reference.
+fn unwrap_program(p: Arc<Program>) -> Program {
+    Arc::try_unwrap(p).unwrap_or_else(|shared| (*shared).clone())
 }
 
 /// Performance-improving edits for an already-correct design: pragma
@@ -372,115 +602,110 @@ pub fn performance_edits(p: &Program) -> Vec<RepairEdit> {
     let mut funcs: Vec<String> = vec![top.clone()];
     let mut structs: Vec<String> = Vec::new();
     if let Some(f) = p.function(&top) {
-        minic::visit::visit_function_exprs(f, &mut |e| {
-            match &e.kind {
-                minic::ast::ExprKind::Call(n, _) => {
-                    if p.function(n).is_some() && !funcs.contains(n) {
-                        funcs.push(n.clone());
-                    }
-                }
-                minic::ast::ExprKind::StructLit(n, _) => {
-                    if !structs.contains(n) {
-                        structs.push(n.clone());
-                    }
-                }
-                _ => {}
+        minic::visit::visit_function_exprs(f, &mut |e| match &e.kind {
+            minic::ast::ExprKind::Call(n, _) if p.function(n).is_some() && !funcs.contains(n) => {
+                funcs.push(n.clone());
             }
+            minic::ast::ExprKind::StructLit(n, _) if !structs.contains(n) => {
+                structs.push(n.clone());
+            }
+            _ => {}
         });
     }
 
     // (score, edits-for-this-loop) groups.
     let mut groups: Vec<(f64, Vec<RepairEdit>)> = Vec::new();
 
-    let mut add_function_loops = |fname: &str, f: &minic::ast::Function, method_of: Option<&str>| {
-        let parts = hls_sim::check::partition_factors(f);
-        for (i, l) in hls_sim::check::collect_loops(p, f).iter().enumerate() {
-            let w = hls_sim::schedule::loop_weight(p, f, l.id).unwrap_or(4.0);
-            let trips = l.static_trip.unwrap_or(16) as f64;
-            let score = w * trips;
-            let has_pipeline = l
-                .pragmas
-                .iter()
-                .any(|pk| matches!(pk, PragmaKind::Pipeline { .. }));
-            let has_unroll = l
-                .pragmas
-                .iter()
-                .any(|pk| matches!(pk, PragmaKind::Unroll { .. }));
-            let mut edits = Vec::new();
-            let mk = |loop_index: Option<usize>, pragma: PragmaKind| match method_of {
-                Some(sname) => RepairEdit::InsertPragmaInMethod {
-                    struct_name: sname.to_string(),
-                    method: fname.to_string(),
-                    loop_index: loop_index.unwrap_or(i),
-                    pragma,
-                },
-                None => RepairEdit::InsertPragma {
-                    function: fname.to_string(),
-                    loop_index,
-                    pragma,
-                },
-            };
-            if !has_pipeline {
-                edits.push(mk(Some(i), PragmaKind::Pipeline { ii: Some(1) }));
-                if method_of.is_none() {
-                    // Invalid placements the style checker prunes cheaply.
+    let mut add_function_loops =
+        |fname: &str, f: &minic::ast::Function, method_of: Option<&str>| {
+            let parts = hls_sim::check::partition_factors(f);
+            for (i, l) in hls_sim::check::collect_loops(p, f).iter().enumerate() {
+                let w = hls_sim::schedule::loop_weight(p, f, l.id).unwrap_or(4.0);
+                let trips = l.static_trip.unwrap_or(16) as f64;
+                let score = w * trips;
+                let has_pipeline = l
+                    .pragmas
+                    .iter()
+                    .any(|pk| matches!(pk, PragmaKind::Pipeline { .. }));
+                let has_unroll = l
+                    .pragmas
+                    .iter()
+                    .any(|pk| matches!(pk, PragmaKind::Unroll { .. }));
+                let mut edits = Vec::new();
+                let mk = |loop_index: Option<usize>, pragma: PragmaKind| match method_of {
+                    Some(sname) => RepairEdit::InsertPragmaInMethod {
+                        struct_name: sname.to_string(),
+                        method: fname.to_string(),
+                        loop_index: loop_index.unwrap_or(i),
+                        pragma,
+                    },
+                    None => RepairEdit::InsertPragma {
+                        function: fname.to_string(),
+                        loop_index,
+                        pragma,
+                    },
+                };
+                if !has_pipeline {
+                    edits.push(mk(Some(i), PragmaKind::Pipeline { ii: Some(1) }));
+                    if method_of.is_none() {
+                        // Invalid placements the style checker prunes cheaply.
+                        edits.push(RepairEdit::InsertPragma {
+                            function: fname.to_string(),
+                            loop_index: None,
+                            pragma: PragmaKind::Pipeline { ii: Some(1) },
+                        });
+                        edits.push(mk(Some(i), PragmaKind::Dataflow));
+                    }
+                }
+                if !has_unroll && l.static_trip.is_some() && method_of.is_none() {
+                    for factor in [8u32, 4, 2] {
+                        edits.push(mk(
+                            Some(i),
+                            PragmaKind::Unroll {
+                                factor: Some(factor),
+                            },
+                        ));
+                    }
                     edits.push(RepairEdit::InsertPragma {
                         function: fname.to_string(),
                         loop_index: None,
-                        pragma: PragmaKind::Pipeline { ii: Some(1) },
+                        pragma: PragmaKind::Unroll { factor: Some(2) },
                     });
-                    edits.push(mk(Some(i), PragmaKind::Dataflow));
                 }
-            }
-            if !has_unroll && l.static_trip.is_some() && method_of.is_none() {
-                for factor in [8u32, 4, 2] {
-                    edits.push(mk(
-                        Some(i),
-                        PragmaKind::Unroll {
-                            factor: Some(factor),
-                        },
-                    ));
-                }
-                edits.push(RepairEdit::InsertPragma {
-                    function: fname.to_string(),
-                    loop_index: None,
-                    pragma: PragmaKind::Unroll { factor: Some(2) },
-                });
-            }
-            // Partition the arrays the loop touches so unrolling has ports.
-            if method_of.is_none() {
-                for arr in &l.arrays_accessed {
-                    if parts.contains_key(arr) {
-                        continue;
-                    }
-                    if let Some(minic::types::Type::Array(_, size)) =
-                        minic::edit::declared_type(p, Some(fname), arr)
-                    {
-                        if let Some(extent) = minic::edit::resolve_array_size(p, &size) {
-                            for factor in [8u32, 4, 2] {
-                                if extent % factor as u64 == 0 {
-                                    edits.push(RepairEdit::InsertPragma {
-                                        function: fname.to_string(),
-                                        loop_index: None,
-                                        pragma: PragmaKind::ArrayPartition {
-                                            var: arr.clone(),
-                                            factor,
-                                            dim: 1,
-                                            complete: false,
-                                        },
-                                    });
-                                    break;
+                // Partition the arrays the loop touches so unrolling has ports.
+                if method_of.is_none() {
+                    for arr in &l.arrays_accessed {
+                        if parts.contains_key(arr) {
+                            continue;
+                        }
+                        if let Some(minic::types::Type::Array(_, size)) =
+                            minic::edit::declared_type(p, Some(fname), arr)
+                        {
+                            if let Some(extent) = minic::edit::resolve_array_size(p, &size) {
+                                for factor in [8u32, 4, 2] {
+                                    if extent % factor as u64 == 0 {
+                                        edits.push(RepairEdit::InsertPragma {
+                                            function: fname.to_string(),
+                                            loop_index: None,
+                                            pragma: PragmaKind::ArrayPartition {
+                                                var: arr.clone(),
+                                                factor,
+                                                dim: 1,
+                                                complete: false,
+                                            },
+                                        });
+                                        break;
+                                    }
                                 }
                             }
                         }
                     }
                 }
+                if !edits.is_empty() {
+                    groups.push((score, edits));
+                }
             }
-            if !edits.is_empty() {
-                groups.push((score, edits));
-            }
-        }
-    };
+        };
 
     for fname in &funcs {
         if let Some(f) = p.function(fname) {
@@ -591,51 +816,51 @@ fn random_noise_edits(p: &Program, rng: &mut SmallRng, n: usize) -> Vec<RepairEd
                 None => continue,
             },
             roll => match roll {
-            0 => RepairEdit::InsertPragma {
-                function: f,
-                loop_index: Some(rng.gen_range(0..3)),
-                pragma: match rng.gen_range(0u8..3) {
-                    0 => PragmaKind::Unroll {
-                        factor: Some(*[2u32, 7, 13, 50].choose(rng).unwrap()),
+                0 => RepairEdit::InsertPragma {
+                    function: f,
+                    loop_index: Some(rng.gen_range(0..3)),
+                    pragma: match rng.gen_range(0u8..3) {
+                        0 => PragmaKind::Unroll {
+                            factor: Some(*[2u32, 7, 13, 50].choose(rng).unwrap()),
+                        },
+                        1 => PragmaKind::Pipeline {
+                            ii: Some(rng.gen_range(1..4)),
+                        },
+                        _ => PragmaKind::Dataflow,
                     },
-                    1 => PragmaKind::Pipeline {
-                        ii: Some(rng.gen_range(1..4)),
-                    },
-                    _ => PragmaKind::Dataflow,
                 },
-            },
-            1 => RepairEdit::InsertPragma {
-                function: f,
-                loop_index: None,
-                pragma: PragmaKind::Dataflow,
-            },
-            2 => RepairEdit::DeletePragma {
-                function: f,
-                kind: ["unroll", "pipeline", "dataflow"][rng.gen_range(0..3)].to_string(),
-            },
-            3 => RepairEdit::ReplacePragmaFactor {
-                function: f,
-                kind: "unroll".to_string(),
-                var: None,
-                value: *[3u32, 5, 6, 12, 50].choose(rng).unwrap(),
-            },
-            4 => {
-                let defines: Vec<String> = p
-                    .items
-                    .iter()
-                    .filter_map(|i| match i {
-                        minic::ast::Item::Define(n, _) => Some(n.clone()),
-                        _ => None,
-                    })
-                    .collect();
-                match defines.choose(rng) {
-                    Some(d) => RepairEdit::Resize {
-                        target: ResizeTarget::Define(d.clone()),
-                        factor: *[2u64, 3].choose(rng).unwrap(),
-                    },
-                    None => continue,
+                1 => RepairEdit::InsertPragma {
+                    function: f,
+                    loop_index: None,
+                    pragma: PragmaKind::Dataflow,
+                },
+                2 => RepairEdit::DeletePragma {
+                    function: f,
+                    kind: ["unroll", "pipeline", "dataflow"][rng.gen_range(0..3)].to_string(),
+                },
+                3 => RepairEdit::ReplacePragmaFactor {
+                    function: f,
+                    kind: "unroll".to_string(),
+                    var: None,
+                    value: *[3u32, 5, 6, 12, 50].choose(rng).unwrap(),
+                },
+                4 => {
+                    let defines: Vec<String> = p
+                        .items
+                        .iter()
+                        .filter_map(|i| match i {
+                            minic::ast::Item::Define(n, _) => Some(n.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    match defines.choose(rng) {
+                        Some(d) => RepairEdit::Resize {
+                            target: ResizeTarget::Define(d.clone()),
+                            factor: *[2u64, 3].choose(rng).unwrap(),
+                        },
+                        None => continue,
+                    }
                 }
-            }
                 _ => RepairEdit::SetTop {
                     name: funcs[rng.gen_range(0..funcs.len())].clone(),
                 },
@@ -737,8 +962,7 @@ mod tests {
         let a = &out.applied;
         assert!(
             (a.contains(&"constructor".to_string()) && a.contains(&"stream_static".to_string()))
-                || (a.contains(&"flatten".to_string())
-                    && a.contains(&"inst_update".to_string())),
+                || (a.contains(&"flatten".to_string()) && a.contains(&"inst_update".to_string())),
             "applied: {a:?}"
         );
     }
@@ -801,7 +1025,11 @@ mod tests {
             "expected pragma exploration, applied: {:?}",
             out.applied
         );
-        assert!(out.improved, "fpga {} vs cpu {}", out.fpga_latency_ms, out.cpu_latency_ms);
+        assert!(
+            out.improved,
+            "fpga {} vs cpu {}",
+            out.fpga_latency_ms, out.cpu_latency_ms
+        );
     }
 
     #[test]
@@ -848,8 +1076,7 @@ mod tests {
             cfg.use_dependence = false;
             cfg.budget_min = 720.0;
             cfg.rng_seed = seed;
-            let without =
-                repair(&p, p.clone(), "kernel", &tests, &Profile::new(), &cfg).unwrap();
+            let without = repair(&p, p.clone(), "kernel", &tests, &Profile::new(), &cfg).unwrap();
             match without.stats.first_success_min {
                 Some(t) => total_without += t,
                 None => {

@@ -253,8 +253,7 @@ impl RepairEdit {
             RepairEdit::Resize { target, factor } => resize(p, target, *factor),
             RepairEdit::TypeTrans { var, function, to } => {
                 let mut out = p.clone();
-                if minic::edit::rewrite_decl_type(&mut out, var, function.as_deref(), to.clone())
-                {
+                if minic::edit::rewrite_decl_type(&mut out, var, function.as_deref(), to.clone()) {
                     Some(out)
                 } else {
                     None
@@ -520,12 +519,7 @@ fn op_overload(p: &Program, var: &str, function: Option<&str>) -> Option<Program
     Some(out)
 }
 
-fn pointer_param_to_array(
-    p: &Program,
-    function: &str,
-    param: &str,
-    size: u64,
-) -> Option<Program> {
+fn pointer_param_to_array(p: &Program, function: &str, param: &str, size: u64) -> Option<Program> {
     let f = p.function(function)?;
     let par = f.params.iter().find(|q| q.name == param)?;
     let Type::Pointer(elem) = &par.ty else {
@@ -550,9 +544,11 @@ fn insert_pragma(
         None => {
             // Function-body head. Refuse duplicates of the same kind.
             let body = f.body.as_ref()?;
-            if body.stmts.iter().any(
-                |s| matches!(&s.kind, StmtKind::Pragma(pr) if same_kind(&pr.kind, pragma)),
-            ) {
+            if body
+                .stmts
+                .iter()
+                .any(|s| matches!(&s.kind, StmtKind::Pragma(pr) if same_kind(&pr.kind, pragma)))
+            {
                 return None;
             }
             let mut out = p.clone();
@@ -625,9 +621,11 @@ fn insert_pragma_in_method(
             | StmtKind::DoWhile(body, _)
             | StmtKind::For(_, _, _, body) = &mut s.kind
             {
-                if body.stmts.iter().any(|s| {
-                    matches!(&s.kind, StmtKind::Pragma(pr) if same_kind(&pr.kind, pragma))
-                }) {
+                if body
+                    .stmts
+                    .iter()
+                    .any(|s| matches!(&s.kind, StmtKind::Pragma(pr) if same_kind(&pr.kind, pragma)))
+                {
                     return;
                 }
                 body.stmts.insert(0, stmt.clone());
@@ -741,28 +739,22 @@ fn replace_factor_in_block(
     for s in &mut b.stmts {
         match &mut s.kind {
             StmtKind::Pragma(pr) => match (&mut pr.kind, kind) {
-                (PragmaKind::Unroll { factor }, "unroll") => {
-                    if *factor != Some(value) {
-                        *factor = Some(value);
-                        *changed = true;
-                    }
+                (PragmaKind::Unroll { factor }, "unroll") if *factor != Some(value) => {
+                    *factor = Some(value);
+                    *changed = true;
                 }
-                (PragmaKind::Pipeline { ii }, "pipeline") => {
-                    if *ii != Some(value) {
-                        *ii = Some(value);
-                        *changed = true;
-                    }
+                (PragmaKind::Pipeline { ii }, "pipeline") if *ii != Some(value) => {
+                    *ii = Some(value);
+                    *changed = true;
                 }
                 (
                     PragmaKind::ArrayPartition {
                         var: pvar, factor, ..
                     },
                     "array_partition",
-                ) => {
-                    if var.map(|v| v == pvar).unwrap_or(true) && *factor != value {
-                        *factor = value;
-                        *changed = true;
-                    }
+                ) if var.map(|v| v == pvar).unwrap_or(true) && *factor != value => {
+                    *factor = value;
+                    *changed = true;
                 }
                 _ => {}
             },
@@ -911,7 +903,10 @@ mod tests {
 
     #[test]
     fn resize_scales_defines() {
-        let p = minic::parse("#define STACK_SIZE 1024\nint s[STACK_SIZE];\nvoid kernel(int x) { s[0] = x; }").unwrap();
+        let p = minic::parse(
+            "#define STACK_SIZE 1024\nint s[STACK_SIZE];\nvoid kernel(int x) { s[0] = x; }",
+        )
+        .unwrap();
         let e = RepairEdit::Resize {
             target: ResizeTarget::Define("STACK_SIZE".into()),
             factor: 2,
@@ -922,8 +917,8 @@ mod tests {
 
     #[test]
     fn type_trans_replaces_long_double() {
-        let p = minic::parse("int kernel(int x) { long double y = x; y = y + 1; return y; }")
-            .unwrap();
+        let p =
+            minic::parse("int kernel(int x) { long double y = x; y = y + 1; return y; }").unwrap();
         let e = RepairEdit::TypeTrans {
             var: "y".into(),
             function: Some("kernel".into()),
@@ -953,9 +948,13 @@ mod tests {
         assert!(src.contains("fpga_add_8_71("), "{src}");
         // Behaviour preserved.
         let mut m1 = minic_exec::Machine::new(&p, minic_exec::MachineConfig::cpu()).unwrap();
-        let a = m1.run_function("kernel", vec![minic_exec::Value::int(41)]).unwrap();
+        let a = m1
+            .run_function("kernel", vec![minic_exec::Value::int(41)])
+            .unwrap();
         let mut m2 = minic_exec::Machine::new(&r, minic_exec::MachineConfig::cpu()).unwrap();
-        let b = m2.run_function("kernel", vec![minic_exec::Value::int(41)]).unwrap();
+        let b = m2
+            .run_function("kernel", vec![minic_exec::Value::int(41)])
+            .unwrap();
         assert_eq!(a.as_int(), b.as_int());
     }
 
@@ -971,14 +970,17 @@ mod tests {
             size: 4,
         };
         let q = e.apply(&p).unwrap();
-        assert!(hls_sim::check_program(&q).is_empty(), "{:?}", hls_sim::check_program(&q));
+        assert!(
+            hls_sim::check_program(&q).is_empty(),
+            "{:?}",
+            hls_sim::check_program(&q)
+        );
     }
 
     #[test]
     fn insert_and_delete_pragma() {
-        let p =
-            minic::parse("void kernel(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = 0; } }")
-                .unwrap();
+        let p = minic::parse("void kernel(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = 0; } }")
+            .unwrap();
         let ins = RepairEdit::InsertPragma {
             function: "kernel".into(),
             loop_index: Some(0),
@@ -1055,7 +1057,11 @@ mod tests {
             var: "data".into(),
         };
         let q = e.apply(&p).unwrap();
-        assert!(hls_sim::check_program(&q).is_empty(), "{:?}", hls_sim::check_program(&q));
+        assert!(
+            hls_sim::check_program(&q).is_empty(),
+            "{:?}",
+            hls_sim::check_program(&q)
+        );
         // Behaviour preserved.
         let args = vec![
             minic_exec::ArgValue::IntArray((0..8).collect()),
@@ -1110,8 +1116,8 @@ mod tests {
 
     #[test]
     fn set_top_updates_the_printed_pragma() {
-        let p = minic::parse("#pragma HLS top name=wrong\nvoid proc(int a[4]) { a[0] = 1; }")
-            .unwrap();
+        let p =
+            minic::parse("#pragma HLS top name=wrong\nvoid proc(int a[4]) { a[0] = 1; }").unwrap();
         let q = RepairEdit::SetTop {
             name: "proc".into(),
         }

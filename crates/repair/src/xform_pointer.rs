@@ -71,10 +71,8 @@ pub fn pointer_to_index(p: &Program, struct_name: &str, capacity: u64) -> Option
         };
         if is_arrow_on_s {
             if let ExprKind::Member(base, field, arrow) = &mut e.kind {
-                let inner = std::mem::replace(
-                    base.as_mut(),
-                    Expr::synth(ExprKind::Ident(String::new())),
-                );
+                let inner =
+                    std::mem::replace(base.as_mut(), Expr::synth(ExprKind::Ident(String::new())));
                 **base = Expr::synth(ExprKind::Index(
                     Box::new(Expr::ident(arr.clone())),
                     Box::new(inner),
@@ -96,9 +94,7 @@ pub fn pointer_to_index(p: &Program, struct_name: &str, capacity: u64) -> Option
     let insert_at = out
         .items
         .iter()
-        .position(
-            |i| matches!(i, Item::Struct(s) if s.name == struct_name),
-        )
+        .position(|i| matches!(i, Item::Struct(s) if s.name == struct_name))
         .map(|i| i + 1)
         .unwrap_or(0);
     let defs = vec![
@@ -206,9 +202,12 @@ mod tests {
         let q = pointer_to_index(&p, "Node", 64).unwrap();
         let src = minic::print_program(&q);
         assert!(src.contains("Node_ptr"), "{src}");
-        assert!(src.contains("Node_arr[" ), "{src}");
+        assert!(src.contains("Node_arr["), "{src}");
         assert!(src.contains("Node_malloc"), "{src}");
-        assert!(!src.contains("struct Node*") && !src.contains("Node* "), "{src}");
+        assert!(
+            !src.contains("struct Node*") && !src.contains("Node* "),
+            "{src}"
+        );
         assert!(!src.contains("malloc(sizeof"), "{src}");
     }
 

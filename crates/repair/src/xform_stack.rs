@@ -116,8 +116,7 @@ pub fn stack_trans(p: &Program, function: &str, capacity: u64) -> Option<Program
             frame_vars.push((name.clone(), ty.clone()));
         }
     }
-    let frame_var_names: BTreeSet<String> =
-        frame_vars.iter().map(|(n, _)| n.clone()).collect();
+    let frame_var_names: BTreeSet<String> = frame_vars.iter().map(|(n, _)| n.clone()).collect();
 
     let frame_def = StructDef {
         id: NodeId::SYNTH,
@@ -215,11 +214,7 @@ pub fn stack_trans(p: &Program, function: &str, capacity: u64) -> Option<Program
     loop_body.push(Stmt::synth(StmtKind::Decl(VarDecl::new(
         cur.clone(),
         Type::int(),
-        Some(Expr::bin(
-            BinOp::Sub,
-            Expr::ident(sp.clone()),
-            Expr::int(1),
-        )),
+        Some(Expr::bin(BinOp::Sub, Expr::ident(sp.clone()), Expr::int(1))),
     ))));
     loop_body.push(Stmt::synth(StmtKind::Decl(VarDecl::new(
         st.clone(),
@@ -422,15 +417,19 @@ fn rewrite_stmt(
             StmtKind::DoWhile(rewrite_block(b, frame_vars, frame_access, sp), c)
         }
         StmtKind::For(init, mut cond, mut step, b) => {
-            let init =
-                init.map(|i| Box::new(rewrite_stmt(*i, frame_vars, frame_access, sp)));
+            let init = init.map(|i| Box::new(rewrite_stmt(*i, frame_vars, frame_access, sp)));
             if let Some(c) = &mut cond {
                 rewrite_expr_vars(c, frame_vars, frame_access);
             }
             if let Some(stp) = &mut step {
                 rewrite_expr_vars(stp, frame_vars, frame_access);
             }
-            StmtKind::For(init, cond, step, rewrite_block(b, frame_vars, frame_access, sp))
+            StmtKind::For(
+                init,
+                cond,
+                step,
+                rewrite_block(b, frame_vars, frame_access, sp),
+            )
         }
         StmtKind::Block(b) => StmtKind::Block(rewrite_block(b, frame_vars, frame_access, sp)),
         other => other,
@@ -516,7 +515,12 @@ mod tests {
         let a = m1.run_kernel("kernel", &[ArgValue::IntArray(input.clone())]);
         let mut m2 = Machine::new(&q, MachineConfig::cpu()).unwrap();
         let b = m2.run_kernel("kernel", &[ArgValue::IntArray(input)]);
-        assert!(!a.trapped && !b.trapped, "{:?} {:?}", a.trap_reason, b.trap_reason);
+        assert!(
+            !a.trapped && !b.trapped,
+            "{:?} {:?}",
+            a.trap_reason,
+            b.trap_reason
+        );
         assert!(a.behaviour_eq(&b));
         // And the result really is sorted.
         let vals: Vec<i128> = b.arrays[0]
@@ -587,8 +591,7 @@ mod tests {
 
     #[test]
     fn not_applicable_to_non_void_or_non_recursive() {
-        let p = minic::parse("int f(int n) { if (n < 2) { return n; } return f(n - 1); }")
-            .unwrap();
+        let p = minic::parse("int f(int n) { if (n < 2) { return n; } return f(n - 1); }").unwrap();
         assert!(stack_trans(&p, "f", 64).is_none(), "non-void unsupported");
         let p2 = minic::parse("void g(int n) { }").unwrap();
         assert!(stack_trans(&p2, "g", 64).is_none(), "not recursive");

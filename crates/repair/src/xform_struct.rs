@@ -99,10 +99,7 @@ pub fn inst_update(p: &Program, struct_name: &str) -> Option<Program> {
             _ => false,
         };
         if matches_lit {
-            let kind = std::mem::replace(
-                &mut e.kind,
-                ExprKind::IntLit(0, false),
-            );
+            let kind = std::mem::replace(&mut e.kind, ExprKind::IntLit(0, false));
             if let ExprKind::MethodCall(recv, method, margs) = kind {
                 if let ExprKind::StructLit(_, ctor_args) = recv.kind {
                     let mut args = ctor_args;
@@ -130,10 +127,7 @@ fn rewrite_sibling_calls(b: &mut Block, def: &StructDef) {
 
 /// Mutable statement-expression walker (local helper; `visit` exports the
 /// immutable one only).
-fn visit_walk(
-    s: &mut Stmt,
-    f: &mut dyn FnMut(&mut Expr),
-) {
+fn visit_walk(s: &mut Stmt, f: &mut dyn FnMut(&mut Expr)) {
     match &mut s.kind {
         StmtKind::Decl(d) => {
             if let Some(e) = &mut d.init {
@@ -258,7 +252,12 @@ mod tests {
         let a = m1.run_kernel("kernel", &args);
         let mut m2 = minic_exec::Machine::new(&q, minic_exec::MachineConfig::cpu()).unwrap();
         let b = m2.run_kernel("kernel", &args);
-        assert!(!a.trapped && !b.trapped, "{:?} {:?}", a.trap_reason, b.trap_reason);
+        assert!(
+            !a.trapped && !b.trapped,
+            "{:?} {:?}",
+            a.trap_reason,
+            b.trap_reason
+        );
         assert!(a.behaviour_eq(&b));
     }
 

@@ -6,19 +6,35 @@
 //! coverage join the corpus queue. Generation stops when the simulated clock
 //! runs for [`FuzzConfig::idle_stop_min`] minutes without any new coverage
 //! (the paper manually stops AFL 30 minutes after the last new path).
+//!
+//! Mutant execution is parallelized without perturbing determinism: each
+//! round first computes a *safe lower bound* on how many children the
+//! sequential loop is guaranteed to generate (coverage resets only ever
+//! extend a round, never shorten it), draws exactly those children from the
+//! RNG on the caller thread, executes them on a worker pool, and then merges
+//! coverage, profile, and corpus admission strictly in draw order. The RNG
+//! trajectory, the corpus, and every counter are therefore identical for
+//! any [`FuzzConfig::threads`] value.
 
 use crate::mutate::{mutate_case, random_value};
 use crate::spec::{kernel_specs, ArgSpec};
 use minic::Program;
-use minic_exec::{
-    coverage, ArgValue, CoverageMap, Machine, MachineConfig, Profile,
-};
+use minic_exec::{coverage, ArgValue, CoverageMap, Machine, MachineConfig, Profile};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 
 /// One kernel-level test input.
 pub type TestCase = Vec<ArgValue>;
+
+/// Raw observations from executing one input on a fresh machine, produced
+/// on worker threads and merged into the campaign state in draw order.
+struct RunResult {
+    coverage: CoverageMap,
+    profile: Profile,
+    peak_cells: usize,
+    trapped: bool,
+}
 
 /// Fuzzing configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +49,10 @@ pub struct FuzzConfig {
     pub max_execs: usize,
     /// Mutants derived from each corpus entry per round.
     pub mutants_per_seed: usize,
+    /// Worker threads for mutant execution; `0` means "use available
+    /// parallelism". Any value produces the same corpus, counters, and
+    /// profile — only wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for FuzzConfig {
@@ -43,6 +63,7 @@ impl Default for FuzzConfig {
             idle_stop_min: 30.0,
             max_execs: 20_000,
             mutants_per_seed: 16,
+            threads: 0,
         }
     }
 }
@@ -121,29 +142,39 @@ pub fn fuzz(
             .collect::<Vec<_>>(),
     );
 
-    let run_one = |case: &TestCase,
-                       global_cov: &mut CoverageMap,
-                       profile: &mut Profile,
-                       peak_heap: &mut usize|
-     -> bool {
-        let Ok(mut m) = Machine::new(p, MachineConfig::cpu()) else {
+    // Worker-side execution: runs a case on a fresh machine and returns
+    // its raw observations without touching any campaign state.
+    let exec_case = |case: &TestCase| -> Option<RunResult> {
+        let mut m = Machine::new(p, MachineConfig::cpu()).ok()?;
+        let outcome = m.run_kernel(kernel, case);
+        let peak_cells = m.mem.peak_cells();
+        Some(RunResult {
+            coverage: m.coverage,
+            profile: m.profile,
+            peak_cells,
+            trapped: outcome.trapped,
+        })
+    };
+    // Caller-side admission: merges one run's observations in draw order.
+    // Trapping inputs still contribute coverage, but we do not keep
+    // inputs that trap (they cannot serve as differential oracles).
+    let mut admit = |run: Option<RunResult>| -> bool {
+        let Some(r) = run else {
             return false;
         };
-        let outcome = m.run_kernel(kernel, case);
-        profile.merge(&m.profile);
-        *peak_heap = (*peak_heap).max(m.mem.peak_cells());
-        // Trapping inputs still contribute coverage, but we do not keep
-        // inputs that trap (they cannot serve as differential oracles).
-        let new = global_cov.merge(&m.coverage) > 0;
-        new && !outcome.trapped
+        profile.merge(&r.profile);
+        peak_heap = peak_heap.max(r.peak_cells);
+        let new = global_cov.merge(&r.coverage) > 0;
+        new && !r.trapped
     };
 
     // Seed round: execute everything in the queue once.
     let initial: Vec<TestCase> = queue.drain(..).collect();
-    for case in initial {
+    let runs = parallel::parallel_map(config.threads, &initial, |_, c| exec_case(c));
+    for (case, run) in initial.into_iter().zip(runs) {
         executed += 1;
         sim_minutes += config.exec_cost_min;
-        if run_one(&case, &mut global_cov, &mut profile, &mut peak_heap) {
+        if admit(run) {
             since_new_cov = 0.0;
             corpus.push(case.clone());
             queue.push_back(case);
@@ -158,24 +189,44 @@ pub fn fuzz(
     while executed < config.max_execs && since_new_cov < config.idle_stop_min {
         let parent = match queue.pop_front() {
             Some(c) => c,
-            None => specs
-                .iter()
-                .map(|sp| random_value(sp, &mut rng))
-                .collect(),
+            None => specs.iter().map(|sp| random_value(sp, &mut rng)).collect(),
         };
-        for _ in 0..config.mutants_per_seed {
-            if executed >= config.max_execs || since_new_cov >= config.idle_stop_min {
+        let mut remaining = config.mutants_per_seed;
+        while remaining > 0 {
+            // Children the sequential loop certainly generates from here:
+            // walk the stop condition forward assuming no coverage reset
+            // (a reset can only lengthen a round, so this is a lower
+            // bound, and within it the stop condition can never fire).
+            let mut batch = 0usize;
+            {
+                let (mut e, mut s) = (executed, since_new_cov);
+                for _ in 0..remaining {
+                    if e >= config.max_execs || s >= config.idle_stop_min {
+                        break;
+                    }
+                    batch += 1;
+                    e += 1;
+                    s += config.exec_cost_min;
+                }
+            }
+            if batch == 0 {
                 break;
             }
-            let child = mutate_case(&specs, &parent, &mut rng);
-            executed += 1;
-            sim_minutes += config.exec_cost_min;
-            since_new_cov += config.exec_cost_min;
-            if run_one(&child, &mut global_cov, &mut profile, &mut peak_heap) {
-                since_new_cov = 0.0;
-                corpus.push(child.clone());
-                queue.push_back(child);
+            let children: Vec<TestCase> = (0..batch)
+                .map(|_| mutate_case(&specs, &parent, &mut rng))
+                .collect();
+            let runs = parallel::parallel_map(config.threads, &children, |_, c| exec_case(c));
+            for (child, run) in children.into_iter().zip(runs) {
+                executed += 1;
+                sim_minutes += config.exec_cost_min;
+                since_new_cov += config.exec_cost_min;
+                if admit(run) {
+                    since_new_cov = 0.0;
+                    corpus.push(child.clone());
+                    queue.push_back(child);
+                }
             }
+            remaining -= batch;
         }
         // Re-enqueue the parent for future rounds (AFL-style cycling).
         queue.push_back(parent);
@@ -230,8 +281,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let p = minic::parse("int kernel(int x) { if (x > 0) { return 1; } return 0; }")
-            .unwrap();
+        let p = minic::parse("int kernel(int x) { if (x > 0) { return 1; } return 0; }").unwrap();
         let cfg = FuzzConfig {
             idle_stop_min: 0.5,
             max_execs: 500,

@@ -120,11 +120,10 @@ pub fn kernel_specs(p: &Program, kernel: &str) -> Result<Vec<ArgSpec>, String> {
                 let len = match &ty {
                     Type::Array(_, size) => match size {
                         minic::types::ArraySize::Const(n) => Some(*n as usize),
-                        minic::types::ArraySize::Named(n) => {
-                            p.define(n).map(|v| v as usize)
+                        minic::types::ArraySize::Named(n) => p.define(n).map(|v| v as usize),
+                        minic::types::ArraySize::Runtime(_) | minic::types::ArraySize::Unknown => {
+                            None
                         }
-                        minic::types::ArraySize::Runtime(_)
-                        | minic::types::ArraySize::Unknown => None,
                     },
                     _ => None,
                 };
@@ -203,8 +202,14 @@ mod tests {
             len: Some(3),
         };
         assert!(spec.accepts(&ArgValue::IntArray(vec![0, 255, 7])));
-        assert!(!spec.accepts(&ArgValue::IntArray(vec![0, 256, 7])), "out of range");
-        assert!(!spec.accepts(&ArgValue::IntArray(vec![0, 1])), "wrong length");
+        assert!(
+            !spec.accepts(&ArgValue::IntArray(vec![0, 256, 7])),
+            "out of range"
+        );
+        assert!(
+            !spec.accepts(&ArgValue::IntArray(vec![0, 1])),
+            "wrong length"
+        );
         assert!(!spec.accepts(&ArgValue::Int(1)), "wrong shape");
     }
 

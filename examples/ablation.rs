@@ -39,8 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..SearchConfig::default()
     };
     let run = |name: &str, cfg: SearchConfig| {
-        let out = repair::repair(&program, broken.clone(), subject.kernel, &fr.corpus, &fr.profile, &cfg)
-            .expect("repair runs");
+        let out = repair::repair(
+            &program,
+            broken.clone(),
+            subject.kernel,
+            &fr.corpus,
+            &fr.profile,
+            &cfg,
+        )
+        .expect("repair runs");
         println!(
             "{name:<18} success={} time-to-fix={} compiles={} style-rejects={} (invoked {:.0}%)",
             out.success,
@@ -74,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     if let (Some(h), Some(w)) = (hg.stats.first_success_min, wd.stats.first_success_min) {
-        println!("\ndependence-guided exploration speedup: {:.1}x", w / h.max(0.01));
+        println!(
+            "\ndependence-guided exploration speedup: {:.1}x",
+            w / h.max(0.01)
+        );
     } else if wd.stats.first_success_min.is_none() {
         println!("\nWithoutDependence failed within its 12-hour budget (paper: same on P9)");
     }

@@ -106,7 +106,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{src}");
 
     assert!(report.success());
-    assert!(src.contains("Node_malloc"), "array-replacement edit applied");
+    assert!(
+        src.contains("Node_malloc"),
+        "array-replacement edit applied"
+    );
     assert!(src.contains("Node_ptr"), "pointer-removal edit applied");
     assert!(
         src.contains("traverse_stk") || src.contains("traverse_frame"),

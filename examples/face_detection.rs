@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = subject.parse();
 
     println!("=== {} ({}) ===", subject.id, subject.name);
-    println!("kernel: {}  |  {} lines", subject.kernel, minic::loc(&program));
+    println!(
+        "kernel: {}  |  {} lines",
+        subject.kernel,
+        minic::loc(&program)
+    );
 
     println!("\n=== diagnostics on the original ===");
     for d in hls_sim::check_program(&program) {
@@ -31,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n=== pipeline report ===");
     println!("tests generated ..... {}", report.testgen.tests);
-    println!("coverage ............ {:.0}%", report.testgen.coverage * 100.0);
+    println!(
+        "coverage ............ {:.0}%",
+        report.testgen.coverage * 100.0
+    );
     println!("edits applied ....... {:?}", report.repair.applied);
     println!("simulated minutes ... {:.0}", report.repair.minutes);
     println!("full compiles ....... {}", report.repair.full_compiles);

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n=== HeteroGen report ===");
     println!("generated tests ........ {}", report.testgen.tests);
-    println!("branch coverage ........ {:.0}%", report.testgen.coverage * 100.0);
+    println!(
+        "branch coverage ........ {:.0}%",
+        report.testgen.coverage * 100.0
+    );
     println!("repair success ......... {}", report.success());
     println!("edits applied .......... {:?}", report.repair.applied);
     println!("lines added ............ {}", report.delta_loc);
@@ -49,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "CPU {:.4} ms  vs  FPGA {:.4} ms  ({}{:.2}x)",
         report.repair.cpu_latency_ms,
         report.repair.fpga_latency_ms,
-        if report.repair.improved { "speedup " } else { "slowdown " },
+        if report.repair.improved {
+            "speedup "
+        } else {
+            "slowdown "
+        },
         report.speedup(),
     );
 

@@ -47,9 +47,7 @@ pub use testgen;
 
 /// The most common imports for driving the pipeline.
 pub mod prelude {
-    pub use heterogen_core::{
-        HeteroGen, PipelineConfig, PipelineError, PipelineReport,
-    };
+    pub use heterogen_core::{HeteroGen, PipelineConfig, PipelineError, PipelineReport};
     pub use minic::{parse, print_program, Program};
     pub use minic_exec::{ArgValue, Outcome};
     pub use repair::{RepairOutcome, SearchConfig};

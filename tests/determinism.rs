@@ -1,0 +1,176 @@
+//! Thread-count invariance of the parallel evaluation engine.
+//!
+//! The contract of `SearchConfig::threads` / `FuzzConfig::threads` is that
+//! the worker count changes wall-clock time *only*: every observable output
+//! — corpora, counters, simulated clocks, applied edits, latencies — is
+//! bit-identical to the sequential (`threads = 1`) baseline. These tests
+//! pin that contract on real benchmark subjects.
+
+use repair::{DifferentialTester, SearchConfig};
+use testgen::FuzzConfig;
+
+const THREADS: [usize; 3] = [2, 4, 8];
+
+fn fuzz_cfg(threads: usize) -> FuzzConfig {
+    FuzzConfig {
+        idle_stop_min: 0.5,
+        max_execs: 400,
+        threads,
+        ..FuzzConfig::default()
+    }
+}
+
+fn search_cfg(threads: usize) -> SearchConfig {
+    SearchConfig {
+        budget_min: 150.0,
+        max_diff_tests: 8,
+        explore_performance: true,
+        threads,
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn fuzzing_is_thread_count_invariant() {
+    for id in ["P1", "P3", "P6"] {
+        let s = benchsuite::subject(id).unwrap();
+        let p = s.parse();
+        let mut seeds = s.seed_inputs.clone();
+        seeds.extend(s.existing_tests.clone());
+        let base = testgen::fuzz(&p, s.kernel, seeds.clone(), &fuzz_cfg(1)).unwrap();
+        assert!(!base.corpus.is_empty(), "{id}: empty baseline corpus");
+        for threads in THREADS {
+            let r = testgen::fuzz(&p, s.kernel, seeds.clone(), &fuzz_cfg(threads)).unwrap();
+            assert_eq!(base.corpus, r.corpus, "{id}: corpus @ {threads} threads");
+            assert_eq!(
+                base.executed, r.executed,
+                "{id}: executed @ {threads} threads"
+            );
+            assert_eq!(
+                base.sim_minutes.to_bits(),
+                r.sim_minutes.to_bits(),
+                "{id}: sim_minutes @ {threads} threads"
+            );
+            assert_eq!(
+                base.coverage.to_bits(),
+                r.coverage.to_bits(),
+                "{id}: coverage @ {threads} threads"
+            );
+            assert_eq!(base.profile, r.profile, "{id}: profile @ {threads} threads");
+            assert_eq!(
+                base.peak_heap_cells, r.peak_heap_cells,
+                "{id}: peak heap @ {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn differential_testing_is_thread_count_invariant() {
+    let s = benchsuite::subject("P6").unwrap();
+    let p = s.parse();
+    let fr = testgen::fuzz(&p, s.kernel, s.seed_inputs.clone(), &fuzz_cfg(1)).unwrap();
+    let broken = heterogen_core::initial_version(&p, &fr.profile);
+    let base = DifferentialTester::with_threads(&p, s.kernel, &fr.corpus, 48, 1).unwrap();
+    let base_report = base.evaluate(&broken);
+    for threads in THREADS {
+        let d = DifferentialTester::with_threads(&p, s.kernel, &fr.corpus, 48, threads).unwrap();
+        assert_eq!(
+            base.cpu_latency_ms().to_bits(),
+            d.cpu_latency_ms().to_bits(),
+            "cpu latency @ {threads} threads"
+        );
+        let r = d.evaluate(&broken);
+        assert_eq!(
+            base_report.pass_ratio.to_bits(),
+            r.pass_ratio.to_bits(),
+            "pass ratio @ {threads} threads"
+        );
+        assert_eq!(
+            base_report.fpga_latency_ms.to_bits(),
+            r.fpga_latency_ms.to_bits(),
+            "fpga latency @ {threads} threads"
+        );
+    }
+}
+
+/// One full repair run per thread count, compared field by field against
+/// the sequential baseline (floats by bit pattern, not approximately).
+fn assert_repair_invariant(id: &str, cfg_for: impl Fn(usize) -> SearchConfig) {
+    let s = benchsuite::subject(id).unwrap();
+    let p = s.parse();
+    let mut seeds = s.seed_inputs.clone();
+    seeds.extend(s.existing_tests.clone());
+    let fr = testgen::fuzz(&p, s.kernel, seeds, &fuzz_cfg(1)).unwrap();
+    let broken = heterogen_core::initial_version(&p, &fr.profile);
+
+    let base = repair::repair(
+        &p,
+        broken.clone(),
+        s.kernel,
+        &fr.corpus,
+        &fr.profile,
+        &cfg_for(1),
+    )
+    .unwrap();
+    for threads in THREADS {
+        let r = repair::repair(
+            &p,
+            broken.clone(),
+            s.kernel,
+            &fr.corpus,
+            &fr.profile,
+            &cfg_for(threads),
+        )
+        .unwrap();
+        assert_eq!(
+            base.applied, r.applied,
+            "{id}: applied edits @ {threads} threads"
+        );
+        assert_eq!(base.stats, r.stats, "{id}: stats @ {threads} threads");
+        assert_eq!(base.success, r.success, "{id}: success @ {threads} threads");
+        assert_eq!(
+            base.improved, r.improved,
+            "{id}: improved @ {threads} threads"
+        );
+        assert_eq!(
+            base.pass_ratio.to_bits(),
+            r.pass_ratio.to_bits(),
+            "{id}: pass ratio @ {threads} threads"
+        );
+        assert_eq!(
+            base.fpga_latency_ms.to_bits(),
+            r.fpga_latency_ms.to_bits(),
+            "{id}: fpga latency @ {threads} threads"
+        );
+        assert_eq!(
+            base.cpu_latency_ms.to_bits(),
+            r.cpu_latency_ms.to_bits(),
+            "{id}: cpu latency @ {threads} threads"
+        );
+        assert_eq!(
+            minic::print_program(&base.program),
+            minic::print_program(&r.program),
+            "{id}: returned program @ {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn repair_search_is_thread_count_invariant() {
+    for id in ["P3", "P6"] {
+        assert_repair_invariant(id, search_cfg);
+    }
+}
+
+/// The `WithoutDependence` ablation draws edits from the RNG; the batch
+/// planner must consume the RNG on the caller thread only, so even the
+/// randomized search trajectory is identical at any worker count.
+#[test]
+fn random_ablation_is_thread_count_invariant() {
+    assert_repair_invariant("P6", |threads| SearchConfig {
+        use_dependence: false,
+        rng_seed: 41,
+        ..search_cfg(threads)
+    });
+}

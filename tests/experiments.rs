@@ -58,8 +58,7 @@ fn fig8_existing_tests_miss_the_stack_divergence() {
         .unwrap();
     assert!(generated_run.success());
 
-    let tester =
-        repair::DifferentialTester::new(&p, s.kernel, &generated_run.tests, 64).unwrap();
+    let tester = repair::DifferentialTester::new(&p, s.kernel, &generated_run.tests, 64).unwrap();
     let on_existing_output = tester.evaluate(&existing_run.program);
     let on_generated_output = tester.evaluate(&generated_run.program);
     assert!(
@@ -88,8 +87,7 @@ fn checker_ablation_avoids_compilations() {
         max_diff_tests: 12,
         ..SearchConfig::default()
     };
-    let hg = repair::repair(&p, broken.clone(), s.kernel, &fr.corpus, &fr.profile, &base)
-        .unwrap();
+    let hg = repair::repair(&p, broken.clone(), s.kernel, &fr.corpus, &fr.profile, &base).unwrap();
     let wc = repair::repair(
         &p,
         broken,

@@ -141,8 +141,7 @@ fn final_programs_preserve_behaviour_on_existing_tests() {
         let s = benchsuite::subject(id).unwrap();
         let p = s.parse();
         let r = run(id);
-        let tester =
-            repair::DifferentialTester::new(&p, s.kernel, &s.existing_tests, 16).unwrap();
+        let tester = repair::DifferentialTester::new(&p, s.kernel, &s.existing_tests, 16).unwrap();
         let report = tester.evaluate(&r.program);
         assert_eq!(
             report.pass_ratio, 1.0,
@@ -155,6 +154,10 @@ fn final_programs_preserve_behaviour_on_existing_tests() {
 fn delta_loc_is_measured_against_the_original() {
     let r = run("P2");
     // The paper's P2 row adds 9 lines; ours is the same order of magnitude.
-    assert!(r.delta_loc >= 1 && r.delta_loc <= 30, "ΔLOC = {}", r.delta_loc);
+    assert!(
+        r.delta_loc >= 1 && r.delta_loc <= 30,
+        "ΔLOC = {}",
+        r.delta_loc
+    );
     assert!(r.origin_loc >= 5);
 }

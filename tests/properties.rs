@@ -72,6 +72,32 @@ proptest! {
         prop_assert!(r1.behaviour_eq(&r2));
     }
 
+    /// Print-equal programs have equal structural fingerprints: separate
+    /// parses of the same source (fresh `NodeId`s and spans) and a
+    /// print/reparse round-trip all land on the same 64-bit key.
+    #[test]
+    fn fingerprint_agrees_with_print_equality(e in arb_expr()) {
+        let src = expr_program(&e);
+        let p1 = minic::parse(&src).unwrap();
+        let p2 = minic::parse(&src).unwrap();
+        prop_assert_eq!(minic::fingerprint_program(&p1), minic::fingerprint_program(&p2));
+        let p3 = minic::parse(&minic::print_program(&p1)).unwrap();
+        prop_assert_eq!(minic::fingerprint_program(&p1), minic::fingerprint_program(&p3));
+    }
+
+    /// The fingerprint is at least as discriminating as the pretty-print
+    /// dedup key it replaced: programs that print differently fingerprint
+    /// differently (up to the negligible 2^-64 collision chance, which
+    /// would surface here as a flake).
+    #[test]
+    fn fingerprint_separates_print_distinct_programs(e1 in arb_expr(), e2 in arb_expr()) {
+        let p1 = minic::parse(&expr_program(&e1)).unwrap();
+        let p2 = minic::parse(&expr_program(&e2)).unwrap();
+        let print_eq = minic::print_program(&p1) == minic::print_program(&p2);
+        let fp_eq = minic::fingerprint_program(&p1) == minic::fingerprint_program(&p2);
+        prop_assert_eq!(print_eq, fp_eq);
+    }
+
     /// Reparsing the printed program computes the same results.
     #[test]
     fn round_trip_preserves_semantics(

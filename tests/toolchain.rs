@@ -76,7 +76,9 @@ fn transpiled_sources_reparse() {
         cfg.fuzz.max_execs = 300;
         let mut seeds = s.seed_inputs.clone();
         seeds.extend(s.existing_tests.clone());
-        let r = heterogen_core::HeteroGen::new(cfg).run(&p, s.kernel, seeds).unwrap();
+        let r = heterogen_core::HeteroGen::new(cfg)
+            .run(&p, s.kernel, seeds)
+            .unwrap();
         let printed = minic::print_program(&r.program);
         let reparsed = minic::parse(&printed)
             .unwrap_or_else(|e| panic!("{id}: output does not reparse: {e}\n{printed}"));

@@ -1,0 +1,161 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — groups,
+//! `bench_function`, `iter`, `iter_batched`, the `criterion_group!` /
+//! `criterion_main!` macros — with a simple time-boxed measurement loop
+//! that prints a mean time per iteration. No statistics, plots, or
+//! baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement budget; keeps full bench runs fast.
+const TIME_BOX: Duration = Duration::from_millis(300);
+
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), 100, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        max_samples: sample_size.max(1) as u64,
+        iters: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {label:<50} (no iterations)");
+    } else {
+        let per = b.total.as_nanos() / b.iters as u128;
+        println!("bench {label:<50} {per:>12} ns/iter ({} iters)", b.iters);
+    }
+}
+
+pub struct Bencher {
+    max_samples: u64,
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up iteration outside the measurement.
+        std::hint::black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.max_samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if started.elapsed() > TIME_BOX {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let started = Instant::now();
+        for _ in 0..self.max_samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if started.elapsed() > TIME_BOX {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Re-export so benches can `use criterion::black_box` as upstream allows.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| ()));
+    }
+}

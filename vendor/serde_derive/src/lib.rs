@@ -1,0 +1,118 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for plain (non-generic, named-field)
+//! structs — the only shape this workspace derives — without syn/quote:
+//! the struct's field names are scraped directly off the token stream and
+//! the impl is emitted as formatted source.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and visibility before `struct`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                // `pub(crate)` etc: skip the parenthesized restriction.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"struct" => break,
+            _ => i += 1,
+        }
+    }
+    assert!(
+        matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if *id.to_string() == *"struct"),
+        "derive(Serialize) stub supports only structs"
+    );
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct name, found {other:?}"),
+    };
+    i += 1;
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive(Serialize) stub does not support generic structs")
+            }
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize) stub supports only named-field structs"),
+        }
+    };
+
+    let fields = field_names(body.stream());
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_json_value(&self.{f})),"
+            )
+        })
+        .collect();
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Extract field names from the brace-group token stream of a struct body:
+/// for each top-level comma-separated field, the identifier before the first
+/// top-level `:` (skipping attributes and visibility).
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut expecting_name = true;
+    let mut angle_depth = 0i32;
+    let mut pending: Option<String> = None;
+
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                // Field attribute: `#` followed by a bracket group.
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                if s != "pub" {
+                    pending = Some(s);
+                    expecting_name = false;
+                }
+            }
+            TokenTree::Punct(p) => match p.as_char() {
+                ':' if angle_depth == 0 => {
+                    if let Some(name) = pending.take() {
+                        fields.push(name);
+                    }
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => expecting_name = true,
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    fields
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for `serde_json`: renders the serde stub's [`Value`]
+//! as JSON text. Only the serializer half exists — nothing in the
+//! workspace deserializes.
+
+pub use serde::Value;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => render_float(*x, out),
+        Value::Str(s) => render_str(s, out),
+        Value::Array(xs) => render_seq(xs.iter(), ('[', ']'), indent, depth, out, |x, d, o| {
+            render(x, indent, d, o)
+        }),
+        Value::Object(fields) => render_seq(
+            fields.iter(),
+            ('{', '}'),
+            indent,
+            depth,
+            out,
+            |(k, x), d, o| {
+                render_str(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                render(x, indent, d, o);
+            },
+        ),
+    }
+}
+
+fn render_seq<I, T>(
+    items: I,
+    (open, close): (char, char),
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut each: impl FnMut(T, usize, &mut String),
+) where
+    I: ExactSizeIterator<Item = T>,
+{
+    out.push(open);
+    let n = items.len();
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(w * (depth + 1)));
+        }
+        each(item, depth + 1, out);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(w * depth));
+    }
+    out.push(close);
+}
+
+fn render_float(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        // serde_json serializes non-finite floats as null.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(3)),
+            ("b".into(), Value::Float(1.0)),
+            ("c".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            ("d".into(), Value::Str("x\"y\n".into())),
+        ]);
+        let s = to_string_pretty(&v_wrap(&v)).unwrap();
+        assert!(s.contains("\"a\": 3"));
+        assert!(s.contains("\"b\": 1.0"));
+        assert!(s.contains("true"));
+        assert!(s.contains("\\\"y\\n"));
+        let flat = to_string(&v_wrap(&v)).unwrap();
+        assert!(!flat.contains('\n'));
+    }
+
+    /// Wrap a raw Value so it goes through the Serialize trait like a
+    /// derived struct would.
+    struct W<'a>(&'a Value);
+    impl serde::Serialize for W<'_> {
+        fn to_json_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    fn v_wrap(v: &Value) -> W<'_> {
+        W(v)
+    }
+}
