@@ -23,11 +23,10 @@ fn prepared(
     let p = s.parse();
     let mut seeds = s.seed_inputs.clone();
     seeds.extend(s.existing_tests.clone());
-    let fuzz_cfg = testgen::FuzzConfig {
-        idle_stop_min: 0.3,
-        max_execs: 200,
-        ..testgen::FuzzConfig::default()
-    };
+    let fuzz_cfg = testgen::FuzzConfig::builder()
+        .with_idle_stop_min(0.3)
+        .with_max_execs(200)
+        .build();
     let fr = testgen::fuzz(&p, s.kernel, seeds, &fuzz_cfg).unwrap();
     let broken = heterogen_core::initial_version(&p, &fr.profile);
     (p, broken, s.kernel, fr.corpus, fr.profile)
@@ -42,13 +41,12 @@ fn bench_search_threads(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("repair_search/{id}"));
         g.sample_size(10);
         for threads in [1usize, 2, 4] {
-            let sc = repair::SearchConfig {
-                budget_min: 200.0,
-                max_diff_tests: 8,
-                explore_performance: true,
-                threads,
-                ..repair::SearchConfig::default()
-            };
+            let sc = repair::SearchConfig::builder()
+                .with_budget_min(200.0)
+                .with_max_diff_tests(8)
+                .with_explore_performance(true)
+                .with_threads(threads)
+                .build();
             g.bench_function(format!("threads{threads}"), |b| {
                 b.iter(|| {
                     repair::repair(
@@ -88,5 +86,57 @@ fn bench_fingerprint(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_search_threads, bench_fingerprint);
+/// The trace layer's zero-cost-when-off claim: the same search through the
+/// untraced entry point (`repair` — monomorphized `NullSink`, emission
+/// compiled out) versus a disabled `&dyn TraceSink` through
+/// `repair_traced`, the shape `Session` drives. Both must be
+/// indistinguishable — the `reproduce -- bench-guard` subcommand enforces
+/// the bound in CI.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let (p, broken, kernel, corpus, profile) = prepared("P3");
+    let sc = repair::SearchConfig::builder()
+        .with_budget_min(200.0)
+        .with_max_diff_tests(8)
+        .with_explore_performance(false)
+        .with_threads(1)
+        .build();
+    let mut g = c.benchmark_group("repair_search/trace_overhead");
+    g.sample_size(10);
+    g.bench_function("untraced", |b| {
+        b.iter(|| {
+            repair::repair(
+                black_box(&p),
+                broken.clone(),
+                kernel,
+                &corpus,
+                &profile,
+                &sc,
+            )
+            .unwrap()
+        })
+    });
+    let dyn_sink: &dyn heterogen_trace::TraceSink = &heterogen_trace::NullSink;
+    g.bench_function("null_sink", |b| {
+        b.iter(|| {
+            repair::repair_traced(
+                black_box(&p),
+                broken.clone(),
+                kernel,
+                &corpus,
+                &profile,
+                &sc,
+                dyn_sink,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_search_threads,
+    bench_fingerprint,
+    bench_trace_overhead
+);
 criterion_main!(benches);

@@ -1,21 +1,47 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures, and drives single subjects
+//! through the traced pipeline.
 //!
 //! ```text
 //! cargo run --release -p bench --bin reproduce -- all
 //! cargo run --release -p bench --bin reproduce -- table3
 //! cargo run --release -p bench --bin reproduce -- fig9 --json out.json
+//! cargo run --release -p bench --bin reproduce -- run P3 --json
+//! cargo run --release -p bench --bin reproduce -- trace P3 --json p3.jsonl
+//! cargo run --release -p bench --bin reproduce -- bench-guard
 //! ```
 
 use bench::*;
+use heterogen_core::{HeteroGen, Job};
+use heterogen_trace::{JsonlSink, MetricsSink, NullSink, TeeSink, TraceSink};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
+    let wants_json = args.iter().any(|a| a == "--json");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
         .cloned();
+
+    // Single-subject drivers sit outside the table/figure bundle.
+    match what {
+        "run" => {
+            run_one(&subject_arg(&args), wants_json, json_path.as_deref());
+            return;
+        }
+        "trace" => {
+            run_trace(&subject_arg(&args), json_path.as_deref());
+            return;
+        }
+        "bench-guard" => {
+            run_bench_guard();
+            return;
+        }
+        _ => {}
+    }
 
     let mut bundle = ExperimentBundle::default();
     match what {
@@ -50,7 +76,7 @@ fn main() {
             run_summary(&bundle);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair summary all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair run trace bench-guard summary all");
             std::process::exit(2);
         }
     }
@@ -59,6 +85,218 @@ fn main() {
         std::fs::write(&path, json).expect("write json");
         println!("\nwrote {path}");
     }
+}
+
+fn subject_arg(args: &[String]) -> String {
+    match args.get(1).filter(|a| !a.starts_with("--")) {
+        Some(id) => id.clone(),
+        None => {
+            eprintln!("usage: reproduce -- {} <subject> [--json [path]]", args[0]);
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load_subject(id: &str) -> benchsuite::Subject {
+    benchsuite::subject(id).unwrap_or_else(|| {
+        eprintln!(
+            "unknown subject `{id}`; expected one of: {}",
+            benchsuite::subjects()
+                .iter()
+                .map(|s| s.id)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(2);
+    })
+}
+
+/// `reproduce -- run <subject> [--json [path]]`: one pipeline run; the
+/// report prints as a table or serializes whole (program as HLS-C source).
+fn run_one(id: &str, wants_json: bool, json_path: Option<&str>) {
+    let s = load_subject(id);
+    let report = run_subject(&s, &standard_config());
+    if wants_json {
+        let json = serde_json::to_string_pretty(&report).expect("serializable report");
+        match json_path {
+            Some(path) => {
+                std::fs::write(path, json).expect("write json");
+                println!("wrote {path}");
+            }
+            None => println!("{json}"),
+        }
+        return;
+    }
+    println!("== {} ({}) ==", s.id, s.name);
+    println!("kernel ............. {}", report.kernel);
+    println!(
+        "tests .............. {} generated ({} executed, coverage {:.0}%)",
+        report.testgen.tests,
+        report.testgen.executed,
+        report.testgen.coverage * 100.0
+    );
+    println!("initial errors ..... {}", report.initial_errors);
+    println!("edits applied ...... {:?}", report.repair.applied);
+    println!(
+        "success ............ {} (pass ratio {:.2})",
+        report.success(),
+        report.repair.pass_ratio
+    );
+    println!(
+        "latency ............ CPU {:.4} ms vs FPGA {:.4} ms ({:.2}x)",
+        report.repair.cpu_latency_ms,
+        report.repair.fpga_latency_ms,
+        report.speedup()
+    );
+    println!(
+        "ΔLOC ............... +{} on {} original lines",
+        report.delta_loc, report.origin_loc
+    );
+}
+
+/// `reproduce -- trace <subject> [--json path]`: the same run under a
+/// `MetricsSink` + `JsonlSink` tee, summarized per phase.
+fn run_trace(id: &str, json_path: Option<&str>) {
+    let s = load_subject(id);
+    let p = s.parse();
+    let mut seeds = s.seed_inputs.clone();
+    seeds.extend(s.existing_tests.clone());
+    let metrics = Arc::new(MetricsSink::new());
+    let jsonl = Arc::new(JsonlSink::new());
+    let tee: Arc<dyn TraceSink> = Arc::new(TeeSink::new(vec![
+        metrics.clone() as Arc<dyn TraceSink>,
+        jsonl.clone() as Arc<dyn TraceSink>,
+    ]));
+    let report = HeteroGen::builder()
+        .config(standard_config())
+        .sink(tee)
+        .build()
+        .run(Job::fuzz(p, s.kernel, seeds))
+        .unwrap_or_else(|e| panic!("{id}: pipeline failed: {e}"));
+
+    println!("== trace: {} ({}) ==", s.id, s.name);
+    println!("\n-- phases (simulated minutes) --");
+    let histograms = metrics.histograms();
+    print_table(
+        &["Phase", "Min"],
+        &histograms
+            .iter()
+            .filter_map(|(k, h)| {
+                let name = k.strip_prefix("phase.")?.strip_suffix(".min")?;
+                Some(vec![name.to_string(), format!("{:.1}", h.sum())])
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("\n-- counters --");
+    print_table(
+        &["Counter", "Count"],
+        &metrics
+            .counters()
+            .iter()
+            .map(|(k, v)| vec![k.clone(), v.to_string()])
+            .collect::<Vec<_>>(),
+    );
+    println!("\n-- toolchain cost histograms --");
+    print_table(
+        &["Histogram", "Count", "Sum", "Mean", "Min", "Max"],
+        &histograms
+            .iter()
+            .filter(|(k, _)| !k.starts_with("phase."))
+            .map(|(k, h)| {
+                vec![
+                    k.clone(),
+                    h.count().to_string(),
+                    format!("{:.3}", h.sum()),
+                    format!("{:.3}", h.mean()),
+                    format!("{:.3}", h.min()),
+                    format!("{:.3}", h.max()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\n{} events captured; repair success = {}",
+        jsonl.events(),
+        report.success()
+    );
+    if let Some(path) = json_path {
+        std::fs::write(path, jsonl.contents()).expect("write jsonl");
+        println!("wrote {path}");
+    }
+}
+
+/// `reproduce -- bench-guard`: asserts the tracing layer is free when
+/// disabled, by timing the untraced repair entry point (monomorphized
+/// `NullSink` — emission compiled out) against the same search through a
+/// `&dyn TraceSink` null sink, the shape `Session` uses.
+fn run_bench_guard() {
+    let s = load_subject("P3");
+    let p = s.parse();
+    let fuzz_cfg = testgen::FuzzConfig::builder()
+        .with_idle_stop_min(0.5)
+        .with_max_execs(400)
+        .build();
+    let mut seeds = s.seed_inputs.clone();
+    seeds.extend(s.existing_tests.clone());
+    let fr = testgen::fuzz(&p, s.kernel, seeds, &fuzz_cfg).expect("fuzz P3");
+    let broken = heterogen_core::initial_version(&p, &fr.profile);
+    let sc = repair::SearchConfig::builder()
+        .with_budget_min(180.0)
+        .with_max_diff_tests(12)
+        .with_threads(1)
+        .build();
+
+    let dyn_sink: &dyn TraceSink = &NullSink;
+    let time_one = |traced: bool| -> f64 {
+        let t0 = std::time::Instant::now();
+        let out = if traced {
+            repair::repair_traced(
+                &p,
+                broken.clone(),
+                s.kernel,
+                &fr.corpus,
+                &fr.profile,
+                &sc,
+                dyn_sink,
+            )
+        } else {
+            repair::repair(&p, broken.clone(), s.kernel, &fr.corpus, &fr.profile, &sc)
+        }
+        .expect("repair P3");
+        assert!(out.success, "guard run must converge");
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+
+    // Warm-up, then interleaved pairs; compare the minima — the most
+    // noise-resistant wall-clock statistic for a guard.
+    time_one(false);
+    time_one(true);
+    const ROUNDS: usize = 10;
+    let mut untraced = f64::MAX;
+    let mut null_sink = f64::MAX;
+    for _ in 0..ROUNDS {
+        untraced = untraced.min(time_one(false));
+        null_sink = null_sink.min(time_one(true));
+    }
+    let overhead = null_sink / untraced - 1.0;
+    let threshold: f64 = std::env::var("TRACE_GUARD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0)
+        / 100.0;
+    println!("== bench-guard: NullSink overhead on the P3 repair search ==");
+    println!("untraced ... {untraced:.2} ms (min of {ROUNDS})");
+    println!("null sink .. {null_sink:.2} ms (min of {ROUNDS})");
+    println!(
+        "overhead ... {:+.2}% (threshold {:.0}%)",
+        overhead * 100.0,
+        threshold * 100.0
+    );
+    if overhead > threshold {
+        eprintln!("FAIL: disabled tracing must be free on the hot path");
+        std::process::exit(1);
+    }
+    println!("OK");
 }
 
 fn pct(x: f64) -> String {

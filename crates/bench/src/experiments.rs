@@ -340,14 +340,19 @@ pub fn fig8() -> Fig8Result {
     let p = s.parse();
     let cfg = standard_config();
 
-    let existing_run = heterogen_core::HeteroGen::new(cfg)
-        .run_with_existing_tests(&p, s.kernel, s.existing_tests.clone())
+    let session = heterogen_core::HeteroGen::builder().config(cfg).build();
+    let existing_run = session
+        .run(heterogen_core::Job::with_tests(
+            p.clone(),
+            s.kernel,
+            s.existing_tests.clone(),
+        ))
         .expect("existing-tests run");
 
     let mut seeds = s.seed_inputs.clone();
     seeds.extend(s.existing_tests.clone());
-    let generated_run = heterogen_core::HeteroGen::new(cfg)
-        .run(&p, s.kernel, seeds)
+    let generated_run = session
+        .run(heterogen_core::Job::fuzz(p.clone(), s.kernel, seeds))
         .expect("generated run");
 
     let d = DifferentialTester::new(&p, s.kernel, &generated_run.tests, 64)
@@ -409,16 +414,14 @@ pub fn fig9(subject_filter: Option<&str>) -> Vec<Fig9Row> {
                 .unwrap_or_else(|e| panic!("{}: {e}", s.id))
         };
         let hg = run(cfg.search);
-        let wd = run(SearchConfig {
-            use_dependence: false,
-            budget_min: 720.0,
-            explore_performance: false,
-            ..cfg.search
-        });
-        let wc = run(SearchConfig {
-            use_style_checker: false,
-            ..cfg.search
-        });
+        let wd = run(cfg
+            .search
+            .to_builder()
+            .with_dependence(false)
+            .with_budget_min(720.0)
+            .with_explore_performance(false)
+            .build());
+        let wc = run(cfg.search.to_builder().with_style_checker(false).build());
         Fig9Row {
             id: s.id.to_string(),
             hg_min: hg.stats.first_success_min,

@@ -7,7 +7,7 @@
 //! reproduction targets, recorded in EXPERIMENTS.md.
 
 use benchsuite::Subject;
-use heterogen_core::{HeteroGen, PipelineConfig, PipelineReport};
+use heterogen_core::{HeteroGen, Job, PipelineConfig, PipelineReport};
 use repair::DifferentialTester;
 use serde::Serialize;
 
@@ -30,8 +30,10 @@ pub fn run_subject(s: &Subject, cfg: &PipelineConfig) -> PipelineReport {
     let p = s.parse();
     let mut seeds = s.seed_inputs.clone();
     seeds.extend(s.existing_tests.clone());
-    HeteroGen::new(*cfg)
-        .run(&p, s.kernel, seeds)
+    HeteroGen::builder()
+        .config(*cfg)
+        .build()
+        .run(Job::fuzz(p, s.kernel, seeds))
         .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", s.id))
 }
 

@@ -10,7 +10,7 @@
 //! # Examples
 //!
 //! ```
-//! use heterogen_core::{HeteroGen, PipelineConfig};
+//! use heterogen_core::{HeteroGen, Job, PipelineConfig};
 //!
 //! let program = minic::parse(
 //!     "int kernel(int x) { long double y = x; y = y + 1; return y; }",
@@ -18,19 +18,28 @@
 //! let mut cfg = PipelineConfig::quick();
 //! cfg.fuzz.idle_stop_min = 0.5;
 //! cfg.fuzz.max_execs = 200;
-//! let report = HeteroGen::new(cfg).run(&program, "kernel", vec![]).unwrap();
+//! let session = HeteroGen::builder().config(cfg).build();
+//! let report = session.run(Job::fuzz(program, "kernel", vec![])).unwrap();
 //! assert!(report.success());
 //! ```
 
+use heterogen_trace::{Event, NullSink, TraceSink};
 use minic::types::Type;
 use minic::Program;
 use minic_exec::Profile;
 use repair::{RepairOutcome, SearchConfig};
 use serde::Serialize;
-use testgen::{FuzzConfig, FuzzReport, TestCase};
+use std::sync::Arc;
+use testgen::{FuzzConfig, TestCase};
 
 /// Pipeline configuration.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`PipelineConfig::builder`] (or start from [`PipelineConfig::default`] /
+/// [`PipelineConfig::quick`] and assign fields) so future knobs are not
+/// semver breaks.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct PipelineConfig {
     /// Test-generation settings (paper §4).
     pub fuzz: FuzzConfig,
@@ -55,19 +64,74 @@ impl PipelineConfig {
     /// A configuration sized for fast CI runs: shorter fuzzing and a still
     /// generous repair budget (simulated minutes, not wall-clock).
     pub fn quick() -> PipelineConfig {
-        PipelineConfig {
-            fuzz: FuzzConfig {
-                idle_stop_min: 2.0,
-                max_execs: 1500,
-                ..FuzzConfig::default()
-            },
-            search: SearchConfig {
-                budget_min: 600.0,
-                max_diff_tests: 24,
-                ..SearchConfig::default()
-            },
-            bitwidth_finitization: true,
+        PipelineConfig::builder()
+            .with_fuzz(
+                FuzzConfig::builder()
+                    .with_idle_stop_min(2.0)
+                    .with_max_execs(1500)
+                    .build(),
+            )
+            .with_search(
+                SearchConfig::builder()
+                    .with_budget_min(600.0)
+                    .with_max_diff_tests(24)
+                    .build(),
+            )
+            .build()
+    }
+
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            cfg: PipelineConfig::default(),
         }
+    }
+
+    /// Starts a builder from this configuration.
+    pub fn to_builder(self) -> PipelineConfigBuilder {
+        PipelineConfigBuilder { cfg: self }
+    }
+}
+
+/// Builder for [`PipelineConfig`].
+///
+/// ```
+/// use heterogen_core::PipelineConfig;
+/// use testgen::FuzzConfig;
+///
+/// let cfg = PipelineConfig::builder()
+///     .with_fuzz(FuzzConfig::builder().with_max_execs(500).build())
+///     .with_bitwidth_finitization(false)
+///     .build();
+/// assert_eq!(cfg.fuzz.max_execs, 500);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfigBuilder {
+    cfg: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Sets the test-generation settings.
+    pub fn with_fuzz(mut self, v: FuzzConfig) -> Self {
+        self.cfg.fuzz = v;
+        self
+    }
+
+    /// Sets the repair-search settings.
+    pub fn with_search(mut self, v: SearchConfig) -> Self {
+        self.cfg.search = v;
+        self
+    }
+
+    /// Enables or disables profile-guided bitwidth finitization.
+    pub fn with_bitwidth_finitization(mut self, v: bool) -> Self {
+        self.cfg.bitwidth_finitization = v;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> PipelineConfig {
+        self.cfg
     }
 }
 
@@ -110,7 +174,11 @@ pub struct RepairSummary {
 }
 
 /// The full pipeline report for one subject.
-#[derive(Debug, Clone)]
+///
+/// Serializes to JSON (`serde::Serialize`) with the final program rendered
+/// as pretty-printed HLS-C source — the shape behind
+/// `reproduce run <subject> --json`.
+#[derive(Debug, Clone, Serialize)]
 pub struct PipelineReport {
     /// Kernel (top function) name.
     pub kernel: String,
@@ -169,13 +237,251 @@ impl std::fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
-/// The transpiler.
+/// Where a job's test suite comes from.
+#[derive(Debug, Clone)]
+pub enum TestSource {
+    /// Generate the suite by fuzzing from these seed inputs (paper §4,
+    /// Algorithm 1). The seeds may be empty.
+    Fuzz(Vec<TestCase>),
+    /// Use an externally supplied suite (the Figure 8 "pre-existing tests
+    /// only" comparison); the execution profile is collected by replay.
+    Existing(Vec<TestCase>),
+}
+
+/// One unit of transpilation work for [`Session::run`].
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The original C program.
+    pub program: Program,
+    /// The kernel (top function) name.
+    pub kernel: String,
+    /// Where the differential test suite comes from.
+    pub tests: TestSource,
+}
+
+impl Job {
+    /// A job whose test suite is fuzzed from `seeds` (which may be empty).
+    pub fn fuzz(program: Program, kernel: impl Into<String>, seeds: Vec<TestCase>) -> Job {
+        Job {
+            program,
+            kernel: kernel.into(),
+            tests: TestSource::Fuzz(seeds),
+        }
+    }
+
+    /// A job that runs against an externally supplied test suite.
+    pub fn with_tests(program: Program, kernel: impl Into<String>, tests: Vec<TestCase>) -> Job {
+        Job {
+            program,
+            kernel: kernel.into(),
+            tests: TestSource::Existing(tests),
+        }
+    }
+}
+
+/// A configured pipeline instance: a [`PipelineConfig`] plus a
+/// [`TraceSink`] every phase reports through. Build one with
+/// [`HeteroGen::builder`].
+///
+/// Events are emitted from the pipeline's sequential sections only (the
+/// merge phases of the fuzzer and the repair search, and the phase
+/// transitions here), so for a fixed job the event stream is byte-identical
+/// at every thread count.
+#[derive(Clone)]
+pub struct Session {
+    config: PipelineConfig,
+    sink: Arc<dyn TraceSink>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config)
+            .field("sink_enabled", &self.sink.enabled())
+            .finish()
+    }
+}
+
+/// Builder for [`Session`].
+#[derive(Clone)]
+pub struct SessionBuilder {
+    config: PipelineConfig,
+    sink: Arc<dyn TraceSink>,
+}
+
+impl SessionBuilder {
+    /// Sets the pipeline configuration (default: [`PipelineConfig::default`]).
+    pub fn config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the trace sink (default: [`NullSink`], i.e. tracing off).
+    pub fn sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Finalizes the session.
+    pub fn build(self) -> Session {
+        Session {
+            config: self.config,
+            sink: self.sink,
+        }
+    }
+}
+
+impl Session {
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on one job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] when the kernel cannot be fuzzed or the
+    /// reference execution fails outright.
+    pub fn run(&self, job: Job) -> Result<PipelineReport, PipelineError> {
+        let sink = self.sink.as_ref();
+        let Job {
+            program: original,
+            kernel,
+            tests,
+        } = job;
+        if sink.enabled() {
+            sink.emit(&Event::PhaseEnter {
+                phase: "testgen".to_string(),
+                at_min: 0.0,
+            });
+        }
+        // 1. Test generation (paper §4, Algorithm 1) — or replay of a
+        //    pre-existing suite to collect the profile.
+        let (tests, profile, fuzz_report) = match tests {
+            TestSource::Fuzz(seeds) => {
+                let fuzz_report =
+                    testgen::fuzz_traced(&original, &kernel, seeds, &self.config.fuzz, sink)
+                        .map_err(PipelineError::TestGen)?;
+                (
+                    fuzz_report.corpus.clone(),
+                    fuzz_report.profile.clone(),
+                    Some(fuzz_report),
+                )
+            }
+            TestSource::Existing(tests) => {
+                let mut profile = Profile::new();
+                for t in &tests {
+                    if let Ok(mut m) =
+                        minic_exec::Machine::new(&original, minic_exec::MachineConfig::cpu())
+                    {
+                        let _ = m.run_kernel(&kernel, t);
+                        profile.merge(&m.profile);
+                    }
+                }
+                (tests, profile, None)
+            }
+        };
+        let testgen_min = fuzz_report.as_ref().map(|r| r.sim_minutes).unwrap_or(0.0);
+        if sink.enabled() {
+            sink.emit(&Event::PhaseExit {
+                phase: "testgen".to_string(),
+                at_min: testgen_min,
+                elapsed_min: testgen_min,
+            });
+        }
+
+        // 2. Initial HLS version with estimated types.
+        let broken = if self.config.bitwidth_finitization {
+            initial_version(&original, &profile)
+        } else {
+            original.clone()
+        };
+        let initial_errors = hls_sim::check_program(&broken).len();
+
+        // 3–5. Iterative repair with differential testing.
+        if sink.enabled() {
+            sink.emit(&Event::PhaseEnter {
+                phase: "repair".to_string(),
+                at_min: testgen_min,
+            });
+        }
+        let outcome: RepairOutcome = repair::repair_traced(
+            &original,
+            broken,
+            &kernel,
+            &tests,
+            &profile,
+            &self.config.search,
+            sink,
+        )
+        .map_err(PipelineError::Repair)?;
+        if sink.enabled() {
+            sink.emit(&Event::PhaseExit {
+                phase: "repair".to_string(),
+                at_min: testgen_min + outcome.stats.elapsed_min,
+                elapsed_min: outcome.stats.elapsed_min,
+            });
+        }
+
+        let delta_loc = minic::diff::line_diff(
+            &minic::print_program(&original),
+            &minic::print_program(&outcome.program),
+        )
+        .delta_loc();
+
+        Ok(PipelineReport {
+            kernel,
+            testgen: TestGenSummary {
+                tests: tests.len(),
+                executed: fuzz_report
+                    .as_ref()
+                    .map(|r| r.executed)
+                    .unwrap_or(tests.len()),
+                minutes: testgen_min,
+                coverage: fuzz_report.as_ref().map(|r| r.coverage).unwrap_or(0.0),
+            },
+            initial_errors,
+            repair: RepairSummary {
+                success: outcome.success,
+                pass_ratio: outcome.pass_ratio,
+                fpga_latency_ms: outcome.fpga_latency_ms,
+                cpu_latency_ms: outcome.cpu_latency_ms,
+                improved: outcome.improved,
+                applied: outcome.applied.clone(),
+                minutes: outcome.stats.elapsed_min,
+                full_compiles: outcome.stats.full_compiles,
+                style_rejects: outcome.stats.style_rejects,
+                attempts: outcome.stats.attempts,
+            },
+            delta_loc,
+            origin_loc: minic::loc(&original),
+            program: outcome.program,
+            tests,
+            profile,
+        })
+    }
+}
+
+/// The transpiler entry point.
+///
+/// The pipeline is driven through a [`Session`] built with
+/// [`HeteroGen::builder`]; the methods on `HeteroGen` itself are thin
+/// deprecated shims kept for one release.
 #[derive(Debug, Clone, Default)]
 pub struct HeteroGen {
     config: PipelineConfig,
 }
 
 impl HeteroGen {
+    /// Starts a [`Session`] builder (tracing off by default).
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder {
+            config: PipelineConfig::default(),
+            sink: Arc::new(NullSink),
+        }
+    }
+
     /// Creates a pipeline with the given configuration.
     pub fn new(config: PipelineConfig) -> HeteroGen {
         HeteroGen { config }
@@ -195,104 +501,39 @@ impl HeteroGen {
     ///
     /// Returns [`PipelineError`] when the kernel cannot be fuzzed or the
     /// reference execution fails outright.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `HeteroGen::builder().config(cfg).build().run(Job::fuzz(..))`"
+    )]
     pub fn run(
         &self,
         original: &Program,
         kernel: &str,
         seeds: Vec<TestCase>,
     ) -> Result<PipelineReport, PipelineError> {
-        // 1. Test generation (paper §4, Algorithm 1).
-        let fuzz_report = testgen::fuzz(original, kernel, seeds, &self.config.fuzz)
-            .map_err(PipelineError::TestGen)?;
-        self.run_with_tests(
-            original,
-            kernel,
-            fuzz_report.corpus.clone(),
-            fuzz_report.profile.clone(),
-            Some(&fuzz_report),
-        )
+        HeteroGen::builder()
+            .config(self.config)
+            .build()
+            .run(Job::fuzz(original.clone(), kernel, seeds))
     }
 
     /// Runs the pipeline with an externally supplied test suite (used by the
     /// Figure 8 "pre-existing tests only" comparison). The profile is
     /// collected by replaying the suite.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `HeteroGen::builder().config(cfg).build().run(Job::with_tests(..))`"
+    )]
     pub fn run_with_existing_tests(
         &self,
         original: &Program,
         kernel: &str,
         tests: Vec<TestCase>,
     ) -> Result<PipelineReport, PipelineError> {
-        let mut profile = Profile::new();
-        for t in &tests {
-            if let Ok(mut m) = minic_exec::Machine::new(original, minic_exec::MachineConfig::cpu())
-            {
-                let _ = m.run_kernel(kernel, t);
-                profile.merge(&m.profile);
-            }
-        }
-        self.run_with_tests(original, kernel, tests, profile, None)
-    }
-
-    fn run_with_tests(
-        &self,
-        original: &Program,
-        kernel: &str,
-        tests: Vec<TestCase>,
-        profile: Profile,
-        fuzz_report: Option<&FuzzReport>,
-    ) -> Result<PipelineReport, PipelineError> {
-        // 2. Initial HLS version with estimated types.
-        let broken = if self.config.bitwidth_finitization {
-            initial_version(original, &profile)
-        } else {
-            original.clone()
-        };
-        let initial_errors = hls_sim::check_program(&broken).len();
-
-        // 3–5. Iterative repair with differential testing.
-        let outcome: RepairOutcome = repair::repair(
-            original,
-            broken,
-            kernel,
-            &tests,
-            &profile,
-            &self.config.search,
-        )
-        .map_err(PipelineError::Repair)?;
-
-        let delta_loc = minic::diff::line_diff(
-            &minic::print_program(original),
-            &minic::print_program(&outcome.program),
-        )
-        .delta_loc();
-
-        Ok(PipelineReport {
-            kernel: kernel.to_string(),
-            testgen: TestGenSummary {
-                tests: tests.len(),
-                executed: fuzz_report.map(|r| r.executed).unwrap_or(tests.len()),
-                minutes: fuzz_report.map(|r| r.sim_minutes).unwrap_or(0.0),
-                coverage: fuzz_report.map(|r| r.coverage).unwrap_or(0.0),
-            },
-            initial_errors,
-            repair: RepairSummary {
-                success: outcome.success,
-                pass_ratio: outcome.pass_ratio,
-                fpga_latency_ms: outcome.fpga_latency_ms,
-                cpu_latency_ms: outcome.cpu_latency_ms,
-                improved: outcome.improved,
-                applied: outcome.applied.clone(),
-                minutes: outcome.stats.elapsed_min,
-                full_compiles: outcome.stats.full_compiles,
-                style_rejects: outcome.stats.style_rejects,
-                attempts: outcome.stats.attempts,
-            },
-            delta_loc,
-            origin_loc: minic::loc(original),
-            program: outcome.program,
-            tests,
-            profile,
-        })
+        HeteroGen::builder()
+            .config(self.config)
+            .build()
+            .run(Job::with_tests(original.clone(), kernel, tests))
     }
 }
 
@@ -375,7 +616,8 @@ mod tests {
         let mut cfg = PipelineConfig::quick();
         cfg.fuzz.idle_stop_min = 0.5;
         cfg.fuzz.max_execs = 200;
-        let report = HeteroGen::new(cfg).run(&p, "kernel", vec![]).unwrap();
+        let session = HeteroGen::builder().config(cfg).build();
+        let report = session.run(Job::fuzz(p, "kernel", vec![])).unwrap();
         assert!(dump_on_failure(&report));
         assert!(report.testgen.tests > 0);
         assert!(report.delta_loc <= 10);
@@ -392,7 +634,8 @@ mod tests {
         cfg.fuzz.idle_stop_min = 0.3;
         cfg.fuzz.max_execs = 200;
         let seeds = vec![vec![ArgValue::IntArray(vec![1, 2, 3, 4])]];
-        let report = HeteroGen::new(cfg).run(&p, "kernel", seeds).unwrap();
+        let session = HeteroGen::builder().config(cfg).build();
+        let report = session.run(Job::fuzz(p, "kernel", seeds)).unwrap();
         assert!(dump_on_failure(&report));
     }
 
@@ -402,9 +645,8 @@ mod tests {
             .unwrap();
         let cfg = PipelineConfig::quick();
         let tests = vec![vec![ArgValue::Int(5)], vec![ArgValue::Int(-1)]];
-        let report = HeteroGen::new(cfg)
-            .run_with_existing_tests(&p, "kernel", tests)
-            .unwrap();
+        let session = HeteroGen::builder().config(cfg).build();
+        let report = session.run(Job::with_tests(p, "kernel", tests)).unwrap();
         assert!(dump_on_failure(&report));
         assert_eq!(report.testgen.tests, 2);
         assert!(report.profile.range_of("kernel", "r").is_some());
@@ -416,7 +658,46 @@ mod tests {
         let mut cfg = PipelineConfig::quick();
         cfg.fuzz.idle_stop_min = 0.2;
         cfg.fuzz.max_execs = 100;
-        let report = HeteroGen::new(cfg).run(&p, "kernel", vec![]).unwrap();
+        let session = HeteroGen::builder().config(cfg).build();
+        let report = session.run(Job::fuzz(p, "kernel", vec![])).unwrap();
         assert!(report.speedup() > 0.0);
+    }
+
+    #[test]
+    fn deprecated_shims_still_run() {
+        let p = minic::parse("int kernel(int x) { return x + 1; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.2;
+        cfg.fuzz.max_execs = 100;
+        #[allow(deprecated)]
+        let report = HeteroGen::new(cfg).run(&p, "kernel", vec![]).unwrap();
+        assert!(report.success());
+        #[allow(deprecated)]
+        let report = HeteroGen::new(cfg)
+            .run_with_existing_tests(&p, "kernel", vec![vec![ArgValue::Int(3)]])
+            .unwrap();
+        assert_eq!(report.testgen.tests, 1);
+    }
+
+    #[test]
+    fn session_emits_phase_events() {
+        let p = minic::parse("int kernel(int x) { return x + 1; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.2;
+        cfg.fuzz.max_execs = 100;
+        let metrics = std::sync::Arc::new(heterogen_trace::MetricsSink::new());
+        let session = HeteroGen::builder()
+            .config(cfg)
+            .sink(metrics.clone())
+            .build();
+        let report = session.run(Job::fuzz(p, "kernel", vec![])).unwrap();
+        assert!(report.success());
+        assert_eq!(metrics.counter("phase_enter"), 2);
+        assert_eq!(metrics.counter("phase_exit"), 2);
+        let tg = metrics.histogram("phase.testgen.min").unwrap();
+        assert!((tg.sum() - report.testgen.minutes).abs() < 1e-12);
+        let rp = metrics.histogram("phase.repair.min").unwrap();
+        assert!((rp.sum() - report.repair.minutes).abs() < 1e-12);
+        assert_eq!(metrics.counter("full_compile"), report.repair.full_compiles);
     }
 }

@@ -52,6 +52,47 @@ pub struct Profile {
     pub max_index: BTreeMap<(String, String), i128>,
 }
 
+/// Tuple map keys render as `"function::variable"` — JSON objects only take
+/// string keys, and `::` cannot appear in a minic identifier, so the encoding
+/// is unambiguous.
+impl serde::Serialize for Profile {
+    fn to_json_value(&self) -> serde::Value {
+        use serde::Value;
+        let int_ranges = self
+            .int_ranges
+            .iter()
+            .map(|((f, v), r)| {
+                (
+                    format!("{f}::{v}"),
+                    Value::Object(vec![
+                        ("min".to_string(), Value::Int(r.min)),
+                        ("max".to_string(), Value::Int(r.max)),
+                    ]),
+                )
+            })
+            .collect();
+        let max_depth = self
+            .max_depth
+            .iter()
+            .map(|(f, d)| (f.clone(), Value::Int(*d as i128)))
+            .collect();
+        let max_index = self
+            .max_index
+            .iter()
+            .map(|((f, a), i)| (format!("{f}::{a}"), Value::Int(*i)))
+            .collect();
+        Value::Object(vec![
+            ("int_ranges".to_string(), Value::Object(int_ranges)),
+            ("max_depth".to_string(), Value::Object(max_depth)),
+            (
+                "peak_heap_cells".to_string(),
+                Value::Int(self.peak_heap_cells as i128),
+            ),
+            ("max_index".to_string(), Value::Object(max_index)),
+        ])
+    }
+}
+
 impl Profile {
     /// Creates an empty profile.
     pub fn new() -> Profile {

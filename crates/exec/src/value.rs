@@ -249,6 +249,33 @@ pub enum ArgValue {
     IntStream(Vec<i128>),
 }
 
+/// Arguments serialize as single-key tagged objects (`{"int": 5}`,
+/// `{"int_array": [1, 2]}`) so a test corpus dumped to JSON stays
+/// self-describing: the tag disambiguates an empty array from an empty
+/// stream, which execute differently.
+impl serde::Serialize for ArgValue {
+    fn to_json_value(&self) -> serde::Value {
+        use serde::Value;
+        let (tag, value) = match self {
+            ArgValue::Int(v) => ("int", Value::Int(*v)),
+            ArgValue::Float(v) => ("float", Value::Float(*v)),
+            ArgValue::IntArray(v) => (
+                "int_array",
+                Value::Array(v.iter().map(|x| Value::Int(*x)).collect()),
+            ),
+            ArgValue::FloatArray(v) => (
+                "float_array",
+                Value::Array(v.iter().map(|x| Value::Float(*x)).collect()),
+            ),
+            ArgValue::IntStream(v) => (
+                "int_stream",
+                Value::Array(v.iter().map(|x| Value::Int(*x)).collect()),
+            ),
+        };
+        Value::Object(vec![(tag.to_string(), value)])
+    }
+}
+
 impl ArgValue {
     /// Number of scalar elements (1 for scalars).
     pub fn len(&self) -> usize {

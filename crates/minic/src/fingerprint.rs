@@ -4,7 +4,8 @@
 //! pretty-printed source means every candidate costs a full render plus a
 //! permanently retained `String`. A fingerprint is an FNV-1a hash over the
 //! AST *structure* — variant tags, names, literals, types, and the design
-//! config — while ignoring [`NodeId`]s and [`Span`]s, which differ between
+//! config — while ignoring [`NodeId`](crate::ast::NodeId)s and
+//! [`Span`](crate::token::Span)s, which differ between
 //! otherwise identical candidates derived along different edit paths.
 //!
 //! Invariant (checked by a property test): programs with equal

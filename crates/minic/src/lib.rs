@@ -76,3 +76,12 @@ pub fn loc(program: &ast::Program) -> usize {
         .filter(|l| !l.trim().is_empty())
         .count()
 }
+
+/// A program serializes as its pretty-printed source: the JSON consumer's
+/// artifact is the HLS-C text, not the AST shape (which is not a stable
+/// interchange format).
+impl serde::Serialize for ast::Program {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Str(printer::print_program(self))
+    }
+}

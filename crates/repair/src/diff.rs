@@ -5,6 +5,7 @@
 //! compared. "HeteroGen computes the ratio of tests that have identical
 //! behavior, and compares the simulation latency … between CPU and FPGA."
 
+use heterogen_trace::{Event, NullSink, TraceSink};
 use hls_sim::FpgaSimulator;
 use minic::Program;
 use minic_exec::{CpuCostModel, Machine, MachineConfig, Outcome};
@@ -100,6 +101,32 @@ impl DifferentialTester {
     /// and latency sum are folded in test order, so the report does not
     /// depend on the thread count.
     pub fn evaluate(&self, candidate: &Program) -> DiffReport {
+        self.evaluate_traced(candidate, &NullSink)
+    }
+
+    /// Like [`DifferentialTester::evaluate`], additionally emitting one
+    /// [`Event::DiffEvaluated`] on `sink` once the in-order fold finishes.
+    /// The event is emitted from the calling thread after the merge, so the
+    /// stream is identical for every thread count. Generic over the sink so
+    /// the `NullSink` instantiation behind [`DifferentialTester::evaluate`]
+    /// compiles the emission away.
+    pub fn evaluate_traced<S: TraceSink + ?Sized>(
+        &self,
+        candidate: &Program,
+        sink: &S,
+    ) -> DiffReport {
+        let report = self.evaluate_inner(candidate);
+        if sink.enabled() {
+            sink.emit(&Event::DiffEvaluated {
+                tests: self.tests.len() as u64,
+                pass_ratio: report.pass_ratio,
+                fpga_latency_ms: report.fpga_latency_ms,
+            });
+        }
+        report
+    }
+
+    fn evaluate_inner(&self, candidate: &Program) -> DiffReport {
         let Ok(sim) = FpgaSimulator::new(candidate) else {
             return DiffReport {
                 pass_ratio: 0.0,

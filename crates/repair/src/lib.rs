@@ -27,5 +27,8 @@ pub mod xform_struct;
 pub use classify::classify_message;
 pub use diff::{DiffReport, DifferentialTester};
 pub use localize::candidate_edits;
-pub use search::{performance_edits, repair, RepairOutcome, SearchConfig, SearchStats};
+pub use search::{
+    performance_edits, repair, repair_traced, RepairOutcome, SearchConfig, SearchConfigBuilder,
+    SearchStats,
+};
 pub use templates::{RepairEdit, ResizeTarget};

@@ -33,6 +33,7 @@ use crate::deps;
 use crate::diff::DifferentialTester;
 use crate::localize::{candidate_edits, resize_edits};
 use crate::templates::{RepairEdit, ResizeTarget};
+use heterogen_trace::{Event, NullSink, TraceSink, Verdict};
 use hls_sim::{check_style, CompileCostModel, ErrorCategory, HlsDiagnostic, SimClock};
 use minic::ast::PragmaKind;
 use minic::Program;
@@ -45,7 +46,12 @@ use std::sync::{Arc, Mutex};
 use testgen::TestCase;
 
 /// Search configuration (including the two Figure 9 ablation switches).
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`SearchConfig::builder`] (or start from [`SearchConfig::default`] and
+/// assign fields) so future knobs are not semver breaks.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct SearchConfig {
     /// Simulated-minute budget (the paper's default terminating limit is
     /// three hours; `WithoutDependence` runs against a 12-hour limit).
@@ -87,6 +93,99 @@ impl Default for SearchConfig {
             perf_beam: 10,
             threads: 0,
         }
+    }
+}
+
+impl SearchConfig {
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> SearchConfigBuilder {
+        SearchConfigBuilder {
+            cfg: SearchConfig::default(),
+        }
+    }
+
+    /// Starts a builder from this configuration.
+    pub fn to_builder(self) -> SearchConfigBuilder {
+        SearchConfigBuilder { cfg: self }
+    }
+}
+
+/// Builder for [`SearchConfig`].
+///
+/// ```
+/// use repair::SearchConfig;
+///
+/// let cfg = SearchConfig::builder()
+///     .with_budget_min(30.0)
+///     .with_explore_performance(false)
+///     .build();
+/// assert_eq!(cfg.budget_min, 30.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SearchConfigBuilder {
+    cfg: SearchConfig,
+}
+
+impl SearchConfigBuilder {
+    /// Sets the simulated-minute budget.
+    pub fn with_budget_min(mut self, v: f64) -> Self {
+        self.cfg.budget_min = v;
+        self
+    }
+
+    /// Enables or disables the cheap style pre-check (the `WithoutChecker`
+    /// ablation disables it).
+    pub fn with_style_checker(mut self, v: bool) -> Self {
+        self.cfg.use_style_checker = v;
+        self
+    }
+
+    /// Enables or disables dependence-ordered edit enumeration (the
+    /// `WithoutDependence` ablation disables it).
+    pub fn with_dependence(mut self, v: bool) -> Self {
+        self.cfg.use_dependence = v;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_rng_seed(mut self, v: u64) -> Self {
+        self.cfg.rng_seed = v;
+        self
+    }
+
+    /// Sets the cap on tests used per differential evaluation.
+    pub fn with_max_diff_tests(mut self, v: usize) -> Self {
+        self.cfg.max_diff_tests = v;
+        self
+    }
+
+    /// Enables or disables post-success performance exploration.
+    pub fn with_explore_performance(mut self, v: bool) -> Self {
+        self.cfg.explore_performance = v;
+        self
+    }
+
+    /// Sets the cap on expansions per popped candidate.
+    pub fn with_max_expansions(mut self, v: usize) -> Self {
+        self.cfg.max_expansions = v;
+        self
+    }
+
+    /// Sets the beam width during performance exploration.
+    pub fn with_perf_beam(mut self, v: usize) -> Self {
+        self.cfg.perf_beam = v;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn with_threads(mut self, v: usize) -> Self {
+        self.cfg.threads = v;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SearchConfig {
+        self.cfg
     }
 }
 
@@ -256,15 +355,18 @@ fn evaluate_candidate(
 /// One edit's classification from the speculative planning pass.
 enum Planned {
     /// `edit.apply` returned `None` — structurally inapplicable.
-    Inapplicable,
+    Inapplicable { kind: &'static str },
     /// Fingerprint already admitted (by the global dedup set or by an
     /// earlier edit in the same batch).
-    Duplicate,
+    Duplicate {
+        kind: &'static str,
+        fingerprint: u64,
+    },
     /// A new program for the worker pool to evaluate.
     Fresh {
         program: Arc<Program>,
         fingerprint: u64,
-        kind: String,
+        kind: &'static str,
     },
 }
 
@@ -286,6 +388,35 @@ pub fn repair(
     profile: &Profile,
     cfg: &SearchConfig,
 ) -> Result<RepairOutcome, String> {
+    repair_traced(original, broken, kernel, tests, profile, cfg, &NullSink)
+}
+
+/// Like [`repair`], additionally reporting structured [`Event`]s on `sink`.
+///
+/// Events are emitted exclusively from the merge phase (the caller thread's
+/// sequential accounting) — never from worker threads — so for a fixed
+/// input the stream is byte-identical at every `cfg.threads` setting. Every
+/// attempted edit yields exactly one [`Event::CandidateEvaluated`] in merge
+/// order; billed toolchain invocations additionally yield
+/// [`Event::FullCompile`] / [`Event::StyleReject`], and edits joining a
+/// live search path yield [`Event::EditApplied`].
+///
+/// The sink is a generic parameter (not `&dyn`) so that [`repair`]'s
+/// `NullSink` instantiation compiles every emission site away; dynamic
+/// callers pass `S = dyn TraceSink`.
+///
+/// # Errors
+///
+/// Fails when the reference itself cannot be executed.
+pub fn repair_traced<S: TraceSink + ?Sized>(
+    original: &Program,
+    broken: Program,
+    kernel: &str,
+    tests: &[TestCase],
+    profile: &Profile,
+    cfg: &SearchConfig,
+    sink: &S,
+) -> Result<RepairOutcome, String> {
     let costs = CompileCostModel::default();
     let mut clock = SimClock::with_budget(cfg.budget_min);
     let mut stats = SearchStats::default();
@@ -299,10 +430,19 @@ pub fn repair(
 
     // Compile the initial version (style checker bypassed: the initial
     // candidate always gets a full diagnosis, as a real flow would).
-    clock.advance(costs.full_compile(&broken));
+    let cost0 = costs.full_compile(&broken);
+    clock.advance(cost0);
     stats.full_compiles += 1;
     let fp0 = minic::fingerprint_program(&broken);
     let eval0 = evaluate_candidate(&broken, fp0, false, &cache);
+    if sink.enabled() {
+        sink.emit(&Event::FullCompile {
+            fingerprint: fp0,
+            loc: eval0.loc as u64,
+            cost_min: cost0,
+            at_min: clock.elapsed_min(),
+        });
+    }
     let diags0 = eval0.diags.expect("full compile always diagnoses");
     let mut frontier: Vec<Candidate> = vec![Candidate {
         program: Arc::new(broken),
@@ -332,7 +472,7 @@ pub fn repair(
         if cand.diags.is_empty() && cand.pass_ratio.is_none() {
             clock.advance(costs.simulate(tester.test_count()));
             stats.simulations += 1;
-            let report = tester.evaluate(&cand.program);
+            let report = tester.evaluate_traced(&cand.program, sink);
             cand.pass_ratio = Some(report.pass_ratio);
             cand.latency = Some(report.fpga_latency_ms);
             if report.pass_ratio == 1.0 {
@@ -403,33 +543,71 @@ pub fn repair(
                     break;
                 }
                 stats.attempts += 1;
+                let kind = edit.kind();
                 let Some(child_prog) = edit.apply(&base_prog) else {
                     stats.inapplicable += 1;
+                    emit_candidate(sink, kind, 0, Verdict::Inapplicable, 0.0, &clock);
                     continue;
                 };
                 let fp = minic::fingerprint_program(&child_prog);
                 if !seen.insert(fp) {
+                    emit_candidate(sink, kind, fp, Verdict::Duplicate, 0.0, &clock);
                     continue;
                 }
                 let child_prog = Arc::new(child_prog);
                 let eval = evaluate_candidate(&child_prog, fp, cfg.use_style_checker, &cache);
+                let mut attempt_cost = 0.0;
                 if cfg.use_style_checker {
-                    clock.advance(costs.style_check(&child_prog));
+                    let c = costs.style_check(&child_prog);
+                    clock.advance(c);
+                    attempt_cost += c;
                     stats.style_checks += 1;
                     if !eval.style_clean {
                         stats.style_rejects += 1;
+                        if sink.enabled() {
+                            sink.emit(&Event::StyleReject {
+                                fingerprint: fp,
+                                at_min: clock.elapsed_min(),
+                            });
+                        }
+                        emit_candidate(
+                            sink,
+                            kind,
+                            fp,
+                            Verdict::StyleRejected,
+                            attempt_cost,
+                            &clock,
+                        );
                         continue;
                     }
                 }
-                clock.advance(costs.full_compile_loc(eval.loc));
+                let compile_cost = costs.full_compile_loc(eval.loc);
+                clock.advance(compile_cost);
+                attempt_cost += compile_cost;
                 stats.full_compiles += 1;
+                if sink.enabled() {
+                    sink.emit(&Event::FullCompile {
+                        fingerprint: fp,
+                        loc: eval.loc as u64,
+                        cost_min: compile_cost,
+                        at_min: clock.elapsed_min(),
+                    });
+                }
                 let child_diags = eval.diags.expect("style-clean candidates are compiled");
                 // Regressions (strictly more errors) are dropped.
                 if child_diags.len() > cand.diags.len() && !cand.diags.is_empty() {
+                    emit_candidate(sink, kind, fp, Verdict::Regressed, attempt_cost, &clock);
                     continue;
                 }
+                emit_candidate(sink, kind, fp, Verdict::Admitted, attempt_cost, &clock);
+                if sink.enabled() {
+                    sink.emit(&Event::EditApplied {
+                        kind: kind.to_string(),
+                        at_min: clock.elapsed_min(),
+                    });
+                }
                 let mut applied = base_applied.clone();
-                applied.push(edit.kind().to_string());
+                applied.push(kind.to_string());
                 if child_diags.is_empty() {
                     base_prog = child_prog.clone();
                     base_applied = applied.clone();
@@ -451,17 +629,21 @@ pub fn repair(
             let mut planned: Vec<Planned> = Vec::with_capacity(edits.len());
             let mut batch_fresh: HashSet<u64> = HashSet::new();
             for edit in edits {
+                let kind = edit.kind();
                 match edit.apply(&cand.program) {
-                    None => planned.push(Planned::Inapplicable),
+                    None => planned.push(Planned::Inapplicable { kind }),
                     Some(child) => {
                         let fp = minic::fingerprint_program(&child);
                         if seen.contains(&fp) || !batch_fresh.insert(fp) {
-                            planned.push(Planned::Duplicate);
+                            planned.push(Planned::Duplicate {
+                                kind,
+                                fingerprint: fp,
+                            });
                         } else {
                             planned.push(Planned::Fresh {
                                 program: Arc::new(child),
                                 fingerprint: fp,
-                                kind: edit.kind().to_string(),
+                                kind,
                             });
                         }
                     }
@@ -493,8 +675,13 @@ pub fn repair(
                 }
                 stats.attempts += 1;
                 match plan {
-                    Planned::Inapplicable => stats.inapplicable += 1,
-                    Planned::Duplicate => {}
+                    Planned::Inapplicable { kind } => {
+                        stats.inapplicable += 1;
+                        emit_candidate(sink, kind, 0, Verdict::Inapplicable, 0.0, &clock);
+                    }
+                    Planned::Duplicate { kind, fingerprint } => {
+                        emit_candidate(sink, kind, fingerprint, Verdict::Duplicate, 0.0, &clock);
+                    }
                     Planned::Fresh {
                         program,
                         fingerprint,
@@ -502,23 +689,72 @@ pub fn repair(
                     } => {
                         seen.insert(fingerprint);
                         let eval = eval.expect("fresh children are evaluated in phase 2");
+                        let mut attempt_cost = 0.0;
                         if cfg.use_style_checker {
-                            clock.advance(costs.style_check(&program));
+                            let c = costs.style_check(&program);
+                            clock.advance(c);
+                            attempt_cost += c;
                             stats.style_checks += 1;
                             if !eval.style_clean {
                                 stats.style_rejects += 1;
+                                if sink.enabled() {
+                                    sink.emit(&Event::StyleReject {
+                                        fingerprint,
+                                        at_min: clock.elapsed_min(),
+                                    });
+                                }
+                                emit_candidate(
+                                    sink,
+                                    kind,
+                                    fingerprint,
+                                    Verdict::StyleRejected,
+                                    attempt_cost,
+                                    &clock,
+                                );
                                 continue;
                             }
                         }
-                        clock.advance(costs.full_compile_loc(eval.loc));
+                        let compile_cost = costs.full_compile_loc(eval.loc);
+                        clock.advance(compile_cost);
+                        attempt_cost += compile_cost;
                         stats.full_compiles += 1;
+                        if sink.enabled() {
+                            sink.emit(&Event::FullCompile {
+                                fingerprint,
+                                loc: eval.loc as u64,
+                                cost_min: compile_cost,
+                                at_min: clock.elapsed_min(),
+                            });
+                        }
                         let child_diags = eval.diags.expect("style-clean candidates are compiled");
                         // Regressions (strictly more errors) are dropped.
                         if child_diags.len() > cand.diags.len() && !cand.diags.is_empty() {
+                            emit_candidate(
+                                sink,
+                                kind,
+                                fingerprint,
+                                Verdict::Regressed,
+                                attempt_cost,
+                                &clock,
+                            );
                             continue;
                         }
+                        emit_candidate(
+                            sink,
+                            kind,
+                            fingerprint,
+                            Verdict::Admitted,
+                            attempt_cost,
+                            &clock,
+                        );
+                        if sink.enabled() {
+                            sink.emit(&Event::EditApplied {
+                                kind: kind.to_string(),
+                                at_min: clock.elapsed_min(),
+                            });
+                        }
                         let mut applied = cand.applied.clone();
-                        applied.push(kind);
+                        applied.push(kind.to_string());
                         frontier.push(Candidate {
                             program,
                             applied,
@@ -575,6 +811,28 @@ pub fn repair(
                 stats,
             })
         }
+    }
+}
+
+/// Emits one [`Event::CandidateEvaluated`] for a merged attempt. Gated on
+/// [`TraceSink::enabled`] so a [`NullSink`] run never constructs the
+/// payload.
+fn emit_candidate<S: TraceSink + ?Sized>(
+    sink: &S,
+    kind: &str,
+    fingerprint: u64,
+    verdict: Verdict,
+    sim_cost_min: f64,
+    clock: &SimClock,
+) {
+    if sink.enabled() {
+        sink.emit(&Event::CandidateEvaluated {
+            kind: kind.to_string(),
+            fingerprint,
+            verdict,
+            sim_cost_min,
+            at_min: clock.elapsed_min(),
+        });
     }
 }
 

@@ -18,6 +18,7 @@
 
 use crate::mutate::{mutate_case, random_value};
 use crate::spec::{kernel_specs, ArgSpec};
+use heterogen_trace::{Event, NullSink, TraceSink};
 use minic::Program;
 use minic_exec::{coverage, ArgValue, CoverageMap, Machine, MachineConfig, Profile};
 use rand::rngs::SmallRng;
@@ -37,7 +38,12 @@ struct RunResult {
 }
 
 /// Fuzzing configuration.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`FuzzConfig::builder`] (or start from [`FuzzConfig::default`] and
+/// assign fields) so future knobs are not semver breaks.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct FuzzConfig {
     /// RNG seed (the whole process is deterministic per seed).
     pub rng_seed: u64,
@@ -65,6 +71,79 @@ impl Default for FuzzConfig {
             mutants_per_seed: 16,
             threads: 0,
         }
+    }
+}
+
+impl FuzzConfig {
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> FuzzConfigBuilder {
+        FuzzConfigBuilder {
+            cfg: FuzzConfig::default(),
+        }
+    }
+
+    /// Starts a builder from this configuration.
+    pub fn to_builder(self) -> FuzzConfigBuilder {
+        FuzzConfigBuilder { cfg: self }
+    }
+}
+
+/// Builder for [`FuzzConfig`].
+///
+/// ```
+/// use testgen::FuzzConfig;
+///
+/// let cfg = FuzzConfig::builder()
+///     .with_idle_stop_min(0.5)
+///     .with_max_execs(300)
+///     .build();
+/// assert_eq!(cfg.max_execs, 300);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfigBuilder {
+    cfg: FuzzConfig,
+}
+
+impl FuzzConfigBuilder {
+    /// Sets the RNG seed.
+    pub fn with_rng_seed(mut self, v: u64) -> Self {
+        self.cfg.rng_seed = v;
+        self
+    }
+
+    /// Sets the simulated minutes billed per executed input.
+    pub fn with_exec_cost_min(mut self, v: f64) -> Self {
+        self.cfg.exec_cost_min = v;
+        self
+    }
+
+    /// Sets the idle-stop threshold (simulated minutes without coverage).
+    pub fn with_idle_stop_min(mut self, v: f64) -> Self {
+        self.cfg.idle_stop_min = v;
+        self
+    }
+
+    /// Sets the hard cap on executed inputs.
+    pub fn with_max_execs(mut self, v: usize) -> Self {
+        self.cfg.max_execs = v;
+        self
+    }
+
+    /// Sets the number of mutants derived from each corpus entry per round.
+    pub fn with_mutants_per_seed(mut self, v: usize) -> Self {
+        self.cfg.mutants_per_seed = v;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn with_threads(mut self, v: usize) -> Self {
+        self.cfg.threads = v;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> FuzzConfig {
+        self.cfg
     }
 }
 
@@ -116,6 +195,26 @@ pub fn fuzz(
     kernel: &str,
     seeds: Vec<TestCase>,
     config: &FuzzConfig,
+) -> Result<FuzzReport, String> {
+    fuzz_traced(p, kernel, seeds, config, &NullSink)
+}
+
+/// Like [`fuzz`], emitting one [`Event::FuzzRoundEnd`] per completed round
+/// into `sink`.
+///
+/// Events are emitted from the caller thread only, after each round's
+/// results are merged in draw order, so the event stream is bit-identical
+/// for any [`FuzzConfig::threads`] value.
+///
+/// # Errors
+///
+/// Fails when the kernel signature is not fuzzable.
+pub fn fuzz_traced<S: TraceSink + ?Sized>(
+    p: &Program,
+    kernel: &str,
+    seeds: Vec<TestCase>,
+    config: &FuzzConfig,
+    sink: &S,
 ) -> Result<FuzzReport, String> {
     let specs = kernel_specs(p, kernel)?;
     let mut rng = SmallRng::seed_from_u64(config.rng_seed);
@@ -171,6 +270,8 @@ pub fn fuzz(
     // Seed round: execute everything in the queue once.
     let initial: Vec<TestCase> = queue.drain(..).collect();
     let runs = parallel::parallel_map(config.threads, &initial, |_, c| exec_case(c));
+    let mut round: u64 = 0;
+    let mut corpus_at_round_start = 0usize;
     for (case, run) in initial.into_iter().zip(runs) {
         executed += 1;
         sim_minutes += config.exec_cost_min;
@@ -184,9 +285,20 @@ pub fn fuzz(
             queue.push_back(case);
         }
     }
+    if sink.enabled() {
+        sink.emit(&Event::FuzzRoundEnd {
+            round,
+            executed: executed as u64,
+            corpus: corpus.len() as u64,
+            new_coverage: corpus.len() > corpus_at_round_start,
+            at_min: sim_minutes,
+        });
+    }
 
     // Havoc rounds.
     while executed < config.max_execs && since_new_cov < config.idle_stop_min {
+        round += 1;
+        corpus_at_round_start = corpus.len();
         let parent = match queue.pop_front() {
             Some(c) => c,
             None => specs.iter().map(|sp| random_value(sp, &mut rng)).collect(),
@@ -230,6 +342,15 @@ pub fn fuzz(
         }
         // Re-enqueue the parent for future rounds (AFL-style cycling).
         queue.push_back(parent);
+        if sink.enabled() {
+            sink.emit(&Event::FuzzRoundEnd {
+                round,
+                executed: executed as u64,
+                corpus: corpus.len() as u64,
+                new_coverage: corpus.len() > corpus_at_round_start,
+                at_min: sim_minutes,
+            });
+        }
     }
     // The idle tail counts toward the reported wall-clock (the paper stops
     // AFL 30 minutes after the last new path).

@@ -12,7 +12,10 @@
 //! use testgen::{fuzz, FuzzConfig};
 //!
 //! let p = minic::parse("int kernel(int x) { if (x > 0) { return 1; } return 0; }").unwrap();
-//! let cfg = FuzzConfig { idle_stop_min: 0.5, max_execs: 300, ..FuzzConfig::default() };
+//! let cfg = FuzzConfig::builder()
+//!     .with_idle_stop_min(0.5)
+//!     .with_max_execs(300)
+//!     .build();
 //! let report = fuzz(&p, "kernel", vec![], &cfg).unwrap();
 //! assert!(report.coverage > 0.9);
 //! ```
@@ -21,6 +24,8 @@ pub mod generator;
 pub mod mutate;
 pub mod spec;
 
-pub use generator::{fuzz, kernel_seeds_from_host, FuzzConfig, FuzzReport, TestCase};
+pub use generator::{
+    fuzz, fuzz_traced, kernel_seeds_from_host, FuzzConfig, FuzzConfigBuilder, FuzzReport, TestCase,
+};
 pub use mutate::{mutate_case, random_value, MAX_DYNAMIC_LEN};
 pub use spec::{kernel_specs, ArgSpec};

@@ -16,11 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = subject.parse();
 
     // Shared test generation.
-    let fuzz_cfg = testgen::FuzzConfig {
-        idle_stop_min: 1.0,
-        max_execs: 600,
-        ..testgen::FuzzConfig::default()
-    };
+    let fuzz_cfg = testgen::FuzzConfig::builder()
+        .with_idle_stop_min(1.0)
+        .with_max_execs(600)
+        .build();
     let mut seeds = subject.seed_inputs.clone();
     seeds.extend(subject.existing_tests.clone());
     let fr = testgen::fuzz(&program, subject.kernel, seeds, &fuzz_cfg)?;
@@ -32,12 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hls_sim::check_program(&broken).len()
     );
 
-    let base = SearchConfig {
-        budget_min: 180.0,
-        max_diff_tests: 24,
-        explore_performance: false,
-        ..SearchConfig::default()
-    };
+    let base = SearchConfig::builder()
+        .with_budget_min(180.0)
+        .with_max_diff_tests(24)
+        .with_explore_performance(false)
+        .build();
     let run = |name: &str, cfg: SearchConfig| {
         let out = repair::repair(
             &program,
@@ -66,18 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hg = run("HeteroGen", base);
     let wd = run(
         "WithoutDependence",
-        SearchConfig {
-            use_dependence: false,
-            budget_min: 720.0,
-            ..base
-        },
+        base.to_builder()
+            .with_dependence(false)
+            .with_budget_min(720.0)
+            .build(),
     );
     let _wc = run(
         "WithoutChecker",
-        SearchConfig {
-            use_style_checker: false,
-            ..base
-        },
+        base.to_builder().with_style_checker(false).build(),
     );
 
     if let (Some(h), Some(w)) = (hg.stats.first_success_min, wd.stats.first_success_min) {

@@ -12,7 +12,7 @@
 //! the stack-replacement edit (recursion → explicit stack), then explores
 //! sizes and pragmas — the exact sequence of Figure 2b/2c.
 
-use heterogen_core::{HeteroGen, PipelineConfig};
+use heterogen_core::{HeteroGen, Job, PipelineConfig};
 
 /// A BST build-and-sum kernel in the shape of the paper's Figure 2a.
 const BINARY_TREE: &str = r#"
@@ -90,7 +90,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         minic_exec::ArgValue::IntArray(vec![50, 20, 70, 10, 30, 60, 80, 5, 25, 65, 85, 15]),
         minic_exec::ArgValue::Int(12),
     ]];
-    let report = HeteroGen::new(cfg).run(&program, "kernel", seeds)?;
+    let session = HeteroGen::builder().config(cfg).build();
+    let report = session.run(Job::fuzz(program.clone(), "kernel", seeds))?;
 
     println!("\n=== repair trace ===");
     println!("edits applied: {:?}", report.repair.applied);

@@ -10,7 +10,9 @@
 //! a non-static connecting stream — and leaves with all three repaired plus
 //! pipelined stage loops.
 
-use heterogen_core::HeteroGen;
+use heterogen_core::{HeteroGen, Job};
+use heterogen_trace::MetricsSink;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let subject = benchsuite::subject("P9").expect("P9 exists");
@@ -31,7 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = bench_config();
     let mut seeds = subject.seed_inputs.clone();
     seeds.extend(subject.existing_tests.clone());
-    let report = HeteroGen::new(cfg).run(&program, subject.kernel, seeds)?;
+    let metrics = Arc::new(MetricsSink::new());
+    let session = HeteroGen::builder()
+        .config(cfg)
+        .sink(metrics.clone())
+        .build();
+    let report = session.run(Job::fuzz(program.clone(), subject.kernel, seeds))?;
 
     println!("\n=== pipeline report ===");
     println!("tests generated ..... {}", report.testgen.tests);
@@ -47,6 +54,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.repair.cpu_latency_ms,
         report.repair.fpga_latency_ms,
         report.speedup()
+    );
+
+    println!("\n=== traced toolchain activity ===");
+    for (phase, h) in metrics.histograms() {
+        if let Some(name) = phase
+            .strip_prefix("phase.")
+            .and_then(|p| p.strip_suffix(".min"))
+        {
+            println!("{name:<10} {:.1} simulated min", h.sum());
+        }
+    }
+    println!(
+        "candidates: {} admitted / {} style-rejected / {} duplicate",
+        metrics.counter("candidate.admitted"),
+        metrics.counter("candidate.style_rejected"),
+        metrics.counter("candidate.duplicate"),
     );
 
     println!("\n=== repaired design ===");

@@ -46,11 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Step 2: coverage-guided, type-valid mutation.
-    let cfg = FuzzConfig {
-        idle_stop_min: 2.0,
-        max_execs: 3000,
-        ..FuzzConfig::default()
-    };
+    let cfg = FuzzConfig::builder()
+        .with_idle_stop_min(2.0)
+        .with_max_execs(3000)
+        .build();
     let report = fuzz(&program, "classify", seeds, &cfg)?;
 
     println!("\nexecuted inputs ........ {}", report.executed);

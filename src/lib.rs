@@ -19,6 +19,7 @@
 //! | [`heterorefactor`] | the ICSE'20 baseline (dynamic data structures only) |
 //! | [`benchsuite`] | the ten evaluation subjects P1–P10 |
 //! | [`heterogen_core`] | the end-to-end pipeline |
+//! | [`heterogen_trace`] | structured event tracing and metrics |
 //!
 //! # Examples
 //!
@@ -31,13 +32,33 @@
 //! let mut cfg = PipelineConfig::quick();
 //! cfg.fuzz.idle_stop_min = 0.5;
 //! cfg.fuzz.max_execs = 200;
-//! let report = HeteroGen::new(cfg).run(&program, "kernel", vec![])?;
+//! let session = HeteroGen::builder().config(cfg).build();
+//! let report = session.run(Job::fuzz(program, "kernel", vec![]))?;
 //! assert!(report.success());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! To observe what the pipeline did, attach a sink from
+//! [`heterogen_trace`]:
+//!
+//! ```
+//! use heterogen::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let program = minic::parse("int kernel(int x) { return x + 1; }")?;
+//! let mut cfg = PipelineConfig::quick();
+//! cfg.fuzz.idle_stop_min = 0.2;
+//! cfg.fuzz.max_execs = 100;
+//! let metrics = Arc::new(MetricsSink::new());
+//! let session = HeteroGen::builder().config(cfg).sink(metrics.clone()).build();
+//! session.run(Job::fuzz(program, "kernel", vec![]))?;
+//! assert_eq!(metrics.counter("phase_enter"), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub use benchsuite;
 pub use heterogen_core;
+pub use heterogen_trace;
 pub use heterorefactor;
 pub use hls_sim;
 pub use minic;
@@ -47,9 +68,15 @@ pub use testgen;
 
 /// The most common imports for driving the pipeline.
 pub mod prelude {
-    pub use heterogen_core::{HeteroGen, PipelineConfig, PipelineError, PipelineReport};
+    pub use heterogen_core::{
+        HeteroGen, Job, PipelineConfig, PipelineConfigBuilder, PipelineError, PipelineReport,
+        Session, SessionBuilder, TestSource,
+    };
+    pub use heterogen_trace::{
+        Event, JsonlSink, MetricsSink, NullSink, TeeSink, TraceSink, Verdict,
+    };
     pub use minic::{parse, print_program, Program};
     pub use minic_exec::{ArgValue, Outcome};
-    pub use repair::{RepairOutcome, SearchConfig};
-    pub use testgen::{FuzzConfig, TestCase};
+    pub use repair::{RepairOutcome, SearchConfig, SearchConfigBuilder};
+    pub use testgen::{FuzzConfig, FuzzConfigBuilder, TestCase};
 }

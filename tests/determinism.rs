@@ -12,22 +12,20 @@ use testgen::FuzzConfig;
 const THREADS: [usize; 3] = [2, 4, 8];
 
 fn fuzz_cfg(threads: usize) -> FuzzConfig {
-    FuzzConfig {
-        idle_stop_min: 0.5,
-        max_execs: 400,
-        threads,
-        ..FuzzConfig::default()
-    }
+    FuzzConfig::builder()
+        .with_idle_stop_min(0.5)
+        .with_max_execs(400)
+        .with_threads(threads)
+        .build()
 }
 
 fn search_cfg(threads: usize) -> SearchConfig {
-    SearchConfig {
-        budget_min: 150.0,
-        max_diff_tests: 8,
-        explore_performance: true,
-        threads,
-        ..SearchConfig::default()
-    }
+    SearchConfig::builder()
+        .with_budget_min(150.0)
+        .with_max_diff_tests(8)
+        .with_explore_performance(true)
+        .with_threads(threads)
+        .build()
 }
 
 #[test]
@@ -168,9 +166,85 @@ fn repair_search_is_thread_count_invariant() {
 /// randomized search trajectory is identical at any worker count.
 #[test]
 fn random_ablation_is_thread_count_invariant() {
-    assert_repair_invariant("P6", |threads| SearchConfig {
-        use_dependence: false,
-        rng_seed: 41,
-        ..search_cfg(threads)
+    assert_repair_invariant("P6", |threads| {
+        search_cfg(threads)
+            .to_builder()
+            .with_dependence(false)
+            .with_rng_seed(41)
+            .build()
     });
+}
+
+/// The trace layer's merge-phase emission rule, pinned end to end: a full
+/// pipeline run (fuzzing + repair) with a `JsonlSink` must produce a
+/// byte-identical event stream at every thread count.
+#[test]
+fn trace_stream_is_thread_count_invariant() {
+    use heterogen_core::{HeteroGen, Job};
+    use heterogen_trace::JsonlSink;
+    use std::sync::Arc;
+
+    let s = benchsuite::subject("P3").unwrap();
+    let p = s.parse();
+    let mut seeds = s.seed_inputs.clone();
+    seeds.extend(s.existing_tests.clone());
+
+    let trace_at = |threads: usize| {
+        let mut cfg = heterogen_core::PipelineConfig::quick();
+        cfg.fuzz = fuzz_cfg(threads);
+        cfg.search = search_cfg(threads);
+        let sink = Arc::new(JsonlSink::new());
+        let session = HeteroGen::builder().config(cfg).sink(sink.clone()).build();
+        session
+            .run(Job::fuzz(p.clone(), s.kernel, seeds.clone()))
+            .unwrap();
+        sink.contents()
+    };
+
+    let base = trace_at(1);
+    assert!(!base.is_empty(), "baseline trace is empty");
+    for threads in [2usize, 4] {
+        let r = trace_at(threads);
+        assert_eq!(base, r, "trace bytes @ {threads} threads");
+    }
+}
+
+/// The `MetricsSink` counters must agree with the hand-maintained
+/// `SearchStats` for the same run.
+#[test]
+fn trace_metrics_agree_with_search_stats() {
+    use heterogen_trace::MetricsSink;
+
+    let s = benchsuite::subject("P6").unwrap();
+    let p = s.parse();
+    let fr = testgen::fuzz(&p, s.kernel, s.seed_inputs.clone(), &fuzz_cfg(1)).unwrap();
+    let broken = heterogen_core::initial_version(&p, &fr.profile);
+
+    let metrics = MetricsSink::new();
+    let out = repair::repair_traced(
+        &p,
+        broken,
+        s.kernel,
+        &fr.corpus,
+        &fr.profile,
+        &search_cfg(2),
+        &metrics,
+    )
+    .unwrap();
+
+    assert_eq!(metrics.counter("candidate_evaluated"), out.stats.attempts);
+    assert_eq!(
+        metrics.counter("candidate.inapplicable"),
+        out.stats.inapplicable
+    );
+    assert_eq!(
+        metrics.counter("candidate.style_rejected"),
+        out.stats.style_rejects
+    );
+    assert_eq!(metrics.counter("style_reject"), out.stats.style_rejects);
+    assert_eq!(metrics.counter("full_compile"), out.stats.full_compiles);
+    assert_eq!(metrics.counter("diff_evaluated"), out.stats.simulations);
+    let admitted = metrics.counter("candidate.admitted");
+    assert_eq!(metrics.counter("edit_applied"), admitted);
+    assert!(admitted > 0, "no admitted candidates traced");
 }

@@ -45,16 +45,21 @@ fn fig8_existing_tests_miss_the_stack_divergence() {
 
     // Repair guided only by the shallow pre-existing tests: succeeds on its
     // own terms…
-    let existing_run = heterogen_core::HeteroGen::new(cfg)
-        .run_with_existing_tests(&p, s.kernel, s.existing_tests.clone())
+    let session = heterogen_core::HeteroGen::builder().config(cfg).build();
+    let existing_run = session
+        .run(heterogen_core::Job::with_tests(
+            p.clone(),
+            s.kernel,
+            s.existing_tests.clone(),
+        ))
         .unwrap();
     assert!(existing_run.success());
 
     // …but the generated suite exposes the undersized stack.
     let mut seeds = s.seed_inputs.clone();
     seeds.extend(s.existing_tests.clone());
-    let generated_run = heterogen_core::HeteroGen::new(cfg)
-        .run(&p, s.kernel, seeds)
+    let generated_run = session
+        .run(heterogen_core::Job::fuzz(p.clone(), s.kernel, seeds))
         .unwrap();
     assert!(generated_run.success());
 
@@ -72,21 +77,19 @@ fn fig8_existing_tests_miss_the_stack_divergence() {
 fn checker_ablation_avoids_compilations() {
     let s = benchsuite::subject("P3").unwrap();
     let p = s.parse();
-    let fuzz_cfg = testgen::FuzzConfig {
-        idle_stop_min: 0.5,
-        max_execs: 400,
-        ..testgen::FuzzConfig::default()
-    };
+    let fuzz_cfg = testgen::FuzzConfig::builder()
+        .with_idle_stop_min(0.5)
+        .with_max_execs(400)
+        .build();
     let mut seeds = s.seed_inputs.clone();
     seeds.extend(s.existing_tests.clone());
     let fr = testgen::fuzz(&p, s.kernel, seeds, &fuzz_cfg).unwrap();
     let broken = heterogen_core::initial_version(&p, &fr.profile);
 
-    let base = SearchConfig {
-        budget_min: 180.0,
-        max_diff_tests: 12,
-        ..SearchConfig::default()
-    };
+    let base = SearchConfig::builder()
+        .with_budget_min(180.0)
+        .with_max_diff_tests(12)
+        .build();
     let hg = repair::repair(&p, broken.clone(), s.kernel, &fr.corpus, &fr.profile, &base).unwrap();
     let wc = repair::repair(
         &p,
@@ -94,10 +97,7 @@ fn checker_ablation_avoids_compilations() {
         s.kernel,
         &fr.corpus,
         &fr.profile,
-        &SearchConfig {
-            use_style_checker: false,
-            ..base
-        },
+        &base.to_builder().with_style_checker(false).build(),
     )
     .unwrap();
     assert!(hg.success && wc.success);

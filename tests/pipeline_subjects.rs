@@ -1,6 +1,6 @@
 //! End-to-end pipeline runs on all ten paper subjects (Table 3 shape).
 
-use heterogen_core::{HeteroGen, PipelineConfig, PipelineReport};
+use heterogen_core::{HeteroGen, Job, PipelineConfig, PipelineReport};
 
 fn test_config() -> PipelineConfig {
     let mut cfg = PipelineConfig::quick();
@@ -16,8 +16,10 @@ fn run(id: &str) -> PipelineReport {
     let p = s.parse();
     let mut seeds = s.seed_inputs.clone();
     seeds.extend(s.existing_tests.clone());
-    HeteroGen::new(test_config())
-        .run(&p, s.kernel, seeds)
+    HeteroGen::builder()
+        .config(test_config())
+        .build()
+        .run(Job::fuzz(p, s.kernel, seeds))
         .unwrap_or_else(|e| panic!("{id}: {e}"))
 }
 

@@ -23,11 +23,10 @@ fn figure1_stage_by_stage() {
     let p = minic::parse(src).unwrap();
 
     // Stage 1: test generation.
-    let cfg = testgen::FuzzConfig {
-        idle_stop_min: 0.5,
-        max_execs: 600,
-        ..testgen::FuzzConfig::default()
-    };
+    let cfg = testgen::FuzzConfig::builder()
+        .with_idle_stop_min(0.5)
+        .with_max_execs(600)
+        .build();
     let fr = testgen::fuzz(&p, "kernel", vec![], &cfg).unwrap();
     assert!(fr.coverage > 0.8, "coverage {}", fr.coverage);
     assert!(!fr.corpus.is_empty());
@@ -52,12 +51,11 @@ fn figure1_stage_by_stage() {
         "kernel",
         &fr.corpus,
         &fr.profile,
-        &repair::SearchConfig {
-            budget_min: 200.0,
-            max_diff_tests: 12,
-            explore_performance: false,
-            ..repair::SearchConfig::default()
-        },
+        &repair::SearchConfig::builder()
+            .with_budget_min(200.0)
+            .with_max_diff_tests(12)
+            .with_explore_performance(false)
+            .build(),
     )
     .unwrap();
     assert!(out.success, "applied: {:?}", out.applied);
@@ -76,8 +74,10 @@ fn transpiled_sources_reparse() {
         cfg.fuzz.max_execs = 300;
         let mut seeds = s.seed_inputs.clone();
         seeds.extend(s.existing_tests.clone());
-        let r = heterogen_core::HeteroGen::new(cfg)
-            .run(&p, s.kernel, seeds)
+        let r = heterogen_core::HeteroGen::builder()
+            .config(cfg)
+            .build()
+            .run(heterogen_core::Job::fuzz(p, s.kernel, seeds))
             .unwrap();
         let printed = minic::print_program(&r.program);
         let reparsed = minic::parse(&printed)
