@@ -8,6 +8,7 @@
 //! cargo run --release -p bench --bin reproduce -- run P3 --json
 //! cargo run --release -p bench --bin reproduce -- trace P3 --json p3.jsonl
 //! cargo run --release -p bench --bin reproduce -- bench-guard
+//! cargo run --release -p bench --bin reproduce -- chaos P3
 //! ```
 
 use bench::*;
@@ -38,6 +39,15 @@ fn main() {
         }
         "bench-guard" => {
             run_bench_guard();
+            return;
+        }
+        "chaos" => {
+            run_chaos(
+                args.get(1)
+                    .filter(|a| !a.starts_with("--"))
+                    .map(String::as_str)
+                    .unwrap_or("P3"),
+            );
             return;
         }
         _ => {}
@@ -76,7 +86,7 @@ fn main() {
             run_summary(&bundle);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair run trace bench-guard summary all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair run trace bench-guard chaos summary all");
             std::process::exit(2);
         }
     }
@@ -297,6 +307,138 @@ fn run_bench_guard() {
         std::process::exit(1);
     }
     println!("OK");
+}
+
+/// `reproduce -- chaos [subject]`: runs one repair search fault-free, then
+/// again under a deterministic fault plan (transient toolchain failures on
+/// ~a third of the evaluation keys, plus one poisoned candidate that
+/// panics mid-compile), and asserts the chaos run absorbed every fault
+/// without perturbing the outcome: same applied edits, same stats, same
+/// best program, bit-identical latency.
+fn run_chaos(id: &str) {
+    use heterogen_faults::FaultPlan;
+
+    let s = load_subject(id);
+    let p = s.parse();
+    let fuzz_cfg = testgen::FuzzConfig::builder()
+        .with_idle_stop_min(0.5)
+        .with_max_execs(400)
+        .build();
+    let mut seeds = s.seed_inputs.clone();
+    seeds.extend(s.existing_tests.clone());
+    let fr = testgen::fuzz(&p, s.kernel, seeds, &fuzz_cfg).unwrap_or_else(|e| {
+        eprintln!("{id}: fuzzing failed: {e}");
+        std::process::exit(1);
+    });
+    let broken = heterogen_core::initial_version(&p, &fr.profile);
+    let sc = repair::SearchConfig::builder()
+        .with_budget_min(150.0)
+        .with_max_diff_tests(12)
+        .build();
+
+    let base_sink = JsonlSink::new();
+    let base = repair::repair_traced(
+        &p,
+        broken.clone(),
+        s.kernel,
+        &fr.corpus,
+        &fr.profile,
+        &sc,
+        &base_sink,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{id}: baseline repair failed: {e}");
+        std::process::exit(1);
+    });
+
+    // Poison the last candidate the baseline admitted: the run ended on
+    // budget expiry, so the final batch was never popped again and the
+    // crash is billed exactly what the admission cost — the only visible
+    // divergence is the resilience ledger.
+    let admitted: Vec<u64> = base_sink
+        .contents()
+        .lines()
+        .filter(|l| {
+            l.contains("\"event\":\"candidate_evaluated\"")
+                && l.contains("\"verdict\":\"admitted\"")
+        })
+        .filter_map(|l| {
+            let at = l.find("\"fingerprint\":\"")? + "\"fingerprint\":\"".len();
+            u64::from_str_radix(l.get(at..at + 16)?, 16).ok()
+        })
+        .collect();
+    let mut builder = FaultPlan::builder(0xC0FFEE)
+        .with_transient_rate(0.35)
+        .with_transient_len(2);
+    if let Some(&fp) = admitted.last() {
+        builder = builder.with_poison_key(fp);
+    }
+    let plan = builder.build();
+
+    // The poisoned candidate panics by design; the search isolates it with
+    // `catch_unwind`. Mute the default panic hook for the chaos run so the
+    // expected panic does not splat a backtrace over the report.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = repair::repair_resilient(
+        &p,
+        broken,
+        s.kernel,
+        &fr.corpus,
+        &fr.profile,
+        &sc,
+        &NullSink,
+        &plan,
+    );
+    std::panic::set_hook(hook);
+    let r = r.unwrap_or_else(|e| {
+        eprintln!("{id}: chaos repair failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!("== chaos: {} ({}) ==", s.id, s.name);
+    println!(
+        "transient faults ... {} (all retried)",
+        r.resilience.transient_faults
+    );
+    println!("retries ............ {}", r.resilience.retries);
+    println!(
+        "backoff ............ {:.2} simulated min (resilience ledger)",
+        r.resilience.backoff_min
+    );
+    println!("poisoned crashes ... {}", r.resilience.crashes);
+    println!("permanent faults ... {}", r.resilience.permanent_faults);
+
+    let mut failed = false;
+    let mut check = |what: &str, ok: bool| {
+        if !ok {
+            eprintln!("FAIL: chaos run diverged from the fault-free run: {what}");
+            failed = true;
+        }
+    };
+    check("applied edits", base.applied == r.applied);
+    check("search stats", base.stats == r.stats);
+    check("success", base.success == r.success);
+    check(
+        "fpga latency",
+        base.fpga_latency_ms.to_bits() == r.fpga_latency_ms.to_bits(),
+    );
+    check(
+        "best program",
+        minic::print_program(&base.program) == minic::print_program(&r.program),
+    );
+    check(
+        "injected chaos (≥2 transients expected)",
+        r.resilience.transient_faults >= 2,
+    );
+    check(
+        "panic isolation (≥1 crash expected)",
+        admitted.is_empty() || r.resilience.crashes >= 1,
+    );
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK: fault-free and chaos runs agree on every observable output");
 }
 
 fn pct(x: f64) -> String {

@@ -23,11 +23,12 @@
 //! assert!(report.success());
 //! ```
 
+use heterogen_faults::{FaultInjector, NoFaults};
 use heterogen_trace::{Event, NullSink, TraceSink};
 use minic::types::Type;
 use minic::Program;
 use minic_exec::Profile;
-use repair::{RepairOutcome, SearchConfig};
+use repair::{RepairOutcome, SearchConfig, SearchStop};
 use serde::Serialize;
 use std::sync::Arc;
 use testgen::{FuzzConfig, TestCase};
@@ -48,6 +49,9 @@ pub struct PipelineConfig {
     /// Apply profile-guided bitwidth finitization when building the initial
     /// HLS version (the `int ret` → `fpga_uint<7>` step).
     pub bitwidth_finitization: bool,
+    /// Hard per-phase work budgets; exhaustion degrades the report instead
+    /// of erroring (see [`Degradation`]).
+    pub budgets: PhaseBudgets,
 }
 
 impl Default for PipelineConfig {
@@ -56,7 +60,60 @@ impl Default for PipelineConfig {
             fuzz: FuzzConfig::default(),
             search: SearchConfig::default(),
             bitwidth_finitization: true,
+            budgets: PhaseBudgets::default(),
         }
+    }
+}
+
+/// Hard per-phase work budgets.
+///
+/// Budgets cap *work counts* (executions, toolchain evaluations), which are
+/// deterministic, rather than wall-clock time. A phase that hits its budget
+/// stops early and the pipeline degrades gracefully: [`Session::run`] still
+/// returns `Ok` with the best result found so far plus a [`Degradation`]
+/// record, never an error. `None` (the default) means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct PhaseBudgets {
+    /// Cap on fuzzer executions in the test-generation phase (tightens
+    /// [`FuzzConfig::max_execs`] when smaller).
+    pub fuzz_execs: Option<usize>,
+    /// Cap on toolchain evaluations (full compiles + candidate simulations)
+    /// in the repair phase (tightens [`SearchConfig::max_evals`]).
+    pub repair_evals: Option<u64>,
+}
+
+impl PhaseBudgets {
+    /// Starts a builder with no budgets set.
+    pub fn builder() -> PhaseBudgetsBuilder {
+        PhaseBudgetsBuilder {
+            budgets: PhaseBudgets::default(),
+        }
+    }
+}
+
+/// Builder for [`PhaseBudgets`].
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseBudgetsBuilder {
+    budgets: PhaseBudgets,
+}
+
+impl PhaseBudgetsBuilder {
+    /// Caps fuzzer executions in the test-generation phase.
+    pub fn with_fuzz_execs(mut self, v: usize) -> Self {
+        self.budgets.fuzz_execs = Some(v);
+        self
+    }
+
+    /// Caps toolchain evaluations in the repair phase.
+    pub fn with_repair_evals(mut self, v: u64) -> Self {
+        self.budgets.repair_evals = Some(v);
+        self
+    }
+
+    /// Finalizes the budgets.
+    pub fn build(self) -> PhaseBudgets {
+        self.budgets
     }
 }
 
@@ -129,6 +186,12 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Sets the per-phase work budgets.
+    pub fn with_budgets(mut self, v: PhaseBudgets) -> Self {
+        self.cfg.budgets = v;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> PipelineConfig {
         self.cfg
@@ -173,6 +236,74 @@ pub struct RepairSummary {
     pub attempts: u64,
 }
 
+/// Why a phase degraded instead of completing its search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationReason {
+    /// The simulated-time budget ran out.
+    BudgetExhausted,
+    /// The [`PhaseBudgets`] work-count cap was hit.
+    EvalBudgetExhausted,
+    /// A permanent toolchain fault stopped the phase.
+    PermanentFault,
+    /// The search space was exhausted without a full fix.
+    SearchExhausted,
+}
+
+impl DegradationReason {
+    /// Stable snake_case name (used in the report JSON and in
+    /// [`Event::PhaseDegraded`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradationReason::BudgetExhausted => "budget_exhausted",
+            DegradationReason::EvalBudgetExhausted => "eval_budget_exhausted",
+            DegradationReason::PermanentFault => "permanent_fault",
+            DegradationReason::SearchExhausted => "search_exhausted",
+        }
+    }
+}
+
+impl std::fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One phase's record of finishing best-effort rather than completely.
+///
+/// A degraded pipeline still returns `Ok(PipelineReport)` carrying the best
+/// candidate found; this record tells the caller (and the report JSON) what
+/// was cut short and how much fault-handling work the phase absorbed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// Phase name (`"testgen"`, `"repair"`).
+    pub phase: String,
+    /// Why the phase stopped early.
+    pub reason: DegradationReason,
+    /// Human-readable detail (e.g. the permanent fault's message).
+    pub detail: String,
+    /// Retries performed while absorbing transient faults.
+    pub retries: u64,
+    /// Faults of any kind absorbed during the phase.
+    pub faults: u64,
+}
+
+// Manual impl: the vendored serde derive handles plain structs, and
+// `reason` needs its stable string name rather than a variant index.
+impl Serialize for Degradation {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("phase".to_string(), self.phase.to_json_value()),
+            (
+                "reason".to_string(),
+                serde::Value::Str(self.reason.as_str().to_string()),
+            ),
+            ("detail".to_string(), self.detail.to_json_value()),
+            ("retries".to_string(), self.retries.to_json_value()),
+            ("faults".to_string(), self.faults.to_json_value()),
+        ])
+    }
+}
+
 /// The full pipeline report for one subject.
 ///
 /// Serializes to JSON (`serde::Serialize`) with the final program rendered
@@ -199,12 +330,20 @@ pub struct PipelineReport {
     pub tests: Vec<TestCase>,
     /// The accumulated execution profile.
     pub profile: Profile,
+    /// Phases that finished best-effort instead of completely (empty on a
+    /// clean run).
+    pub degradations: Vec<Degradation>,
 }
 
 impl PipelineReport {
     /// Whether all compatibility errors were fixed with behaviour preserved.
     pub fn success(&self) -> bool {
         self.repair.success
+    }
+
+    /// Whether any phase finished best-effort instead of completely.
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
     }
 
     /// CPU/FPGA speedup of the final version (>1 means the FPGA wins).
@@ -291,6 +430,7 @@ impl Job {
 pub struct Session {
     config: PipelineConfig,
     sink: Arc<dyn TraceSink>,
+    faults: Arc<dyn FaultInjector>,
 }
 
 impl std::fmt::Debug for Session {
@@ -298,6 +438,7 @@ impl std::fmt::Debug for Session {
         f.debug_struct("Session")
             .field("config", &self.config)
             .field("sink_enabled", &self.sink.enabled())
+            .field("faults_enabled", &self.faults.enabled())
             .finish()
     }
 }
@@ -307,6 +448,7 @@ impl std::fmt::Debug for Session {
 pub struct SessionBuilder {
     config: PipelineConfig,
     sink: Arc<dyn TraceSink>,
+    faults: Arc<dyn FaultInjector>,
 }
 
 impl SessionBuilder {
@@ -322,11 +464,23 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the fault injector (default: [`NoFaults`], i.e. chaos off).
+    ///
+    /// The repair phase threads the injector through every toolchain
+    /// invocation; a deterministic plan
+    /// ([`heterogen_faults::FaultPlan`]) makes a whole pipeline run
+    /// reproducible chaos.
+    pub fn faults(mut self, faults: Arc<dyn FaultInjector>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> Session {
         Session {
             config: self.config,
             sink: self.sink,
+            faults: self.faults,
         }
     }
 }
@@ -356,13 +510,22 @@ impl Session {
                 at_min: 0.0,
             });
         }
+        let mut degradations: Vec<Degradation> = Vec::new();
         // 1. Test generation (paper §4, Algorithm 1) — or replay of a
         //    pre-existing suite to collect the profile.
+        let mut fuzz_cfg = self.config.fuzz;
+        let fuzz_cap = self
+            .config
+            .budgets
+            .fuzz_execs
+            .filter(|cap| *cap < fuzz_cfg.max_execs);
+        if let Some(cap) = fuzz_cap {
+            fuzz_cfg.max_execs = cap;
+        }
         let (tests, profile, fuzz_report) = match tests {
             TestSource::Fuzz(seeds) => {
-                let fuzz_report =
-                    testgen::fuzz_traced(&original, &kernel, seeds, &self.config.fuzz, sink)
-                        .map_err(PipelineError::TestGen)?;
+                let fuzz_report = testgen::fuzz_traced(&original, &kernel, seeds, &fuzz_cfg, sink)
+                    .map_err(PipelineError::TestGen)?;
                 (
                     fuzz_report.corpus.clone(),
                     fuzz_report.profile.clone(),
@@ -390,6 +553,27 @@ impl Session {
                 elapsed_min: testgen_min,
             });
         }
+        // A budget tighter than the configured exec limit that the fuzzer
+        // actually ran into degrades the phase: the corpus is whatever
+        // coverage the capped run found, not the idle-stop fixpoint.
+        if let (Some(cap), Some(r)) = (fuzz_cap, fuzz_report.as_ref()) {
+            if r.executed >= cap {
+                degradations.push(Degradation {
+                    phase: "testgen".to_string(),
+                    reason: DegradationReason::EvalBudgetExhausted,
+                    detail: format!("fuzzing stopped at the {cap}-execution budget"),
+                    retries: 0,
+                    faults: 0,
+                });
+                if sink.enabled() {
+                    sink.emit(&Event::PhaseDegraded {
+                        phase: "testgen".to_string(),
+                        reason: DegradationReason::EvalBudgetExhausted.as_str().to_string(),
+                        at_min: testgen_min,
+                    });
+                }
+            }
+        }
 
         // 2. Initial HLS version with estimated types.
         let broken = if self.config.bitwidth_finitization {
@@ -406,22 +590,68 @@ impl Session {
                 at_min: testgen_min,
             });
         }
-        let outcome: RepairOutcome = repair::repair_traced(
+        let mut search_cfg = self.config.search;
+        search_cfg.max_evals = match (search_cfg.max_evals, self.config.budgets.repair_evals) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let outcome: RepairOutcome = repair::repair_resilient(
             &original,
             broken,
             &kernel,
             &tests,
             &profile,
-            &self.config.search,
+            &search_cfg,
             sink,
+            self.faults.as_ref(),
         )
         .map_err(PipelineError::Repair)?;
+        let repair_end_min = testgen_min + outcome.stats.elapsed_min;
         if sink.enabled() {
             sink.emit(&Event::PhaseExit {
                 phase: "repair".to_string(),
-                at_min: testgen_min + outcome.stats.elapsed_min,
+                at_min: repair_end_min,
                 elapsed_min: outcome.stats.elapsed_min,
             });
+        }
+        // A permanent fault always degrades the phase (the search was cut
+        // off, even if a repair had already been found); the other early
+        // stops only matter when the search did not converge.
+        let repair_degradation = match (&outcome.stop, outcome.success) {
+            (SearchStop::PermanentFault(detail), _) => {
+                Some((DegradationReason::PermanentFault, detail.clone()))
+            }
+            (SearchStop::Converged, _) | (_, true) => None,
+            (SearchStop::EvalBudgetExhausted, false) => Some((
+                DegradationReason::EvalBudgetExhausted,
+                "toolchain evaluation budget exhausted before convergence".to_string(),
+            )),
+            (SearchStop::BudgetExpired, false) => Some((
+                DegradationReason::BudgetExhausted,
+                "simulated time budget expired before convergence".to_string(),
+            )),
+            (SearchStop::FrontierExhausted, false) => Some((
+                DegradationReason::SearchExhausted,
+                "candidate frontier exhausted without a full fix".to_string(),
+            )),
+        };
+        if let Some((reason, detail)) = repair_degradation {
+            degradations.push(Degradation {
+                phase: "repair".to_string(),
+                reason,
+                detail,
+                retries: outcome.resilience.retries,
+                faults: outcome.resilience.transient_faults
+                    + outcome.resilience.permanent_faults
+                    + outcome.resilience.crashes,
+            });
+            if sink.enabled() {
+                sink.emit(&Event::PhaseDegraded {
+                    phase: "repair".to_string(),
+                    reason: reason.as_str().to_string(),
+                    at_min: repair_end_min,
+                });
+            }
         }
 
         let delta_loc = minic::diff::line_diff(
@@ -459,6 +689,7 @@ impl Session {
             program: outcome.program,
             tests,
             profile,
+            degradations,
         })
     }
 }
@@ -479,6 +710,7 @@ impl HeteroGen {
         SessionBuilder {
             config: PipelineConfig::default(),
             sink: Arc::new(NullSink),
+            faults: Arc::new(NoFaults),
         }
     }
 
@@ -677,6 +909,87 @@ mod tests {
             .run_with_existing_tests(&p, "kernel", vec![vec![ArgValue::Int(3)]])
             .unwrap();
         assert_eq!(report.testgen.tests, 1);
+    }
+
+    #[test]
+    fn eval_budget_exhaustion_degrades_instead_of_erroring() {
+        let p =
+            minic::parse("int kernel(int x) { long double y = x; y = y + 1; return y; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.2;
+        cfg.fuzz.max_execs = 100;
+        // One toolchain evaluation is spent on the initial compile, so the
+        // search stops before repairing anything.
+        cfg.budgets = PhaseBudgets::builder().with_repair_evals(1).build();
+        let session = HeteroGen::builder().config(cfg).build();
+        let report = session
+            .run(Job::fuzz(p, "kernel", vec![]))
+            .expect("budget exhaustion must not be an error");
+        assert!(!report.success());
+        assert!(report.degraded());
+        let d = &report.degradations[0];
+        assert_eq!(d.phase, "repair");
+        assert_eq!(d.reason, DegradationReason::EvalBudgetExhausted);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(
+            json.contains(r#""reason":"eval_budget_exhausted""#),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn fuzz_exec_budget_degrades_testgen_phase() {
+        let p = minic::parse("int kernel(int x) { return x + 1; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        // An idle-stop far beyond what 40 executions can reach, so the
+        // budget is the binding constraint.
+        cfg.fuzz.idle_stop_min = 50.0;
+        cfg.fuzz.max_execs = 100_000;
+        cfg.budgets = PhaseBudgets::builder().with_fuzz_execs(40).build();
+        let session = HeteroGen::builder().config(cfg).build();
+        let report = session.run(Job::fuzz(p, "kernel", vec![])).unwrap();
+        assert!(report
+            .degradations
+            .iter()
+            .any(|d| d.phase == "testgen" && d.reason == DegradationReason::EvalBudgetExhausted));
+        assert!(report.testgen.executed <= 40 + 8, "cap roughly respected");
+    }
+
+    #[test]
+    fn permanent_fault_degrades_the_repair_phase() {
+        let p =
+            minic::parse("int kernel(int x) { long double y = x; y = y + 1; return y; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.2;
+        cfg.fuzz.max_execs = 100;
+        let plan = heterogen_faults::FaultPlan::builder(11)
+            .with_permanent_rate(1.0)
+            .build();
+        let session = HeteroGen::builder()
+            .config(cfg)
+            .faults(Arc::new(plan))
+            .build();
+        let report = session
+            .run(Job::fuzz(p, "kernel", vec![]))
+            .expect("a permanent fault degrades, it does not error");
+        assert!(report
+            .degradations
+            .iter()
+            .any(|d| d.phase == "repair" && d.reason == DegradationReason::PermanentFault));
+    }
+
+    #[test]
+    fn clean_runs_report_no_degradations() {
+        let p = minic::parse("int kernel(int x) { return x + 1; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.2;
+        cfg.fuzz.max_execs = 100;
+        let session = HeteroGen::builder().config(cfg).build();
+        let report = session.run(Job::fuzz(p, "kernel", vec![])).unwrap();
+        assert!(report.success());
+        assert!(!report.degraded());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains(r#""degradations":[]"#), "{json}");
     }
 
     #[test]

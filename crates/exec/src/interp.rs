@@ -276,14 +276,14 @@ impl<'p> Machine<'p> {
         Ok(match &t {
             Type::Array(inner, size) => {
                 let n = minic::edit::resolve_array_size(self.program, size)
-                    .ok_or_else(|| ExecError::setup("sizeof array with unknown extent"))?;
+                    .ok_or_else(|| ExecError::unknown_size("array with unresolved extent"))?;
                 (n as usize) * self.size_of(inner)?
             }
             Type::Struct(name) => {
                 let def = self
                     .program
                     .struct_def(name)
-                    .ok_or_else(|| ExecError::setup(format!("unknown struct `{name}`")))?;
+                    .ok_or_else(|| ExecError::unknown_size(format!("struct `{name}`")))?;
                 let mut sum = 0;
                 for f in &def.fields {
                     sum += if f.by_ref { 1 } else { self.size_of(&f.ty)? };
@@ -294,7 +294,7 @@ impl<'p> Machine<'p> {
                 let def = self
                     .program
                     .struct_def(name)
-                    .ok_or_else(|| ExecError::setup(format!("unknown union `{name}`")))?;
+                    .ok_or_else(|| ExecError::unknown_size(format!("union `{name}`")))?;
                 let mut mx = 1;
                 for f in &def.fields {
                     mx = mx.max(self.size_of(&f.ty)?);
@@ -447,7 +447,7 @@ impl<'p> Machine<'p> {
             let pty = self.resolve(&param.ty);
             match (arg, &pty) {
                 (ArgValue::Int(v), _) if pty.is_integer() || matches!(pty, Type::Bool) => {
-                    let size = |_: &Type| 1usize;
+                    let size = |_: &Type| Ok(1usize);
                     values.push(coerce(
                         Value::Int {
                             v: *v,
@@ -456,7 +456,7 @@ impl<'p> Machine<'p> {
                         },
                         &pty,
                         &size,
-                    ));
+                    )?);
                     array_views.push(None);
                     stream_views.push(None);
                 }
@@ -587,7 +587,7 @@ impl<'p> Machine<'p> {
                 Type::Stream(_) => arg,
                 _ => {
                     let size_of = sizer(self);
-                    coerce(arg, &bty, &size_of)
+                    coerce(arg, &bty, &size_of)?
                 }
             };
             self.mem.store(addr, stored)?;
@@ -795,7 +795,7 @@ impl<'p> Machine<'p> {
                     let v = self.eval(e)?;
                     let v = {
                         let size_of = sizer(self);
-                        coerce(v, elem, &size_of)
+                        coerce(v, elem, &size_of)?
                     };
                     self.mem.store(b.addr + i * esize, v)?;
                 }
@@ -815,7 +815,7 @@ impl<'p> Machine<'p> {
                     let v = self.eval(e)?;
                     let v = {
                         let size_of = sizer(self);
-                        coerce(v, &fty, &size_of)
+                        coerce(v, &fty, &size_of)?
                     };
                     self.mem.store(b.addr + off, v)?;
                 }
@@ -848,7 +848,7 @@ impl<'p> Machine<'p> {
             _ => {
                 let coerced = {
                     let size_of = sizer(self);
-                    coerce(v, &ty, &size_of)
+                    coerce(v, &ty, &size_of)?
                 };
                 if self.config.profile {
                     if let Value::Int { v, .. } = &coerced {
@@ -1041,7 +1041,12 @@ impl<'p> Machine<'p> {
                     ExprKind::Ident(n) if env.contains_key(n) => env[n].clone(),
                     _ => self.eval(init)?,
                 };
-                let by_ref = def.field(field).map(|f| f.by_ref).unwrap_or(false);
+                let by_ref = def
+                    .field(field)
+                    .ok_or_else(|| {
+                        ExecError::setup(format!("unknown field `{field}` on `{name}`"))
+                    })?
+                    .by_ref;
                 if by_ref || matches!(fty, Type::Stream(_)) {
                     self.mem.store(addr + off, v)?;
                 } else {
@@ -1157,7 +1162,7 @@ impl<'p> Machine<'p> {
                 let v = self.eval(a)?;
                 let ty = self.resolve(ty);
                 let size_of = sizer(self);
-                Ok(coerce(v, &ty, &size_of))
+                coerce(v, &ty, &size_of)
             }
             ExprKind::SizeOf(ty) => {
                 let n = self.size_of(ty)?;
@@ -1214,7 +1219,7 @@ impl<'p> Machine<'p> {
             }
             UnOp::AddrOf => {
                 let (addr, ty) = self.place(a)?;
-                let stride = self.size_of(&ty).unwrap_or(1);
+                let stride = self.size_of(&ty)?;
                 Ok(Value::Ptr { addr, stride })
             }
             UnOp::Inc(prefix) | UnOp::Dec(prefix) => {
@@ -1563,8 +1568,8 @@ fn rhs_is_ptr(v: &Value) -> bool {
 }
 
 /// A `size_of` closure decoupled from `&mut self` borrows, for [`coerce`].
-fn sizer<'m, 'p>(m: &'m Machine<'p>) -> impl Fn(&Type) -> usize + 'm {
-    move |t: &Type| m.size_of(t).unwrap_or(1)
+fn sizer<'m, 'p>(m: &'m Machine<'p>) -> impl Fn(&Type) -> Result<usize, ExecError> + 'm {
+    move |t: &Type| m.size_of(t)
 }
 
 #[cfg(test)]

@@ -191,8 +191,17 @@ pub fn quantize_float(v: f64, exp: u16, mant: u16) -> f64 {
 /// Coerces a value into the representation of a target type, applying
 /// integer wrapping and float quantization. Pointers pick up their stride
 /// from pointer-type casts.
-pub fn coerce(value: Value, ty: &Type, size_of: &dyn Fn(&Type) -> usize) -> Value {
-    match ty {
+///
+/// # Errors
+///
+/// Fails when a pointer coercion needs the pointee's size and `size_of`
+/// cannot determine it (e.g. a cast to a pointer of an undefined struct).
+pub fn coerce(
+    value: Value,
+    ty: &Type,
+    size_of: &dyn Fn(&Type) -> Result<usize, crate::error::ExecError>,
+) -> Result<Value, crate::error::ExecError> {
+    Ok(match ty {
         Type::Bool => Value::Bool(value.is_truthy()),
         Type::Int { width, signed } => Value::Int {
             v: wrap_int(value.as_int(), width.bits(), *signed),
@@ -222,16 +231,16 @@ pub fn coerce(value: Value, ty: &Type, size_of: &dyn Fn(&Type) -> usize) -> Valu
         Type::Pointer(inner) => match value {
             Value::Ptr { addr, .. } => Value::Ptr {
                 addr,
-                stride: size_of(inner).max(1),
+                stride: size_of(inner)?.max(1),
             },
             other => Value::Ptr {
                 addr: other.as_int().max(0) as usize,
-                stride: size_of(inner).max(1),
+                stride: size_of(inner)?.max(1),
             },
         },
         // Aggregates and streams pass through unchanged.
         _ => value,
-    }
+    })
 }
 
 /// A kernel-level input argument, the unit the fuzzer mutates.
@@ -393,7 +402,7 @@ mod tests {
 
     #[test]
     fn coerce_to_fpga_uint7_wraps_like_paper() {
-        let size = |_: &Type| 1usize;
+        let size = |_: &Type| Ok(1usize);
         let v = coerce(
             Value::int(200),
             &Type::FpgaInt {
@@ -401,7 +410,8 @@ mod tests {
                 signed: false,
             },
             &size,
-        );
+        )
+        .unwrap();
         assert_eq!(v.as_int(), 200 % 128);
     }
 
@@ -466,9 +476,11 @@ mod tests {
 
     #[test]
     fn coerce_pointer_sets_stride() {
-        let size = |t: &Type| match t {
-            Type::Struct(_) => 3usize,
-            _ => 1,
+        let size = |t: &Type| {
+            Ok(match t {
+                Type::Struct(_) => 3usize,
+                _ => 1,
+            })
         };
         let p = coerce(
             Value::Ptr {
@@ -477,7 +489,8 @@ mod tests {
             },
             &Type::ptr(Type::Struct("Node".into())),
             &size,
-        );
+        )
+        .unwrap();
         assert_eq!(
             p,
             Value::Ptr {
@@ -488,8 +501,25 @@ mod tests {
     }
 
     #[test]
+    fn coerce_pointer_surfaces_unsizable_pointee() {
+        let size = |t: &Type| match t {
+            Type::Struct(name) => Err(crate::error::ExecError::unknown_size(format!(
+                "struct `{name}`"
+            ))),
+            _ => Ok(1usize),
+        };
+        let err = coerce(
+            Value::int(16),
+            &Type::ptr(Type::Struct("ghost".into())),
+            &size,
+        )
+        .unwrap_err();
+        assert_eq!(err.to_string(), "cannot determine size of struct `ghost`");
+    }
+
+    #[test]
     fn coerce_int_width_chain() {
-        let size = |_: &Type| 1usize;
+        let size = |_: &Type| Ok(1usize);
         let wide = Value::Int {
             v: 70000,
             bits: 32,
@@ -502,7 +532,8 @@ mod tests {
                 signed: true,
             },
             &size,
-        );
+        )
+        .unwrap();
         assert_eq!(short.as_int(), wrap_int(70000, 16, true));
     }
 }

@@ -1,0 +1,580 @@
+//! Deterministic fault injection for the simulated HLS toolchain.
+//!
+//! Real HLS toolchains fail intermittently: licence servers drop, RTL
+//! co-simulations crash, synthesis jobs hang until a watchdog kills them. A
+//! production-scale evaluation engine has to survive all of that, and — to
+//! be testable — has to be able to *reproduce* it on demand. This crate
+//! provides the reproduction half:
+//!
+//! * [`FaultInjector`] — the trait the toolchain substrate consults before
+//!   each invocation, with a [`NoFaults`] default that reports itself
+//!   disabled so monomorphized callers compile every consultation away
+//!   (mirroring `NullSink` in `heterogen-trace`);
+//! * [`FaultPlan`] — a seeded, deterministic injector. Decisions are pure
+//!   functions of `(seed, site, key, attempt)` where `key` is a stable
+//!   evaluation key (the candidate's structural fingerprint, or a
+//!   fingerprint/test-index mix), so a plan reproduces the exact same fault
+//!   schedule at any thread count and in any evaluation order;
+//! * [`RetryPolicy`] — bounded exponential backoff in *simulated minutes*
+//!   (no wall clock anywhere), with a deterministic, monotone schedule;
+//! * [`ResilienceStats`] — counters the evaluation engine accumulates while
+//!   absorbing faults.
+//!
+//! # Examples
+//!
+//! ```
+//! use heterogen_faults::{Fault, FaultInjector, FaultPlan, FaultSite};
+//!
+//! let plan = FaultPlan::builder(7).with_transient_rate(1.0).build();
+//! // Same (site, key, attempt) → same decision, forever.
+//! let a = plan.fault(FaultSite::HlsCheck, 0xfeed, 0);
+//! let b = plan.fault(FaultSite::HlsCheck, 0xfeed, 0);
+//! assert_eq!(a, b);
+//! assert!(matches!(a, Some(Fault::Transient)));
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Where in the toolchain substrate a fault can strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The full HLS synthesizability check (`hls_sim::check_program`).
+    HlsCheck,
+    /// The FPGA behavioural co-simulation (`hls_sim::FpgaSimulator`).
+    HlsSim,
+    /// Raw interpreter execution (fuel accounting).
+    Exec,
+}
+
+impl FaultSite {
+    /// Stable lowercase name, used in trace events and error messages.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultSite::HlsCheck => "hls_check",
+            FaultSite::HlsSim => "hls_sim",
+            FaultSite::Exec => "exec",
+        }
+    }
+
+    fn salt(&self) -> u64 {
+        match self {
+            FaultSite::HlsCheck => 0x68_6c73_6368_6563,
+            FaultSite::HlsSim => 0x68_6c73_7369_6d00,
+            FaultSite::Exec => 0x65_7865_6300_0000,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One injected fault, as decided by a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The invocation fails this attempt; a retry may succeed.
+    Transient,
+    /// The invocation fails and will keep failing — retrying is pointless.
+    Permanent,
+    /// The invocation panics mid-flight (a poisoned evaluation).
+    Poison,
+    /// Execution burns `factor`× the normal fuel, which may spuriously
+    /// exhaust the op budget.
+    FuelSpike {
+        /// Fuel-consumption multiplier (≥ 1).
+        factor: u32,
+    },
+}
+
+impl Fault {
+    /// Stable lowercase name, used in trace events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Fault::Transient => "transient",
+            Fault::Permanent => "permanent",
+            Fault::Poison => "poison",
+            Fault::FuelSpike { .. } => "fuel_spike",
+        }
+    }
+}
+
+/// Decides whether a toolchain invocation is sabotaged.
+///
+/// `key` is a *stable* evaluation key — the candidate's structural
+/// fingerprint, or [`mix_key`] of a fingerprint and a test index — and
+/// `attempt` counts retries of the same invocation from 0. Implementations
+/// MUST be pure functions of `(site, key, attempt)`: the evaluation engine
+/// consults injectors from worker threads in arbitrary order and relies on
+/// the decisions being reproducible at any thread count.
+pub trait FaultInjector: Send + Sync {
+    /// The fault to inject for this invocation, if any.
+    fn fault(&self, site: FaultSite, key: u64, attempt: u32) -> Option<Fault>;
+
+    /// Whether any fault can ever be injected. Instrumented code gates the
+    /// consultation on this, so a disabled injector costs one call per
+    /// invocation and nothing else (and a monomorphized [`NoFaults`]
+    /// compiles away entirely).
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+impl<T: FaultInjector + ?Sized> FaultInjector for &T {
+    fn fault(&self, site: FaultSite, key: u64, attempt: u32) -> Option<Fault> {
+        (**self).fault(site, key, attempt)
+    }
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+impl<T: FaultInjector + ?Sized> FaultInjector for Arc<T> {
+    fn fault(&self, site: FaultSite, key: u64, attempt: u32) -> Option<Fault> {
+        (**self).fault(site, key, attempt)
+    }
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+/// The default injector: never faults and reports itself disabled, so
+/// instrumented code skips the consultation entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn fault(&self, _site: FaultSite, _key: u64, _attempt: u32) -> Option<Fault> {
+        None
+    }
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Panics with the canonical poisoned-evaluation payload. The evaluation
+/// engine isolates the panic with `catch_unwind` and classifies the
+/// candidate as crashed.
+pub fn poison(site: FaultSite, key: u64) -> ! {
+    panic!("injected poison fault at {site} for key {key:016x}")
+}
+
+/// `splitmix64` — the standard 64-bit finalizer; good avalanche, no state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mixes two keys into one (e.g. a candidate fingerprint and a test index)
+/// without collapsing either; used to key per-test fault decisions.
+pub fn mix_key(a: u64, b: u64) -> u64 {
+    splitmix64(a ^ splitmix64(b.wrapping_add(0x517c_c1b7_2722_0a95)))
+}
+
+const PPM: u64 = 1_000_000;
+
+fn rate_to_ppm(rate: f64) -> u64 {
+    (rate.clamp(0.0, 1.0) * PPM as f64).round() as u64
+}
+
+/// A seeded, deterministic [`FaultInjector`].
+///
+/// Every decision is a hash of `(seed, site, key)` compared against the
+/// configured rates — stateless, so the plan is `Sync` without locks and
+/// reproducible at any thread count. A key drawn as transient fails for a
+/// key-dependent run of 1..=`transient_len` consecutive attempts and then
+/// succeeds, which pairs with a [`RetryPolicy`] whose `max_retries` is at
+/// least `transient_len` to make every transient recoverable.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    transient_ppm: u64,
+    transient_len: u32,
+    permanent_ppm: u64,
+    fuel_spike_ppm: u64,
+    spike_factor: u32,
+    poison_keys: BTreeSet<u64>,
+    permanent_keys: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// Starts a builder for a plan with the given seed and no faults.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            plan: FaultPlan {
+                seed,
+                transient_ppm: 0,
+                transient_len: 1,
+                permanent_ppm: 0,
+                fuel_spike_ppm: 0,
+                spike_factor: 64,
+                poison_keys: BTreeSet::new(),
+                permanent_keys: BTreeSet::new(),
+            },
+        }
+    }
+
+    fn draw(&self, domain: u64, site: FaultSite, key: u64) -> u64 {
+        splitmix64(self.seed ^ site.salt() ^ splitmix64(key ^ domain))
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn fault(&self, site: FaultSite, key: u64, attempt: u32) -> Option<Fault> {
+        if self.poison_keys.contains(&key) && site == FaultSite::HlsCheck {
+            return Some(Fault::Poison);
+        }
+        if self.permanent_keys.contains(&key) && site == FaultSite::HlsCheck {
+            return Some(Fault::Permanent);
+        }
+        if self.permanent_ppm > 0 && self.draw(1, site, key) % PPM < self.permanent_ppm {
+            return Some(Fault::Permanent);
+        }
+        if self.transient_ppm > 0 {
+            let h = self.draw(2, site, key);
+            if h % PPM < self.transient_ppm {
+                // This key fails for a run of 1..=transient_len attempts.
+                let len = 1 + (splitmix64(h) % self.transient_len.max(1) as u64) as u32;
+                if attempt < len {
+                    return Some(Fault::Transient);
+                }
+            }
+        }
+        if self.fuel_spike_ppm > 0
+            && attempt == 0
+            && self.draw(3, site, key) % PPM < self.fuel_spike_ppm
+        {
+            return Some(Fault::FuelSpike {
+                factor: self.spike_factor.max(1),
+            });
+        }
+        None
+    }
+}
+
+/// Builder for [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    plan: FaultPlan,
+}
+
+impl FaultPlanBuilder {
+    /// Probability (0..=1) that a given `(site, key)` suffers transient
+    /// failures.
+    pub fn with_transient_rate(mut self, rate: f64) -> Self {
+        self.plan.transient_ppm = rate_to_ppm(rate);
+        self
+    }
+
+    /// Maximum consecutive failing attempts of one transient run (≥ 1).
+    /// Keep this at or below the retry policy's `max_retries` so every
+    /// transient is recoverable.
+    pub fn with_transient_len(mut self, len: u32) -> Self {
+        self.plan.transient_len = len.max(1);
+        self
+    }
+
+    /// Probability (0..=1) that a given `(site, key)` fails permanently.
+    pub fn with_permanent_rate(mut self, rate: f64) -> Self {
+        self.plan.permanent_ppm = rate_to_ppm(rate);
+        self
+    }
+
+    /// Probability (0..=1) that a given `(site, key)` suffers a fuel spike
+    /// on its first attempt.
+    pub fn with_fuel_spike_rate(mut self, rate: f64) -> Self {
+        self.plan.fuel_spike_ppm = rate_to_ppm(rate);
+        self
+    }
+
+    /// Fuel-consumption multiplier for injected spikes (≥ 1).
+    pub fn with_spike_factor(mut self, factor: u32) -> Self {
+        self.plan.spike_factor = factor.max(1);
+        self
+    }
+
+    /// Poisons one specific evaluation key: its `hls_check` invocation
+    /// panics (targeted crash injection).
+    pub fn with_poison_key(mut self, key: u64) -> Self {
+        self.plan.poison_keys.insert(key);
+        self
+    }
+
+    /// Marks one specific evaluation key as permanently failing at
+    /// `hls_check`.
+    pub fn with_permanent_key(mut self, key: u64) -> Self {
+        self.plan.permanent_keys.insert(key);
+        self
+    }
+
+    /// Finalizes the plan.
+    pub fn build(self) -> FaultPlan {
+        self.plan
+    }
+}
+
+/// Bounded exponential backoff in simulated minutes.
+///
+/// Retry `k` (1-based) waits `min(base_delay_min · backoff_factor^(k-1),
+/// max_delay_min)` simulated minutes. A retry is allowed only while the
+/// retry count stays within `max_retries` *and* the cumulative backoff
+/// stays within `budget_min`. The schedule is a pure function of the
+/// policy — deterministic, monotone (for `backoff_factor ≥ 1`) and bounded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry (simulated minutes).
+    pub base_delay_min: f64,
+    /// Multiplier applied per retry (≥ 1 keeps the schedule monotone).
+    pub backoff_factor: f64,
+    /// Cap on any single backoff (simulated minutes).
+    pub max_delay_min: f64,
+    /// Cap on the cumulative backoff across all retries of one invocation
+    /// (simulated minutes).
+    pub budget_min: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay_min: 0.25,
+            backoff_factor: 2.0,
+            max_delay_min: 2.0,
+            budget_min: 8.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (transients become permanent).
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before retry `retry` (1-based), ignoring the budget.
+    fn raw_delay_min(&self, retry: u32) -> f64 {
+        if retry == 0 {
+            return 0.0;
+        }
+        let d = self.base_delay_min.max(0.0) * self.backoff_factor.max(1.0).powi(retry as i32 - 1);
+        d.min(self.max_delay_min.max(0.0))
+    }
+
+    /// The backoff before retry `retry` (1-based), or `None` when the
+    /// policy does not allow that retry (count or budget exceeded).
+    pub fn delay_before(&self, retry: u32) -> Option<f64> {
+        if retry == 0 || retry > self.max_retries {
+            return None;
+        }
+        let mut cumulative = 0.0;
+        for k in 1..=retry {
+            cumulative += self.raw_delay_min(k);
+        }
+        if cumulative > self.budget_min {
+            None
+        } else {
+            Some(self.raw_delay_min(retry))
+        }
+    }
+
+    /// The full allowed backoff schedule: one delay per permitted retry, in
+    /// order. Deterministic, monotone non-decreasing, and truncated so the
+    /// cumulative sum never exceeds `budget_min`.
+    pub fn schedule(&self) -> Vec<f64> {
+        (1..=self.max_retries)
+            .map_while(|k| self.delay_before(k))
+            .collect()
+    }
+}
+
+/// Counters accumulated while the evaluation engine absorbs faults.
+///
+/// Deliberately kept *out* of the search's primary statistics and report:
+/// a run whose transient faults were all retried successfully produces the
+/// same `SearchStats` and `PipelineReport` as a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResilienceStats {
+    /// Transient faults observed (each either retried or exhausted).
+    pub transient_faults: u64,
+    /// Retries actually scheduled.
+    pub retries: u64,
+    /// Simulated minutes spent backing off (billed on the resilience clock,
+    /// never the search clock).
+    pub backoff_min: f64,
+    /// Evaluations that panicked and were isolated.
+    pub crashes: u64,
+    /// Permanent faults (including transients that exhausted their retry
+    /// policy).
+    pub permanent_faults: u64,
+}
+
+impl ResilienceStats {
+    /// Folds another stats block into this one.
+    pub fn absorb(&mut self, other: &ResilienceStats) {
+        self.transient_faults += other.transient_faults;
+        self.retries += other.retries;
+        self.backoff_min += other.backoff_min;
+        self.crashes += other.crashes;
+        self.permanent_faults += other.permanent_faults;
+    }
+
+    /// Whether any fault was observed at all.
+    pub fn any(&self) -> bool {
+        self.transient_faults > 0 || self.crashes > 0 || self.permanent_faults > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_disabled_and_never_faults() {
+        let inj = NoFaults;
+        assert!(!inj.enabled());
+        for key in 0..100u64 {
+            assert_eq!(inj.fault(FaultSite::HlsCheck, key, 0), None);
+        }
+    }
+
+    #[test]
+    fn plan_decisions_are_deterministic() {
+        let plan = FaultPlan::builder(42)
+            .with_transient_rate(0.3)
+            .with_transient_len(2)
+            .with_fuel_spike_rate(0.1)
+            .build();
+        for site in [FaultSite::HlsCheck, FaultSite::HlsSim, FaultSite::Exec] {
+            for key in 0..200u64 {
+                for attempt in 0..4 {
+                    assert_eq!(
+                        plan.fault(site, key, attempt),
+                        plan.fault(site, key, attempt),
+                        "{site} key={key} attempt={attempt}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_runs_end_within_configured_length() {
+        let plan = FaultPlan::builder(7)
+            .with_transient_rate(1.0)
+            .with_transient_len(2)
+            .build();
+        for key in 0..100u64 {
+            // Attempt `transient_len` is past every possible run.
+            assert_eq!(plan.fault(FaultSite::HlsCheck, key, 2), None, "key {key}");
+            // Attempt 0 always faults at rate 1.0.
+            assert_eq!(
+                plan.fault(FaultSite::HlsCheck, key, 0),
+                Some(Fault::Transient)
+            );
+        }
+    }
+
+    #[test]
+    fn rates_are_approximately_respected() {
+        let plan = FaultPlan::builder(3).with_transient_rate(0.25).build();
+        let hits = (0..4000u64)
+            .filter(|&k| plan.fault(FaultSite::HlsCheck, k, 0).is_some())
+            .count();
+        let ratio = hits as f64 / 4000.0;
+        assert!((0.18..0.32).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn targeted_keys_override_rates() {
+        let plan = FaultPlan::builder(9)
+            .with_poison_key(0xdead)
+            .with_permanent_key(0xbeef)
+            .build();
+        assert_eq!(
+            plan.fault(FaultSite::HlsCheck, 0xdead, 0),
+            Some(Fault::Poison)
+        );
+        assert_eq!(
+            plan.fault(FaultSite::HlsCheck, 0xbeef, 3),
+            Some(Fault::Permanent)
+        );
+        assert_eq!(plan.fault(FaultSite::HlsCheck, 0xabcd, 0), None);
+        // Targeted keys strike the hls_check site only.
+        assert_eq!(plan.fault(FaultSite::HlsSim, 0xdead, 0), None);
+    }
+
+    #[test]
+    fn retry_schedule_is_monotone_and_bounded() {
+        let p = RetryPolicy::default();
+        let s = p.schedule();
+        assert_eq!(s, vec![0.25, 0.5, 1.0]);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        assert!(s.iter().sum::<f64>() <= p.budget_min);
+        assert_eq!(p.delay_before(0), None);
+        assert_eq!(p.delay_before(4), None);
+    }
+
+    #[test]
+    fn retry_budget_truncates_schedule() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay_min: 1.0,
+            backoff_factor: 2.0,
+            max_delay_min: 100.0,
+            budget_min: 7.0,
+        };
+        // 1 + 2 = 3 ≤ 7, but 1 + 2 + 4 = 7 ≤ 7 and 1 + 2 + 4 + 8 > 7.
+        assert_eq!(p.schedule(), vec![1.0, 2.0, 4.0]);
+        assert_eq!(p.delay_before(4), None);
+    }
+
+    #[test]
+    fn no_retries_policy_rejects_all_retries() {
+        assert_eq!(RetryPolicy::no_retries().schedule(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn mix_key_separates_indices() {
+        let a = mix_key(0xfeed, 0);
+        let b = mix_key(0xfeed, 1);
+        let c = mix_key(0xfeee, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, mix_key(0xfeed, 0));
+    }
+
+    #[test]
+    fn resilience_stats_absorb() {
+        let mut a = ResilienceStats {
+            transient_faults: 1,
+            retries: 1,
+            backoff_min: 0.25,
+            crashes: 0,
+            permanent_faults: 0,
+        };
+        let b = ResilienceStats {
+            transient_faults: 2,
+            retries: 1,
+            backoff_min: 0.5,
+            crashes: 1,
+            permanent_faults: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(a.transient_faults, 3);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.backoff_min, 0.75);
+        assert_eq!(a.crashes, 1);
+        assert_eq!(a.permanent_faults, 1);
+        assert!(a.any());
+        assert!(!ResilienceStats::default().any());
+    }
+}

@@ -5,7 +5,8 @@
 //! repair loop only reaches it after the cheap [`style`](crate::style) pass,
 //! and each invocation is billed by the [`cost`](crate::cost) model.
 
-use crate::errors::{ErrorCategory, HlsDiagnostic};
+use crate::errors::{ErrorCategory, HlsDiagnostic, ToolchainError};
+use heterogen_faults::{Fault, FaultInjector, FaultSite};
 use minic::ast::*;
 use minic::types::Type;
 use minic::visit;
@@ -44,6 +45,51 @@ pub fn check_program(p: &Program) -> Vec<HlsDiagnostic> {
 /// Whether a program passes the full check.
 pub fn is_synthesizable(p: &Program) -> bool {
     check_program(p).is_empty()
+}
+
+/// Runs the full check through a fault injector, as the resilient repair
+/// loop does.
+///
+/// `key` is the stable identity of the invocation (the candidate
+/// fingerprint) and `attempt` the zero-based retry count; together they make
+/// injected faults reproducible at any thread count. With
+/// [`heterogen_faults::NoFaults`] this compiles down to a plain
+/// [`check_program`] call.
+///
+/// # Errors
+///
+/// Returns a [`ToolchainError`] when the injector decides this invocation
+/// fails; a poison fault panics instead (the caller's isolation boundary is
+/// expected to catch it).
+pub fn check_program_resilient<I>(
+    p: &Program,
+    injector: &I,
+    key: u64,
+    attempt: u32,
+) -> Result<Vec<HlsDiagnostic>, ToolchainError>
+where
+    I: FaultInjector + ?Sized,
+{
+    if injector.enabled() {
+        match injector.fault(FaultSite::HlsCheck, key, attempt) {
+            Some(Fault::Poison) => heterogen_faults::poison(FaultSite::HlsCheck, key),
+            Some(Fault::Permanent) => {
+                return Err(ToolchainError::permanent(
+                    "hls_check",
+                    "synthesis front-end rejected the invocation",
+                ));
+            }
+            Some(Fault::Transient) | Some(Fault::FuelSpike { .. }) => {
+                return Err(ToolchainError::transient(
+                    "hls_check",
+                    attempt,
+                    "synthesis front-end crashed; the invocation may be retried",
+                ));
+            }
+            None => {}
+        }
+    }
+    Ok(check_program(p))
 }
 
 fn check_top_config(p: &Program, out: &mut Vec<HlsDiagnostic>) {
@@ -875,6 +921,46 @@ mod tests {
         assert_eq!(loops[0].static_trip, Some(8));
         assert_eq!(loops[1].static_trip, Some(4));
         assert_eq!(loops[0].arrays_accessed, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn resilient_check_with_no_faults_matches_plain_check() {
+        let p = minic::parse("void kernel(int n) { int buf[n]; buf[0] = 1; }").unwrap();
+        let plain = check_program(&p);
+        let resilient = check_program_resilient(&p, &heterogen_faults::NoFaults, 42, 0).unwrap();
+        assert_eq!(plain, resilient);
+    }
+
+    #[test]
+    fn resilient_check_surfaces_injected_faults() {
+        let p = minic::parse("void kernel(int a[4]) { a[0] = 1; }").unwrap();
+        let plan = heterogen_faults::FaultPlan::builder(1)
+            .with_transient_rate(1.0)
+            .with_transient_len(1)
+            .build();
+        let err = check_program_resilient(&p, &plan, 5, 0).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(err.site(), "hls_check");
+        // The transient run length is 1, so attempt 1 succeeds.
+        assert!(check_program_resilient(&p, &plan, 5, 1).unwrap().is_empty());
+
+        let permanent = heterogen_faults::FaultPlan::builder(1)
+            .with_permanent_key(5)
+            .build();
+        let err = check_program_resilient(&p, &permanent, 5, 0).unwrap_err();
+        assert!(!err.is_transient());
+        // Other keys are untouched.
+        assert!(check_program_resilient(&p, &permanent, 6, 0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected poison fault")]
+    fn resilient_check_poison_panics() {
+        let p = minic::parse("void kernel(int a[4]) { a[0] = 1; }").unwrap();
+        let plan = heterogen_faults::FaultPlan::builder(1)
+            .with_poison_key(9)
+            .build();
+        let _ = check_program_resilient(&p, &plan, 9, 0);
     }
 
     #[test]

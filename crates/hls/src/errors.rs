@@ -123,6 +123,94 @@ impl fmt::Display for HlsDiagnostic {
     }
 }
 
+impl std::error::Error for HlsDiagnostic {}
+
+/// A failure of the (simulated) toolchain *infrastructure* itself, as
+/// opposed to an [`HlsDiagnostic`] about the program under compilation.
+///
+/// Real HLS installations fail intermittently — license-server hiccups,
+/// co-simulation crashes, scratch-disk exhaustion — and a production
+/// pipeline has to distinguish faults worth retrying from faults that will
+/// recur no matter how often the same invocation is replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToolchainError {
+    /// A flaky failure; retrying the same invocation may succeed.
+    Transient {
+        /// Which toolchain stage failed (`hls_check`, `hls_sim`, `exec`).
+        site: &'static str,
+        /// Zero-based attempt number at which the fault struck.
+        attempt: u32,
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// A deterministic failure; retrying the same invocation cannot help.
+    Permanent {
+        /// Which toolchain stage failed.
+        site: &'static str,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl ToolchainError {
+    /// Creates a transient (retryable) toolchain error.
+    pub fn transient(site: &'static str, attempt: u32, message: impl Into<String>) -> Self {
+        ToolchainError::Transient {
+            site,
+            attempt,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a permanent (non-retryable) toolchain error.
+    pub fn permanent(site: &'static str, message: impl Into<String>) -> Self {
+        ToolchainError::Permanent {
+            site,
+            message: message.into(),
+        }
+    }
+
+    /// Whether a retry of the same invocation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ToolchainError::Transient { .. })
+    }
+
+    /// The toolchain stage that failed.
+    pub fn site(&self) -> &'static str {
+        match self {
+            ToolchainError::Transient { site, .. } | ToolchainError::Permanent { site, .. } => site,
+        }
+    }
+
+    /// The failure description.
+    pub fn message(&self) -> &str {
+        match self {
+            ToolchainError::Transient { message, .. }
+            | ToolchainError::Permanent { message, .. } => message,
+        }
+    }
+}
+
+impl fmt::Display for ToolchainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolchainError::Transient {
+                site,
+                attempt,
+                message,
+            } => write!(
+                f,
+                "transient toolchain fault at {site} (attempt {attempt}): {message}"
+            ),
+            ToolchainError::Permanent { site, message } => {
+                write!(f, "permanent toolchain fault at {site}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ToolchainError {}
+
 /// Canonical diagnostics (one representative per category), mirroring the
 /// paper's Table 1 examples. Used by Table 1 regeneration and tests.
 pub fn table1_examples() -> Vec<(ErrorCategory, &'static str, &'static str)> {
@@ -192,6 +280,44 @@ mod tests {
         assert_eq!(d.symbol.as_deref(), Some("curr"));
         assert_eq!(d.function.as_deref(), Some("traverse"));
         assert_eq!(d.location, Some(NodeId(3)));
+    }
+
+    #[test]
+    fn toolchain_error_classification_round_trips() {
+        let t = ToolchainError::transient("hls_check", 1, "license server timed out");
+        assert!(t.is_transient());
+        assert_eq!(t.site(), "hls_check");
+        assert_eq!(t.message(), "license server timed out");
+        assert_eq!(
+            t.to_string(),
+            "transient toolchain fault at hls_check (attempt 1): license server timed out"
+        );
+        let p = ToolchainError::permanent("hls_sim", "scratch disk full");
+        assert!(!p.is_transient());
+        assert_eq!(p.site(), "hls_sim");
+        assert_eq!(
+            p.to_string(),
+            "permanent toolchain fault at hls_sim: scratch disk full"
+        );
+        assert_ne!(t, p);
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        // Both error types participate in the std error ecosystem so callers
+        // can box/propagate them uniformly; Display is the source of truth.
+        let d: Box<dyn std::error::Error> = Box::new(HlsDiagnostic::new(
+            "HLS 200-101",
+            "Cannot find the top function in the design",
+            ErrorCategory::TopFunction,
+        ));
+        assert!(d.to_string().starts_with("ERROR: [HLS 200-101]"));
+        let e: Box<dyn std::error::Error> =
+            Box::new(ToolchainError::transient("exec", 0, "fuel spike"));
+        assert!(e.to_string().contains("transient"));
+        let e: Box<dyn std::error::Error> =
+            Box::new(ToolchainError::permanent("exec", "broken install"));
+        assert!(e.to_string().contains("permanent"));
     }
 
     #[test]

@@ -30,9 +30,9 @@ pub mod schedule;
 pub mod sim;
 pub mod style;
 
-pub use check::{check_program, is_synthesizable};
+pub use check::{check_program, check_program_resilient, is_synthesizable};
 pub use cost::{CompileCostModel, SimClock};
-pub use errors::{ErrorCategory, HlsDiagnostic};
+pub use errors::{ErrorCategory, HlsDiagnostic, ToolchainError};
 pub use schedule::{resource_estimate, FpgaEstimate, ScheduleModel};
 pub use sim::{FpgaSimulator, SimResult};
 pub use style::{check_style, conforms, StyleViolation};

@@ -5,9 +5,11 @@
 //! floats — and attaches a scheduled latency estimate. Together with the CPU
 //! side this is the engine of HeteroGen's differential testing.
 
+use crate::errors::ToolchainError;
 use crate::schedule::{estimate_latency, FpgaEstimate, ScheduleModel};
+use heterogen_faults::{Fault, FaultInjector, FaultSite};
 use minic::Program;
-use minic_exec::{ArgValue, ExecError, Machine, MachineConfig, Outcome};
+use minic_exec::{ArgValue, ExecError, Machine, MachineConfig, Outcome, Trap};
 
 /// Result of simulating one test input on the FPGA side.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +59,71 @@ impl<'p> FpgaSimulator<'p> {
 
     /// Simulates one test input.
     pub fn run(&self, args: &[ArgValue]) -> SimResult {
-        let mut machine = match Machine::new(self.program, MachineConfig::fpga()) {
+        self.run_with_config(args, MachineConfig::fpga())
+    }
+
+    /// Simulates one test input through a fault injector, as the resilient
+    /// repair loop does.
+    ///
+    /// `key` identifies the invocation (candidate fingerprint mixed with the
+    /// test index) and `attempt` is the zero-based retry count. A fuel-spike
+    /// fault reruns the test under a slashed fuel allowance: if the kernel
+    /// still finishes, the result is identical to the unspiked run (fuel only
+    /// bounds, never alters, deterministic execution); if the allowance is
+    /// exhausted the invocation is classified transient so the caller retries
+    /// it unspiked. With [`heterogen_faults::NoFaults`] this compiles down to
+    /// a plain [`FpgaSimulator::run`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ToolchainError`] when the injector fails this invocation;
+    /// a poison fault panics instead (caught at the caller's isolation
+    /// boundary).
+    pub fn run_resilient<I>(
+        &self,
+        args: &[ArgValue],
+        injector: &I,
+        key: u64,
+        attempt: u32,
+    ) -> Result<SimResult, ToolchainError>
+    where
+        I: FaultInjector + ?Sized,
+    {
+        if !injector.enabled() {
+            return Ok(self.run(args));
+        }
+        match injector.fault(FaultSite::HlsSim, key, attempt) {
+            Some(Fault::Poison) => heterogen_faults::poison(FaultSite::HlsSim, key),
+            Some(Fault::Permanent) => Err(ToolchainError::permanent(
+                "hls_sim",
+                "co-simulation backend rejected the invocation",
+            )),
+            Some(Fault::Transient) => Err(ToolchainError::transient(
+                "hls_sim",
+                attempt,
+                "co-simulation crashed; the invocation may be retried",
+            )),
+            Some(Fault::FuelSpike { factor }) => {
+                let mut config = MachineConfig::fpga();
+                config.fuel = (config.fuel / u64::from(factor.max(1))).max(1);
+                let r = self.run_with_config(args, config);
+                let fuel_exhausted = ExecError::trap(Trap::FuelExhausted).to_string();
+                if r.outcome.trapped && r.outcome.trap_reason.as_deref() == Some(&fuel_exhausted) {
+                    Err(ToolchainError::transient(
+                        "hls_sim",
+                        attempt,
+                        "fuel spike exhausted the simulation budget",
+                    ))
+                } else {
+                    Ok(r)
+                }
+            }
+            None => Ok(self.run(args)),
+        }
+    }
+
+    fn run_with_config(&self, args: &[ArgValue], config: MachineConfig) -> SimResult {
+        let mut machine = match Machine::new(self.program, config) {
             Ok(m) => m,
             Err(e) => {
                 return SimResult {
@@ -167,5 +233,53 @@ mod tests {
     fn missing_top_is_a_setup_error() {
         let p = minic::parse("void helper(int x) { }").unwrap();
         assert!(FpgaSimulator::new(&p).is_err());
+    }
+
+    #[test]
+    fn run_resilient_with_no_faults_matches_run() {
+        let p = minic::parse("int kernel(int x) { return x * 2; }").unwrap();
+        let sim = FpgaSimulator::new(&p).unwrap();
+        let args = vec![ArgValue::Int(21)];
+        let plain = sim.run(&args);
+        let resilient = sim
+            .run_resilient(&args, &heterogen_faults::NoFaults, 7, 0)
+            .unwrap();
+        assert_eq!(plain, resilient);
+    }
+
+    #[test]
+    fn survivable_fuel_spike_is_transparent() {
+        let p = minic::parse("int kernel(int x) { return x + 1; }").unwrap();
+        let sim = FpgaSimulator::new(&p).unwrap();
+        let args = vec![ArgValue::Int(5)];
+        // Rate 1.0 fires a fault on every draw; make it a mild spike that a
+        // one-expression kernel survives.
+        let plan = heterogen_faults::FaultPlan::builder(3)
+            .with_fuel_spike_rate(1.0)
+            .with_spike_factor(4)
+            .build();
+        let spiked = sim.run_resilient(&args, &plan, 11, 0).unwrap();
+        assert_eq!(spiked, sim.run(&args));
+    }
+
+    #[test]
+    fn lethal_fuel_spike_is_transient() {
+        let p = minic::parse(
+            "int kernel(int n) { int s = 0; for (int i = 0; i < 100000; i++) { s = s + i; } return s + n; }",
+        )
+        .unwrap();
+        let sim = FpgaSimulator::new(&p).unwrap();
+        let args = vec![ArgValue::Int(1)];
+        let plan = heterogen_faults::FaultPlan::builder(3)
+            .with_fuel_spike_rate(1.0)
+            .with_spike_factor(1_000_000)
+            .build();
+        let err = sim.run_resilient(&args, &plan, 11, 0).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert_eq!(err.site(), "hls_sim");
+        // The unspiked rerun (next attempt: the plan only spikes attempt 0)
+        // completes normally.
+        let retried = sim.run_resilient(&args, &plan, 11, 1).unwrap();
+        assert!(!retried.outcome.trapped);
     }
 }

@@ -134,6 +134,29 @@ struct TakeBox<T>(*mut Option<T>);
 
 unsafe impl<T: Send> Sync for TakeBox<T> {}
 
+/// Runs `f` behind a panic boundary and reports a panic as an `Err` with the
+/// payload's message instead of unwinding into (and poisoning) the caller.
+///
+/// This is the isolation primitive the resilient evaluation path wraps
+/// around each candidate: a poisoned (panicking) candidate becomes one
+/// `Err(reason)` merge result rather than aborting the whole batch.
+/// `AssertUnwindSafe` is sound here because callers discard the closure's
+/// captured state on `Err` — a half-updated candidate never escapes the
+/// boundary.
+pub fn isolate<U>(f: impl FnOnce() -> U) -> Result<U, String> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "candidate evaluation panicked".to_string()
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +215,39 @@ mod tests {
     fn effective_threads_resolves_zero() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn isolate_passes_values_and_catches_panics() {
+        assert_eq!(isolate(|| 41 + 1), Ok(42));
+        assert_eq!(
+            isolate(|| -> u32 { panic!("injected poison fault at hls_check") }),
+            Err("injected poison fault at hls_check".to_string())
+        );
+        let key = 0xabu64;
+        assert_eq!(
+            isolate(|| -> u32 { panic!("poisoned key {key:x}") }),
+            Err("poisoned key ab".to_string())
+        );
+    }
+
+    #[test]
+    fn isolated_panic_does_not_abort_a_parallel_batch() {
+        let items: Vec<u32> = (0..16).collect();
+        let out = parallel_map(4, &items, |_, &x| {
+            isolate(move || {
+                if x % 5 == 3 {
+                    panic!("boom {x}");
+                }
+                x * 2
+            })
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i % 5 == 3 {
+                assert_eq!(r.as_ref().unwrap_err(), &format!("boom {i}"));
+            } else {
+                assert_eq!(*r, Ok(i as u32 * 2));
+            }
+        }
     }
 }

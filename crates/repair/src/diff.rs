@@ -5,6 +5,7 @@
 //! compared. "HeteroGen computes the ratio of tests that have identical
 //! behavior, and compares the simulation latency … between CPU and FPGA."
 
+use heterogen_faults::{FaultInjector, ResilienceStats, RetryPolicy};
 use heterogen_trace::{Event, NullSink, TraceSink};
 use hls_sim::FpgaSimulator;
 use minic::Program;
@@ -124,6 +125,158 @@ impl DifferentialTester {
             });
         }
         report
+    }
+
+    /// Like [`DifferentialTester::evaluate_traced`], but runs every test
+    /// through a fault injector: transient simulator faults (including fuel
+    /// spikes) are retried on the worker under `retry`'s schedule, and a
+    /// test whose faults persist — a permanent fault, or a transient that
+    /// outlives the retry budget — degrades to a failing test instead of
+    /// aborting the evaluation.
+    ///
+    /// Each test's injector key is `mix_key(key, test_index)`, so fault
+    /// decisions depend only on the candidate fingerprint and the test's
+    /// position, never on scheduling. Workers return their absorbed fault
+    /// counts; the calling thread replays them — resilience counters,
+    /// backoff ledger, and trace events — during the in-order merge, so the
+    /// trace stream and the returned [`ResilienceStats`] are identical for
+    /// every thread count. `at_min` timestamps the replayed events with the
+    /// caller's simulated clock; backoff delays are billed to
+    /// [`ResilienceStats::backoff_min`], not to that clock, so a
+    /// transient-recovered run keeps the fault-free clock trajectory.
+    pub fn evaluate_resilient<S, I>(
+        &self,
+        candidate: &Program,
+        sink: &S,
+        injector: &I,
+        retry: &RetryPolicy,
+        key: u64,
+        at_min: f64,
+    ) -> (DiffReport, ResilienceStats)
+    where
+        S: TraceSink + ?Sized,
+        I: FaultInjector + ?Sized,
+    {
+        if !injector.enabled() {
+            return (
+                self.evaluate_traced(candidate, sink),
+                ResilienceStats::default(),
+            );
+        }
+        let Ok(sim) = FpgaSimulator::new(candidate) else {
+            let report = DiffReport {
+                pass_ratio: 0.0,
+                fpga_latency_ms: f64::INFINITY,
+            };
+            if sink.enabled() {
+                sink.emit(&Event::DiffEvaluated {
+                    tests: self.tests.len() as u64,
+                    pass_ratio: report.pass_ratio,
+                    fpga_latency_ms: report.fpga_latency_ms,
+                });
+            }
+            return (report, ResilienceStats::default());
+        };
+
+        // End states a worker can reach: success, transient faults that
+        // outlived the retry budget, or a permanent fault.
+        const OK: u8 = 0;
+        const EXHAUSTED: u8 = 1;
+        const PERMANENT: u8 = 2;
+        /// One worker's result: the measured `(behaviour_eq, latency_ms)`
+        /// on success, the transients absorbed, and the end state.
+        type TestRun = (Option<(bool, f64)>, u32, u8);
+        let runs: Vec<TestRun> = parallel::parallel_map(self.threads, &self.tests, |i, t| {
+            let test_key = heterogen_faults::mix_key(key, i as u64);
+            let mut attempt = 0u32;
+            loop {
+                match sim.run_resilient(t, injector, test_key, attempt) {
+                    Ok(r) => {
+                        return (
+                            Some((
+                                self.reference[i].behaviour_eq(&r.outcome),
+                                r.estimate.latency_ms,
+                            )),
+                            attempt,
+                            OK,
+                        );
+                    }
+                    Err(e) if e.is_transient() => {
+                        attempt += 1;
+                        if retry.delay_before(attempt).is_none() {
+                            return (None, attempt, EXHAUSTED);
+                        }
+                    }
+                    Err(_) => return (None, attempt, PERMANENT),
+                }
+            }
+        });
+
+        let mut stats = ResilienceStats::default();
+        let mut passed = 0usize;
+        let mut latency = 0.0;
+        for (i, (result, transients, end)) in runs.iter().enumerate() {
+            let test_key = heterogen_faults::mix_key(key, i as u64);
+            for a in 0..*transients {
+                stats.transient_faults += 1;
+                if sink.enabled() {
+                    sink.emit(&Event::FaultInjected {
+                        site: "hls_sim".to_string(),
+                        fault: "transient".to_string(),
+                        fingerprint: test_key,
+                        attempt: u64::from(a),
+                        at_min,
+                    });
+                }
+                // The worker only kept retrying while the schedule granted a
+                // delay; replaying `delay_before` here reproduces exactly the
+                // retries it took (the final transient of an EXHAUSTED test
+                // gets none).
+                if let Some(delay) = retry.delay_before(a + 1) {
+                    stats.retries += 1;
+                    stats.backoff_min += delay;
+                    if sink.enabled() {
+                        sink.emit(&Event::RetryScheduled {
+                            site: "hls_sim".to_string(),
+                            fingerprint: test_key,
+                            attempt: u64::from(a + 1),
+                            delay_min: delay,
+                            at_min,
+                        });
+                    }
+                }
+            }
+            if *end != OK {
+                stats.permanent_faults += 1;
+                if *end == PERMANENT && sink.enabled() {
+                    sink.emit(&Event::FaultInjected {
+                        site: "hls_sim".to_string(),
+                        fault: "permanent".to_string(),
+                        fingerprint: test_key,
+                        attempt: u64::from(*transients),
+                        at_min,
+                    });
+                }
+            }
+            if let Some((ok, ms)) = result {
+                if *ok {
+                    passed += 1;
+                }
+                latency += ms;
+            }
+        }
+        let report = DiffReport {
+            pass_ratio: passed as f64 / self.tests.len() as f64,
+            fpga_latency_ms: latency / self.tests.len() as f64,
+        };
+        if sink.enabled() {
+            sink.emit(&Event::DiffEvaluated {
+                tests: self.tests.len() as u64,
+                pass_ratio: report.pass_ratio,
+                fpga_latency_ms: report.fpga_latency_ms,
+            });
+        }
+        (report, stats)
     }
 
     fn evaluate_inner(&self, candidate: &Program) -> DiffReport {

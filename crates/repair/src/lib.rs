@@ -28,7 +28,7 @@ pub use classify::classify_message;
 pub use diff::{DiffReport, DifferentialTester};
 pub use localize::candidate_edits;
 pub use search::{
-    performance_edits, repair, repair_traced, RepairOutcome, SearchConfig, SearchConfigBuilder,
-    SearchStats,
+    performance_edits, repair, repair_resilient, repair_traced, RepairOutcome, SearchConfig,
+    SearchConfigBuilder, SearchStats, SearchStop,
 };
 pub use templates::{RepairEdit, ResizeTarget};

@@ -33,8 +33,11 @@ use crate::deps;
 use crate::diff::DifferentialTester;
 use crate::localize::{candidate_edits, resize_edits};
 use crate::templates::{RepairEdit, ResizeTarget};
+use heterogen_faults::{FaultInjector, NoFaults, ResilienceStats, RetryPolicy};
 use heterogen_trace::{Event, NullSink, TraceSink, Verdict};
-use hls_sim::{check_style, CompileCostModel, ErrorCategory, HlsDiagnostic, SimClock};
+use hls_sim::{
+    check_style, CompileCostModel, ErrorCategory, HlsDiagnostic, SimClock, ToolchainError,
+};
 use minic::ast::PragmaKind;
 use minic::Program;
 use minic_exec::Profile;
@@ -78,6 +81,15 @@ pub struct SearchConfig {
     /// `0` means "use available parallelism". Any value produces the same
     /// applied edits, stats, and outcome — only wall-clock time changes.
     pub threads: usize,
+    /// Retry policy for transient toolchain faults. Backoff is billed to
+    /// the *resilience* clock ([`ResilienceStats::backoff_min`]), never the
+    /// search budget, so a fully-recovered run is byte-identical to a
+    /// fault-free one.
+    pub retry: RetryPolicy,
+    /// Cap on toolchain evaluations (full compiles + simulation batches);
+    /// `None` = unbounded. Exhausting the cap stops the search with
+    /// [`SearchStop::EvalBudgetExhausted`] and the best candidate so far.
+    pub max_evals: Option<u64>,
 }
 
 impl Default for SearchConfig {
@@ -92,6 +104,8 @@ impl Default for SearchConfig {
             max_expansions: 24,
             perf_beam: 10,
             threads: 0,
+            retry: RetryPolicy::default(),
+            max_evals: None,
         }
     }
 }
@@ -183,6 +197,18 @@ impl SearchConfigBuilder {
         self
     }
 
+    /// Sets the retry policy for transient toolchain faults.
+    pub fn with_retry(mut self, v: RetryPolicy) -> Self {
+        self.cfg.retry = v;
+        self
+    }
+
+    /// Sets the cap on toolchain evaluations (`None` = unbounded).
+    pub fn with_max_evals(mut self, v: Option<u64>) -> Self {
+        self.cfg.max_evals = v;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SearchConfig {
         self.cfg
@@ -225,6 +251,23 @@ impl SearchStats {
     }
 }
 
+/// Why the search loop stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchStop {
+    /// A behaviour-preserving repair was found and performance exploration
+    /// was disabled, so there was nothing left to do.
+    Converged,
+    /// The simulated-minute budget expired.
+    BudgetExpired,
+    /// The evaluation cap ([`SearchConfig::max_evals`]) was reached.
+    EvalBudgetExhausted,
+    /// Every reachable candidate was explored before the budget ran out.
+    FrontierExhausted,
+    /// A permanent toolchain fault (or a transient one that exhausted its
+    /// retry policy) made further evaluation pointless.
+    PermanentFault(String),
+}
+
 /// The result of a repair run.
 #[derive(Debug, Clone)]
 pub struct RepairOutcome {
@@ -244,11 +287,19 @@ pub struct RepairOutcome {
     pub applied: Vec<String>,
     /// Search counters.
     pub stats: SearchStats,
+    /// Why the search stopped.
+    pub stop: SearchStop,
+    /// Faults absorbed along the way (kept out of [`SearchStats`] so a
+    /// transient-recovered run reports identical primary statistics).
+    pub resilience: ResilienceStats,
 }
 
 #[derive(Clone)]
 struct Candidate {
     program: Arc<Program>,
+    /// Structural fingerprint — the stable evaluation key fault injection
+    /// and memoization share.
+    fp: u64,
     applied: Vec<String>,
     diags: Arc<Vec<HlsDiagnostic>>,
     pass_ratio: Option<f64>,
@@ -292,6 +343,10 @@ struct EvalResult {
     /// sees the latter's subset). `None` when the enabled style checker
     /// rejected the candidate before the toolchain was ever invoked.
     diags: Option<Arc<Vec<HlsDiagnostic>>>,
+    /// Transient toolchain faults absorbed (and retried through) while
+    /// computing this result. Replayed by the merge phase into resilience
+    /// accounting and trace events.
+    transients: u32,
 }
 
 /// Fingerprint-keyed memo cache shared across the worker pool. It caches
@@ -314,16 +369,31 @@ impl EvalCache {
 }
 
 /// Style-checks and (unless the enabled checker rejects it first) fully
-/// compiles `p`, memoized by structural fingerprint. Runs on worker
-/// threads; touches no search state.
-fn evaluate_candidate(
+/// compiles `p` through the fault injector, memoized by structural
+/// fingerprint. Runs on worker threads; touches no search state. Transient
+/// faults are retried up to the policy's limits (the backoff itself is
+/// replayed by the merge phase — workers never sleep, simulated or
+/// otherwise); an exhausted retry policy is reported as a permanent fault.
+/// A poison fault propagates as a panic for the caller's [`parallel::isolate`]
+/// boundary to catch.
+///
+/// The injector is consulted only past the style gate, so the fault schedule
+/// of a candidate is independent of whether the style checker is enabled for
+/// style-clean candidates (the only ones whose evaluation a fault can
+/// perturb).
+fn evaluate_candidate<I>(
     p: &Program,
     fp: u64,
     use_style_checker: bool,
     cache: &EvalCache,
-) -> EvalResult {
+    injector: &I,
+    retry: &RetryPolicy,
+) -> Result<EvalResult, ToolchainError>
+where
+    I: FaultInjector + ?Sized,
+{
     if let Some(hit) = cache.get(fp) {
-        return hit;
+        return Ok(hit);
     }
     let style = check_style(p);
     let style_clean = style.is_empty();
@@ -332,9 +402,28 @@ fn evaluate_candidate(
             style_clean,
             loc: 0,
             diags: None,
+            transients: 0,
         }
     } else {
-        let mut diags = hls_sim::check_program(p);
+        let mut attempt: u32 = 0;
+        let mut diags = loop {
+            match hls_sim::check_program_resilient(p, injector, fp, attempt) {
+                Ok(d) => break d,
+                Err(e) if e.is_transient() => {
+                    attempt += 1;
+                    if retry.delay_before(attempt).is_none() {
+                        return Err(ToolchainError::permanent(
+                            e.site(),
+                            format!(
+                                "transient fault persisted through {attempt} attempts: {}",
+                                e.message()
+                            ),
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
         for v in style {
             diags.push(HlsDiagnostic::new(
                 "STYLE",
@@ -346,10 +435,11 @@ fn evaluate_candidate(
             style_clean,
             loc: minic::loc(p),
             diags: Some(Arc::new(diags)),
+            transients: attempt,
         }
     };
     cache.insert(fp, result.clone());
-    result
+    Ok(result)
 }
 
 /// One edit's classification from the speculative planning pass.
@@ -417,9 +507,55 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
     cfg: &SearchConfig,
     sink: &S,
 ) -> Result<RepairOutcome, String> {
+    repair_resilient(
+        original, broken, kernel, tests, profile, cfg, sink, &NoFaults,
+    )
+}
+
+/// Like [`repair_traced`], additionally threading every toolchain invocation
+/// through a [`FaultInjector`].
+///
+/// Resilience semantics:
+///
+/// * a **poisoned** (panicking) candidate is isolated with `catch_unwind`,
+///   billed exactly what its fault-free evaluation would have cost, recorded
+///   as [`Verdict::Crashed`], and dropped — the batch continues;
+/// * **transient** faults are retried with the config's [`RetryPolicy`];
+///   the deterministic backoff is billed to [`ResilienceStats::backoff_min`]
+///   (never the search budget), so a run whose transients all recover is
+///   byte-identical — same outcome, stats, and trace timestamps — to a
+///   fault-free run;
+/// * a **permanent** fault stops the search immediately with
+///   [`SearchStop::PermanentFault`] and the best candidate found so far.
+///
+/// Fault decisions are keyed by candidate fingerprint (mixed with the test
+/// index at the simulation site), and the dedup set guarantees each
+/// fingerprint merges exactly once, so the injected schedule is reproducible
+/// at any `cfg.threads` setting.
+///
+/// # Errors
+///
+/// Fails when the reference itself cannot be executed.
+#[allow(clippy::too_many_arguments)]
+pub fn repair_resilient<S, I>(
+    original: &Program,
+    broken: Program,
+    kernel: &str,
+    tests: &[TestCase],
+    profile: &Profile,
+    cfg: &SearchConfig,
+    sink: &S,
+    injector: &I,
+) -> Result<RepairOutcome, String>
+where
+    S: TraceSink + ?Sized,
+    I: FaultInjector + ?Sized,
+{
     let costs = CompileCostModel::default();
     let mut clock = SimClock::with_budget(cfg.budget_min);
     let mut stats = SearchStats::default();
+    let mut resilience = ResilienceStats::default();
+    let mut stop: Option<SearchStop> = None;
     let mut rng = SmallRng::seed_from_u64(cfg.rng_seed);
 
     let tester =
@@ -429,12 +565,15 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
     let cache = EvalCache::new();
 
     // Compile the initial version (style checker bypassed: the initial
-    // candidate always gets a full diagnosis, as a real flow would).
+    // candidate always gets a full diagnosis, as a real flow would; the
+    // injector is bypassed too — there is no search to degrade gracefully
+    // before the first candidate exists).
     let cost0 = costs.full_compile(&broken);
     clock.advance(cost0);
     stats.full_compiles += 1;
     let fp0 = minic::fingerprint_program(&broken);
-    let eval0 = evaluate_candidate(&broken, fp0, false, &cache);
+    let eval0 = evaluate_candidate(&broken, fp0, false, &cache, &NoFaults, &cfg.retry)
+        .expect("a disabled injector cannot fault");
     if sink.enabled() {
         sink.emit(&Event::FullCompile {
             fingerprint: fp0,
@@ -446,6 +585,7 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
     let diags0 = eval0.diags.expect("full compile always diagnoses");
     let mut frontier: Vec<Candidate> = vec![Candidate {
         program: Arc::new(broken),
+        fp: fp0,
         applied: Vec::new(),
         diags: diags0,
         pass_ratio: None,
@@ -456,7 +596,13 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
     let mut seen: HashSet<u64> = HashSet::new();
     let mut best: Option<Candidate> = None;
 
-    while !clock.expired() {
+    'search: while !clock.expired() {
+        if let Some(cap) = cfg.max_evals {
+            if stats.full_compiles + stats.simulations >= cap {
+                stop = Some(SearchStop::EvalBudgetExhausted);
+                break;
+            }
+        }
         // Pop the fittest candidate.
         let Some(idx) = frontier
             .iter()
@@ -464,6 +610,7 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
             .min_by_key(|(_, c)| c.fitness())
             .map(|(i, _)| i)
         else {
+            stop = Some(SearchStop::FrontierExhausted);
             break;
         };
         let mut cand = frontier.swap_remove(idx);
@@ -472,7 +619,15 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
         if cand.diags.is_empty() && cand.pass_ratio.is_none() {
             clock.advance(costs.simulate(tester.test_count()));
             stats.simulations += 1;
-            let report = tester.evaluate_traced(&cand.program, sink);
+            let (report, sim_faults) = tester.evaluate_resilient(
+                &cand.program,
+                sink,
+                injector,
+                &cfg.retry,
+                cand.fp,
+                clock.elapsed_min(),
+            );
+            resilience.absorb(&sim_faults);
             cand.pass_ratio = Some(report.pass_ratio);
             cand.latency = Some(report.fpga_latency_ms);
             if report.pass_ratio == 1.0 {
@@ -487,6 +642,7 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
                     best = Some(cand.clone());
                 }
                 if !cfg.explore_performance {
+                    stop = Some(SearchStop::Converged);
                     break;
                 }
             }
@@ -555,7 +711,46 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
                     continue;
                 }
                 let child_prog = Arc::new(child_prog);
-                let eval = evaluate_candidate(&child_prog, fp, cfg.use_style_checker, &cache);
+                let eval = match parallel::isolate(|| {
+                    evaluate_candidate(
+                        &child_prog,
+                        fp,
+                        cfg.use_style_checker,
+                        &cache,
+                        injector,
+                        &cfg.retry,
+                    )
+                }) {
+                    Err(_panic) => {
+                        bill_crashed(
+                            &child_prog,
+                            fp,
+                            kind,
+                            cfg,
+                            &costs,
+                            &mut clock,
+                            &mut stats,
+                            &mut resilience,
+                            sink,
+                        );
+                        continue;
+                    }
+                    Ok(Err(e)) => {
+                        resilience.permanent_faults += 1;
+                        if sink.enabled() {
+                            sink.emit(&Event::FaultInjected {
+                                site: e.site().to_string(),
+                                fault: "permanent".to_string(),
+                                fingerprint: fp,
+                                attempt: 0,
+                                at_min: clock.elapsed_min(),
+                            });
+                        }
+                        stop = Some(SearchStop::PermanentFault(e.to_string()));
+                        break 'search;
+                    }
+                    Ok(Ok(eval)) => eval,
+                };
                 let mut attempt_cost = 0.0;
                 if cfg.use_style_checker {
                     let c = costs.style_check(&child_prog);
@@ -581,6 +776,15 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
                         continue;
                     }
                 }
+                replay_transients(
+                    sink,
+                    &cfg.retry,
+                    &mut resilience,
+                    "hls_check",
+                    fp,
+                    eval.transients,
+                    &clock,
+                );
                 let compile_cost = costs.full_compile_loc(eval.loc);
                 clock.advance(compile_cost);
                 attempt_cost += compile_cost;
@@ -614,6 +818,7 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
                 }
                 frontier.push(Candidate {
                     program: child_prog,
+                    fp,
                     applied,
                     diags: child_diags,
                     pass_ratio: None,
@@ -650,19 +855,26 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
                 }
             }
 
-            // Phase 2 — evaluate fresh children concurrently.
-            let evals: Vec<Option<EvalResult>> =
+            // Phase 2 — evaluate fresh children concurrently, each behind
+            // its own panic boundary so one poisoned candidate cannot take
+            // the batch (or the pool) down with it.
+            type Isolated = Result<Result<EvalResult, ToolchainError>, String>;
+            let evals: Vec<Option<Isolated>> =
                 parallel::parallel_map(cfg.threads, &planned, |_, p| match p {
                     Planned::Fresh {
                         program,
                         fingerprint,
                         ..
-                    } => Some(evaluate_candidate(
-                        program,
-                        *fingerprint,
-                        cfg.use_style_checker,
-                        &cache,
-                    )),
+                    } => Some(parallel::isolate(|| {
+                        evaluate_candidate(
+                            program,
+                            *fingerprint,
+                            cfg.use_style_checker,
+                            &cache,
+                            injector,
+                            &cfg.retry,
+                        )
+                    })),
                     _ => None,
                 });
 
@@ -688,7 +900,37 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
                         kind,
                     } => {
                         seen.insert(fingerprint);
-                        let eval = eval.expect("fresh children are evaluated in phase 2");
+                        let eval = match eval.expect("fresh children are evaluated in phase 2") {
+                            Err(_panic) => {
+                                bill_crashed(
+                                    &program,
+                                    fingerprint,
+                                    kind,
+                                    cfg,
+                                    &costs,
+                                    &mut clock,
+                                    &mut stats,
+                                    &mut resilience,
+                                    sink,
+                                );
+                                continue;
+                            }
+                            Ok(Err(e)) => {
+                                resilience.permanent_faults += 1;
+                                if sink.enabled() {
+                                    sink.emit(&Event::FaultInjected {
+                                        site: e.site().to_string(),
+                                        fault: "permanent".to_string(),
+                                        fingerprint,
+                                        attempt: 0,
+                                        at_min: clock.elapsed_min(),
+                                    });
+                                }
+                                stop = Some(SearchStop::PermanentFault(e.to_string()));
+                                break 'search;
+                            }
+                            Ok(Ok(eval)) => eval,
+                        };
                         let mut attempt_cost = 0.0;
                         if cfg.use_style_checker {
                             let c = costs.style_check(&program);
@@ -714,6 +956,15 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
                                 continue;
                             }
                         }
+                        replay_transients(
+                            sink,
+                            &cfg.retry,
+                            &mut resilience,
+                            "hls_check",
+                            fingerprint,
+                            eval.transients,
+                            &clock,
+                        );
                         let compile_cost = costs.full_compile_loc(eval.loc);
                         clock.advance(compile_cost);
                         attempt_cost += compile_cost;
@@ -757,6 +1008,7 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
                         applied.push(kind.to_string());
                         frontier.push(Candidate {
                             program,
+                            fp: fingerprint,
                             applied,
                             diags: child_diags,
                             pass_ratio: None,
@@ -768,11 +1020,15 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
         }
 
         if frontier.is_empty() {
+            stop = Some(SearchStop::FrontierExhausted);
             break;
         }
     }
 
     stats.elapsed_min = clock.elapsed_min();
+    // Falling out of the `while` condition means the simulated budget ran
+    // dry; every other exit recorded its reason at the break site.
+    let stop = stop.unwrap_or(SearchStop::BudgetExpired);
     let cpu_ms = tester.cpu_latency_ms();
     match best {
         Some(b) => {
@@ -786,6 +1042,8 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
                 improved: lat < cpu_ms,
                 applied: b.applied,
                 stats,
+                stop,
+                resilience,
             })
         }
         None => {
@@ -809,7 +1067,90 @@ pub fn repair_traced<S: TraceSink + ?Sized>(
                 improved: false,
                 applied,
                 stats,
+                stop,
+                resilience,
             })
+        }
+    }
+}
+
+/// Bills a crashed (poisoned) candidate exactly what its fault-free
+/// evaluation would have cost — the style check it passed plus the full
+/// compile the panic interrupted — so a chaos run's clock trajectory matches
+/// the fault-free run's, then records the crash.
+#[allow(clippy::too_many_arguments)]
+fn bill_crashed<S: TraceSink + ?Sized>(
+    program: &Program,
+    fingerprint: u64,
+    kind: &str,
+    cfg: &SearchConfig,
+    costs: &CompileCostModel,
+    clock: &mut SimClock,
+    stats: &mut SearchStats,
+    resilience: &mut ResilienceStats,
+    sink: &S,
+) {
+    let mut attempt_cost = 0.0;
+    if cfg.use_style_checker {
+        let c = costs.style_check(program);
+        clock.advance(c);
+        attempt_cost += c;
+        stats.style_checks += 1;
+    }
+    let compile_cost = costs.full_compile(program);
+    clock.advance(compile_cost);
+    attempt_cost += compile_cost;
+    stats.full_compiles += 1;
+    resilience.crashes += 1;
+    if sink.enabled() {
+        sink.emit(&Event::CandidateCrashed {
+            kind: kind.to_string(),
+            fingerprint,
+            at_min: clock.elapsed_min(),
+        });
+        sink.emit(&Event::CandidateEvaluated {
+            kind: kind.to_string(),
+            fingerprint,
+            verdict: Verdict::Crashed,
+            sim_cost_min: attempt_cost,
+            at_min: clock.elapsed_min(),
+        });
+    }
+}
+
+/// Replays the transient faults a worker absorbed while evaluating one
+/// candidate into the caller-thread accounting: resilience counters, the
+/// backoff ledger, and (merge-phase-only) trace events. The search clock is
+/// deliberately untouched — see [`repair_resilient`].
+fn replay_transients<S: TraceSink + ?Sized>(
+    sink: &S,
+    retry: &RetryPolicy,
+    resilience: &mut ResilienceStats,
+    site: &str,
+    fingerprint: u64,
+    transients: u32,
+    clock: &SimClock,
+) {
+    for a in 0..transients {
+        resilience.transient_faults += 1;
+        let delay = retry.delay_before(a + 1).unwrap_or(0.0);
+        resilience.retries += 1;
+        resilience.backoff_min += delay;
+        if sink.enabled() {
+            sink.emit(&Event::FaultInjected {
+                site: site.to_string(),
+                fault: "transient".to_string(),
+                fingerprint,
+                attempt: a as u64,
+                at_min: clock.elapsed_min(),
+            });
+            sink.emit(&Event::RetryScheduled {
+                site: site.to_string(),
+                fingerprint,
+                attempt: (a + 1) as u64,
+                delay_min: delay,
+                at_min: clock.elapsed_min(),
+            });
         }
     }
 }

@@ -62,6 +62,9 @@ pub enum Verdict {
     Regressed,
     /// Admitted to the search frontier.
     Admitted,
+    /// The evaluation panicked and was isolated (`catch_unwind`); the
+    /// candidate is dropped without aborting its batch.
+    Crashed,
 }
 
 impl Verdict {
@@ -73,6 +76,7 @@ impl Verdict {
             Verdict::StyleRejected => "style_rejected",
             Verdict::Regressed => "regressed",
             Verdict::Admitted => "admitted",
+            Verdict::Crashed => "crashed",
         }
     }
 }
@@ -171,6 +175,53 @@ pub enum Event {
         /// Mean FPGA latency over the tests (ms).
         fpga_latency_ms: f64,
     },
+    /// The fault injector sabotaged a toolchain invocation.
+    FaultInjected {
+        /// Fault site name (`"hls_check"`, `"hls_sim"`, `"exec"`).
+        site: String,
+        /// Fault kind name (`"transient"`, `"permanent"`, `"poison"`,
+        /// `"fuel_spike"`).
+        fault: String,
+        /// Stable evaluation key the fault was drawn for.
+        fingerprint: u64,
+        /// Attempt number the fault struck (0 = first try).
+        attempt: u64,
+        /// Simulated minutes on the emitting phase's clock.
+        at_min: f64,
+    },
+    /// A transient fault was scheduled for a deterministic backoff retry.
+    RetryScheduled {
+        /// Fault site name.
+        site: String,
+        /// Stable evaluation key being retried.
+        fingerprint: u64,
+        /// Retry number (1 = first retry).
+        attempt: u64,
+        /// Simulated-minute backoff before the retry (resilience clock).
+        delay_min: f64,
+        /// Simulated minutes on the emitting phase's clock.
+        at_min: f64,
+    },
+    /// A candidate evaluation panicked and was isolated; the batch
+    /// continued without it.
+    CandidateCrashed {
+        /// Edit-family name that produced the candidate.
+        kind: String,
+        /// Structural fingerprint of the crashed candidate.
+        fingerprint: u64,
+        /// Simulated minutes on the search clock.
+        at_min: f64,
+    },
+    /// A pipeline phase finished degraded: it returned a best-effort result
+    /// after exhausting a budget or hitting a permanent fault.
+    PhaseDegraded {
+        /// Phase name (`"testgen"`, `"repair"`).
+        phase: String,
+        /// Stable degradation-reason name.
+        reason: String,
+        /// Simulated minutes on the pipeline clock.
+        at_min: f64,
+    },
 }
 
 impl Event {
@@ -186,6 +237,10 @@ impl Event {
             Event::FullCompile { .. } => "full_compile",
             Event::EditApplied { .. } => "edit_applied",
             Event::DiffEvaluated { .. } => "diff_evaluated",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::RetryScheduled { .. } => "retry_scheduled",
+            Event::CandidateCrashed { .. } => "candidate_crashed",
+            Event::PhaseDegraded { .. } => "phase_degraded",
         }
     }
 }
@@ -265,6 +320,50 @@ impl Serialize for Event {
                 push("tests", Value::Int(*tests as i128));
                 push("pass_ratio", Value::Float(*pass_ratio));
                 push("fpga_latency_ms", Value::Float(*fpga_latency_ms));
+            }
+            Event::FaultInjected {
+                site,
+                fault,
+                fingerprint,
+                attempt,
+                at_min,
+            } => {
+                push("site", Value::Str(site.clone()));
+                push("fault", Value::Str(fault.clone()));
+                push("fingerprint", Value::Str(format!("{fingerprint:016x}")));
+                push("attempt", Value::Int(*attempt as i128));
+                push("at_min", Value::Float(*at_min));
+            }
+            Event::RetryScheduled {
+                site,
+                fingerprint,
+                attempt,
+                delay_min,
+                at_min,
+            } => {
+                push("site", Value::Str(site.clone()));
+                push("fingerprint", Value::Str(format!("{fingerprint:016x}")));
+                push("attempt", Value::Int(*attempt as i128));
+                push("delay_min", Value::Float(*delay_min));
+                push("at_min", Value::Float(*at_min));
+            }
+            Event::CandidateCrashed {
+                kind,
+                fingerprint,
+                at_min,
+            } => {
+                push("kind", Value::Str(kind.clone()));
+                push("fingerprint", Value::Str(format!("{fingerprint:016x}")));
+                push("at_min", Value::Float(*at_min));
+            }
+            Event::PhaseDegraded {
+                phase,
+                reason,
+                at_min,
+            } => {
+                push("phase", Value::Str(phase.clone()));
+                push("reason", Value::Str(reason.clone()));
+                push("at_min", Value::Float(*at_min));
             }
         }
         Value::Object(fields)
@@ -495,7 +594,21 @@ impl TraceSink for MetricsSink {
                     .or_default()
                     .record(*fpga_latency_ms);
             }
-            Event::FuzzRoundEnd { .. } | Event::StyleReject { .. } => {}
+            Event::FaultInjected { site, .. } => {
+                *m.counters.entry(format!("fault.{site}")).or_insert(0) += 1;
+            }
+            Event::RetryScheduled { delay_min, .. } => {
+                m.histograms
+                    .entry("retry.delay_min".to_string())
+                    .or_default()
+                    .record(*delay_min);
+            }
+            Event::PhaseDegraded { phase, .. } => {
+                *m.counters.entry(format!("degraded.{phase}")).or_insert(0) += 1;
+            }
+            Event::FuzzRoundEnd { .. }
+            | Event::StyleReject { .. }
+            | Event::CandidateCrashed { .. } => {}
         }
     }
 }
@@ -692,6 +805,112 @@ mod tests {
         assert_eq!(jsonl.events(), 1);
         let off = TeeSink::new(vec![Arc::new(NullSink)]);
         assert!(!off.enabled());
+    }
+
+    #[test]
+    fn jsonl_renders_fault_events() {
+        let s = JsonlSink::new();
+        s.emit(&Event::FaultInjected {
+            site: "hls_check".into(),
+            fault: "transient".into(),
+            fingerprint: 0x1f,
+            attempt: 0,
+            at_min: 2.0,
+        });
+        s.emit(&Event::RetryScheduled {
+            site: "hls_check".into(),
+            fingerprint: 0x1f,
+            attempt: 1,
+            delay_min: 0.25,
+            at_min: 2.0,
+        });
+        s.emit(&Event::CandidateCrashed {
+            kind: "resize".into(),
+            fingerprint: 0x2a,
+            at_min: 3.5,
+        });
+        s.emit(&Event::PhaseDegraded {
+            phase: "repair".into(),
+            reason: "permanent_fault".into(),
+            at_min: 4.0,
+        });
+        let out = s.contents();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            r#"{"event":"fault_injected","site":"hls_check","fault":"transient","fingerprint":"000000000000001f","attempt":0,"at_min":2.0}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"event":"retry_scheduled","site":"hls_check","fingerprint":"000000000000001f","attempt":1,"delay_min":0.25,"at_min":2.0}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"event":"candidate_crashed","kind":"resize","fingerprint":"000000000000002a","at_min":3.5}"#
+        );
+        assert_eq!(
+            lines[3],
+            r#"{"event":"phase_degraded","phase":"repair","reason":"permanent_fault","at_min":4.0}"#
+        );
+    }
+
+    #[test]
+    fn metrics_counts_faults_and_retries() {
+        let s = MetricsSink::new();
+        s.emit(&Event::FaultInjected {
+            site: "hls_sim".into(),
+            fault: "transient".into(),
+            fingerprint: 1,
+            attempt: 0,
+            at_min: 0.0,
+        });
+        s.emit(&Event::FaultInjected {
+            site: "hls_sim".into(),
+            fault: "fuel_spike".into(),
+            fingerprint: 2,
+            attempt: 0,
+            at_min: 0.0,
+        });
+        s.emit(&Event::RetryScheduled {
+            site: "hls_sim".into(),
+            fingerprint: 1,
+            attempt: 1,
+            delay_min: 0.25,
+            at_min: 0.0,
+        });
+        s.emit(&Event::RetryScheduled {
+            site: "hls_sim".into(),
+            fingerprint: 1,
+            attempt: 2,
+            delay_min: 0.5,
+            at_min: 0.0,
+        });
+        s.emit(&Event::PhaseDegraded {
+            phase: "repair".into(),
+            reason: "budget".into(),
+            at_min: 9.0,
+        });
+        assert_eq!(s.counter("fault_injected"), 2);
+        assert_eq!(s.counter("fault.hls_sim"), 2);
+        assert_eq!(s.counter("retry_scheduled"), 2);
+        assert_eq!(s.counter("degraded.repair"), 1);
+        let h = s.histogram("retry.delay_min").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 0.75);
+    }
+
+    #[test]
+    fn crashed_verdict_has_stable_name() {
+        assert_eq!(Verdict::Crashed.as_str(), "crashed");
+        let s = MetricsSink::new();
+        s.emit(&Event::CandidateEvaluated {
+            kind: "resize".into(),
+            fingerprint: 9,
+            verdict: Verdict::Crashed,
+            sim_cost_min: 0.0,
+            at_min: 1.0,
+        });
+        assert_eq!(s.counter("candidate.crashed"), 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`benchsuite`] | the ten evaluation subjects P1–P10 |
 //! | [`heterogen_core`] | the end-to-end pipeline |
 //! | [`heterogen_trace`] | structured event tracing and metrics |
+//! | [`heterogen_faults`] | deterministic fault injection, retry policies, resilience stats |
 //!
 //! # Examples
 //!
@@ -58,6 +59,7 @@
 
 pub use benchsuite;
 pub use heterogen_core;
+pub use heterogen_faults;
 pub use heterogen_trace;
 pub use heterorefactor;
 pub use hls_sim;
@@ -69,8 +71,12 @@ pub use testgen;
 /// The most common imports for driving the pipeline.
 pub mod prelude {
     pub use heterogen_core::{
-        HeteroGen, Job, PipelineConfig, PipelineConfigBuilder, PipelineError, PipelineReport,
-        Session, SessionBuilder, TestSource,
+        Degradation, DegradationReason, HeteroGen, Job, PhaseBudgets, PhaseBudgetsBuilder,
+        PipelineConfig, PipelineConfigBuilder, PipelineError, PipelineReport, Session,
+        SessionBuilder, TestSource,
+    };
+    pub use heterogen_faults::{
+        FaultInjector, FaultPlan, FaultPlanBuilder, NoFaults, ResilienceStats, RetryPolicy,
     };
     pub use heterogen_trace::{
         Event, JsonlSink, MetricsSink, NullSink, TeeSink, TraceSink, Verdict,

@@ -209,6 +209,205 @@ fn trace_stream_is_thread_count_invariant() {
     }
 }
 
+/// Strips the fault-layer events (`fault_injected`, `retry_scheduled`)
+/// from a JSONL trace, leaving the stream a fault-free run would emit.
+fn strip_fault_events(trace: &str) -> String {
+    trace
+        .lines()
+        .filter(|l| {
+            !l.contains("\"event\":\"fault_injected\"")
+                && !l.contains("\"event\":\"retry_scheduled\"")
+        })
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Chaos determinism: a transient-only fault plan must not perturb the
+/// search at all. Every transient is retried to success, the backoff is
+/// billed to the resilience ledger (never the search clock), and the
+/// outcome — stats, applied edits, returned program, latencies, and the
+/// trace stream minus the fault events themselves — is byte-identical to
+/// the fault-free run, at one worker thread and at many.
+#[test]
+fn chaos_transient_faults_leave_the_search_byte_identical() {
+    use heterogen_faults::FaultPlan;
+    use heterogen_trace::JsonlSink;
+
+    let s = benchsuite::subject("P6").unwrap();
+    let p = s.parse();
+    let fr = testgen::fuzz(&p, s.kernel, s.seed_inputs.clone(), &fuzz_cfg(1)).unwrap();
+    let broken = heterogen_core::initial_version(&p, &fr.profile);
+
+    let base_sink = JsonlSink::new();
+    let base = repair::repair_traced(
+        &p,
+        broken.clone(),
+        s.kernel,
+        &fr.corpus,
+        &fr.profile,
+        &search_cfg(1),
+        &base_sink,
+    )
+    .unwrap();
+    let base_trace = base_sink.contents();
+    assert!(!base.resilience.any(), "fault-free run absorbed faults");
+
+    // Transient runs of at most 2 attempts against the default 3-retry
+    // policy: every injected fault is recoverable.
+    let plan = FaultPlan::builder(0xC0FFEE)
+        .with_transient_rate(0.35)
+        .with_transient_len(2)
+        .build();
+    for threads in [1usize, 2, 4] {
+        let sink = JsonlSink::new();
+        let r = repair::repair_resilient(
+            &p,
+            broken.clone(),
+            s.kernel,
+            &fr.corpus,
+            &fr.profile,
+            &search_cfg(threads),
+            &sink,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(base.applied, r.applied, "applied @ {threads} threads");
+        assert_eq!(base.stats, r.stats, "stats @ {threads} threads");
+        assert_eq!(base.success, r.success, "success @ {threads} threads");
+        assert_eq!(base.stop, r.stop, "stop reason @ {threads} threads");
+        assert_eq!(
+            base.fpga_latency_ms.to_bits(),
+            r.fpga_latency_ms.to_bits(),
+            "fpga latency @ {threads} threads"
+        );
+        assert_eq!(
+            minic::print_program(&base.program),
+            minic::print_program(&r.program),
+            "returned program @ {threads} threads"
+        );
+        // The chaos actually happened — and was fully absorbed.
+        assert!(
+            r.resilience.transient_faults >= 2,
+            "want ≥2 transients, got {} @ {threads} threads",
+            r.resilience.transient_faults
+        );
+        assert_eq!(
+            r.resilience.retries, r.resilience.transient_faults,
+            "every transient retried @ {threads} threads"
+        );
+        assert!(
+            r.resilience.backoff_min > 0.0,
+            "backoff billed to the resilience ledger @ {threads} threads"
+        );
+        assert_eq!(r.resilience.crashes, 0, "crashes @ {threads} threads");
+        assert_eq!(
+            r.resilience.permanent_faults, 0,
+            "permanent faults @ {threads} threads"
+        );
+        // Same fault schedule at every thread count, and — minus the fault
+        // events themselves — the same trace bytes as the fault-free run.
+        assert_eq!(
+            base_trace,
+            strip_fault_events(&sink.contents()),
+            "trace minus fault events @ {threads} threads"
+        );
+    }
+}
+
+/// Extracts the fingerprints of `candidate_evaluated` events carrying the
+/// given verdict, in emission order.
+fn fingerprints_with_verdict(trace: &str, verdict: &str) -> Vec<u64> {
+    let want = format!("\"verdict\":\"{verdict}\"");
+    trace
+        .lines()
+        .filter(|l| l.contains("\"event\":\"candidate_evaluated\"") && l.contains(&want))
+        .filter_map(|l| {
+            let at = l.find("\"fingerprint\":\"")? + "\"fingerprint\":\"".len();
+            u64::from_str_radix(l.get(at..at + 16)?, 16).ok()
+        })
+        .collect()
+}
+
+/// The acceptance scenario of the fault-injection harness: a repair search
+/// with one poisoned (panicking) candidate *and* injected transient compile
+/// faults still completes, retries deterministically, and returns the same
+/// best program as the fault-free run.
+#[test]
+fn chaos_poisoned_candidate_is_isolated_and_the_repair_still_lands() {
+    use heterogen_faults::FaultPlan;
+    use heterogen_trace::JsonlSink;
+
+    let s = benchsuite::subject("P6").unwrap();
+    let p = s.parse();
+    let fr = testgen::fuzz(&p, s.kernel, s.seed_inputs.clone(), &fuzz_cfg(1)).unwrap();
+    let broken = heterogen_core::initial_version(&p, &fr.profile);
+
+    let base_sink = JsonlSink::new();
+    let base = repair::repair_traced(
+        &p,
+        broken.clone(),
+        s.kernel,
+        &fr.corpus,
+        &fr.profile,
+        &search_cfg(1),
+        &base_sink,
+    )
+    .unwrap();
+    assert!(base.success, "baseline repair failed: {:?}", base.applied);
+
+    // Poison the last candidate the fault-free run admitted. The run ended
+    // on budget expiry, so nothing admitted in the final batch was ever
+    // popped from the frontier again — and a crashed candidate is billed
+    // exactly what its admission cost — so the rest of the search replays
+    // unchanged and the divergence is confined to the resilience ledger.
+    let admitted = fingerprints_with_verdict(&base_sink.contents(), "admitted");
+    assert!(
+        !admitted.is_empty(),
+        "baseline run admitted no candidate to poison"
+    );
+    let plan = FaultPlan::builder(0xBAD5EED)
+        .with_poison_key(*admitted.last().unwrap())
+        .with_transient_rate(0.35)
+        .with_transient_len(2)
+        .build();
+
+    for threads in [1usize, 4] {
+        let sink = JsonlSink::new();
+        let r = repair::repair_resilient(
+            &p,
+            broken.clone(),
+            s.kernel,
+            &fr.corpus,
+            &fr.profile,
+            &search_cfg(threads),
+            &sink,
+            &plan,
+        )
+        .unwrap();
+        assert!(r.success, "chaos run failed @ {threads} threads");
+        assert_eq!(
+            minic::print_program(&base.program),
+            minic::print_program(&r.program),
+            "best program @ {threads} threads"
+        );
+        assert_eq!(base.applied, r.applied, "applied @ {threads} threads");
+        assert_eq!(base.stats, r.stats, "stats @ {threads} threads");
+        assert!(
+            r.resilience.crashes >= 1,
+            "poisoned candidate not crashed @ {threads} threads"
+        );
+        assert!(
+            r.resilience.transient_faults >= 2,
+            "want ≥2 transient compile faults, got {} @ {threads} threads",
+            r.resilience.transient_faults
+        );
+        assert!(
+            !fingerprints_with_verdict(&sink.contents(), "crashed").is_empty(),
+            "no crashed verdict traced @ {threads} threads"
+        );
+    }
+}
+
 /// The `MetricsSink` counters must agree with the hand-maintained
 /// `SearchStats` for the same run.
 #[test]

@@ -316,6 +316,93 @@ proptest! {
     }
 }
 
+// ------------------------------------------------------------ resilience
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The retry schedule is a pure function of the policy: deterministic,
+    /// monotone non-decreasing (for backoff factors ≥ 1), bounded per-delay
+    /// by `max_delay_min`, bounded cumulatively by `budget_min`, and never
+    /// longer than `max_retries`.
+    #[test]
+    fn retry_schedule_is_deterministic_monotone_and_bounded(
+        max_retries in 0u32..12,
+        base_delay_min in 0.0f64..4.0,
+        backoff_factor in 1.0f64..4.0,
+        max_delay_min in 0.0f64..8.0,
+        budget_min in 0.0f64..32.0,
+    ) {
+        let policy = heterogen_faults::RetryPolicy {
+            max_retries,
+            base_delay_min,
+            backoff_factor,
+            max_delay_min,
+            budget_min,
+        };
+        let schedule = policy.schedule();
+        // Deterministic: recomputing yields the same delays, bit for bit.
+        let again = policy.schedule();
+        prop_assert_eq!(schedule.len(), again.len());
+        for (a, b) in schedule.iter().zip(&again) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Bounded in length and per delay.
+        prop_assert!(schedule.len() <= max_retries as usize);
+        for &d in &schedule {
+            prop_assert!(d >= 0.0, "negative backoff {d}");
+            prop_assert!(d <= max_delay_min, "{d} > max_delay_min {max_delay_min}");
+        }
+        // Monotone non-decreasing up to the per-delay cap.
+        for w in schedule.windows(2) {
+            prop_assert!(w[0] <= w[1], "schedule not monotone: {:?}", &schedule);
+        }
+        // Cumulative backoff stays within the budget.
+        let total: f64 = schedule.iter().sum();
+        prop_assert!(total <= budget_min, "total {total} > budget {budget_min}");
+        // `delay_before` agrees with the schedule on every permitted retry
+        // and rejects everything past it.
+        for (i, &d) in schedule.iter().enumerate() {
+            prop_assert_eq!(policy.delay_before(i as u32 + 1).map(f64::to_bits), Some(d.to_bits()));
+        }
+        prop_assert_eq!(policy.delay_before(0), None);
+        prop_assert_eq!(policy.delay_before(schedule.len() as u32 + 1).is_none(), true);
+    }
+
+    /// Fault decisions are pure functions of `(seed, site, key, attempt)`:
+    /// the same plan queried twice agrees everywhere, and a transient run,
+    /// once it ends, stays ended (retrying past the run always succeeds).
+    #[test]
+    fn fault_plan_decisions_are_stable(
+        seed in any::<u64>(),
+        key in any::<u64>(),
+        rate in 0.0f64..1.0,
+        len in 1u32..4,
+    ) {
+        use heterogen_faults::{Fault, FaultInjector, FaultPlan, FaultSite};
+        let plan = FaultPlan::builder(seed)
+            .with_transient_rate(rate)
+            .with_transient_len(len)
+            .build();
+        for site in [FaultSite::HlsCheck, FaultSite::HlsSim, FaultSite::Exec] {
+            let mut cleared = false;
+            for attempt in 0..(len + 2) {
+                let a = plan.fault(site, key, attempt);
+                prop_assert_eq!(a, plan.fault(site, key, attempt));
+                match a {
+                    Some(Fault::Transient) => {
+                        prop_assert!(!cleared, "transient run restarted after success");
+                        prop_assert!(attempt < len, "run exceeded transient_len");
+                    }
+                    None => cleared = true,
+                    other => prop_assert!(false, "unexpected fault {other:?}"),
+                }
+            }
+            prop_assert!(cleared, "transient run never ended within len+2 attempts");
+        }
+    }
+}
+
 // A tiny non-proptest sanity check that the generated strategies build.
 #[test]
 fn arb_expr_strategy_builds() {
