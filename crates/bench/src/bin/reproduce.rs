@@ -7,12 +7,14 @@
 //! cargo run --release -p bench --bin reproduce -- fig9 --json out.json
 //! cargo run --release -p bench --bin reproduce -- run P3 --json
 //! cargo run --release -p bench --bin reproduce -- trace P3 --json p3.jsonl
+//! cargo run --release -p bench --bin reproduce -- toolchain P3 --backend embedded
 //! cargo run --release -p bench --bin reproduce -- bench-guard
 //! cargo run --release -p bench --bin reproduce -- chaos P3
 //! ```
 
 use bench::*;
 use heterogen_core::{HeteroGen, Job};
+use heterogen_toolchain::{EvalCache, Memoized, Resilient, SimBackend, Toolchain, Traced};
 use heterogen_trace::{JsonlSink, MetricsSink, NullSink, TeeSink, TraceSink};
 use std::sync::Arc;
 
@@ -35,6 +37,16 @@ fn main() {
         }
         "trace" => {
             run_trace(&subject_arg(&args), json_path.as_deref());
+            return;
+        }
+        "toolchain" => {
+            let backend = args
+                .iter()
+                .position(|a| a == "--backend")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "embedded".to_string());
+            run_toolchain(&subject_arg(&args), &backend);
             return;
         }
         "bench-guard" => {
@@ -86,7 +98,7 @@ fn main() {
             run_summary(&bundle);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair run trace bench-guard chaos summary all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair run trace toolchain bench-guard chaos summary all");
             std::process::exit(2);
         }
     }
@@ -235,10 +247,98 @@ fn run_trace(id: &str, json_path: Option<&str>) {
     }
 }
 
+/// `reproduce -- toolchain <subject> [--backend <name>]`: the same pipeline
+/// run twice, once through the default datacenter backend and once through
+/// the named alternative, demonstrating that the repair search is generic
+/// over the [`Toolchain`] it drives.
+fn run_toolchain(id: &str, backend_name: &str) {
+    let alt = SimBackend::by_name(backend_name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown backend `{backend_name}`; expected one of: {}",
+            SimBackend::names().join(" ")
+        );
+        std::process::exit(2);
+    });
+    let s = load_subject(id);
+    let cfg = standard_config();
+    let run_with = |backend: SimBackend| {
+        let p = s.parse();
+        let mut seeds = s.seed_inputs.clone();
+        seeds.extend(s.existing_tests.clone());
+        let info = backend.info();
+        let report = HeteroGen::builder()
+            .config(cfg)
+            .backend(backend)
+            .build()
+            .run(Job::fuzz(p, s.kernel, seeds))
+            .unwrap_or_else(|e| panic!("{id}: pipeline failed on `{}`: {e}", info.name));
+        (info, report)
+    };
+    let (base_info, base) = run_with(SimBackend::default_profile());
+    let (alt_info, alt_rep) = run_with(alt);
+
+    println!("== toolchain: {} ({}) on two backends ==", s.id, s.name);
+    println!("\n{base_info}");
+    println!("\n{alt_info}");
+    println!("\n-- pipeline outcome per backend --");
+    print_table(
+        &["Metric", &base_info.name, &alt_info.name],
+        &[
+            vec![
+                "success".into(),
+                tick(base.success()),
+                tick(alt_rep.success()),
+            ],
+            vec![
+                "pass ratio".into(),
+                format!("{:.2}", base.repair.pass_ratio),
+                format!("{:.2}", alt_rep.repair.pass_ratio),
+            ],
+            vec![
+                "edits applied".into(),
+                base.repair.applied.join(" "),
+                alt_rep.repair.applied.join(" "),
+            ],
+            vec![
+                "FPGA latency (ms)".into(),
+                format!("{:.4}", base.repair.fpga_latency_ms),
+                format!("{:.4}", alt_rep.repair.fpga_latency_ms),
+            ],
+            vec![
+                "speedup vs CPU".into(),
+                format!("{:.2}x", base.speedup()),
+                format!("{:.2}x", alt_rep.speedup()),
+            ],
+            vec![
+                "repair time (sim min)".into(),
+                format!("{:.1}", base.repair.minutes),
+                format!("{:.1}", alt_rep.repair.minutes),
+            ],
+            vec![
+                "ΔLOC".into(),
+                format!("+{}", base.delta_loc),
+                format!("+{}", alt_rep.delta_loc),
+            ],
+        ],
+    );
+    println!(
+        "\n`{}` vs `{}`: {:.2}x repair time, {:.2}x final latency",
+        alt_info.name,
+        base_info.name,
+        alt_rep.repair.minutes / base.repair.minutes.max(f64::MIN_POSITIVE),
+        alt_rep.repair.fpga_latency_ms / base.repair.fpga_latency_ms.max(f64::MIN_POSITIVE),
+    );
+}
+
 /// `reproduce -- bench-guard`: asserts the tracing layer is free when
 /// disabled, by timing the untraced repair entry point (monomorphized
 /// `NullSink` — emission compiled out) against the same search through a
 /// `&dyn TraceSink` null sink, the shape `Session` uses.
+///
+/// A second guard does the same for the toolchain middleware stack: with
+/// every layer off (fresh cache, `NoFaults`, `NullSink`), one
+/// `Memoized(Resilient(Traced(SimBackend)))` evaluation must cost no more
+/// than the direct style-check + compile + LOC sequence it replaced.
 fn run_bench_guard() {
     let s = load_subject("P3");
     let p = s.parse();
@@ -304,6 +404,74 @@ fn run_bench_guard() {
     );
     if overhead > threshold {
         eprintln!("FAIL: disabled tracing must be free on the hot path");
+        std::process::exit(1);
+    }
+    println!("OK");
+
+    // The abstraction guard: the full middleware stack with every layer
+    // off, against the direct call sequence `evaluate` replaced. Fresh
+    // cache and unique fingerprints per evaluation keep Memoized honest
+    // (every call is a miss, as on the search's first encounter).
+    use heterogen_faults::{NoFaults, RetryPolicy};
+
+    let retry = RetryPolicy::default();
+    let backend = SimBackend::default_profile();
+    const BATCH: u64 = 200;
+    let time_direct = || -> f64 {
+        let t0 = std::time::Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..BATCH {
+            let prog = std::hint::black_box(&p);
+            let style = hls_sim::check_style(prog);
+            if style.is_empty() {
+                acc += hls_sim::check_program(prog).len() + minic::loc(prog);
+            }
+        }
+        std::hint::black_box(acc);
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let time_stack = |round: u64| -> f64 {
+        let t0 = std::time::Instant::now();
+        let mut acc = 0usize;
+        for i in 0..BATCH {
+            let prog = std::hint::black_box(&p);
+            let stack = Memoized::sharing(
+                EvalCache::new(),
+                Resilient::new(Traced::new(&backend, NullSink), NoFaults, retry),
+            );
+            let e = stack
+                .evaluate(prog, round * BATCH + i, true)
+                .expect("a disabled injector cannot fault");
+            acc += e.loc + e.diags.as_ref().map_or(0, |d| d.len());
+        }
+        std::hint::black_box(acc);
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+
+    time_direct();
+    time_stack(u64::MAX / 2);
+    let mut direct = f64::MAX;
+    let mut stacked = f64::MAX;
+    for r in 0..ROUNDS as u64 {
+        direct = direct.min(time_direct());
+        stacked = stacked.min(time_stack(r));
+    }
+    let stack_overhead = stacked / direct - 1.0;
+    let stack_threshold: f64 = std::env::var("STACK_GUARD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0)
+        / 100.0;
+    println!("\n== bench-guard: disabled middleware-stack overhead per evaluation ==");
+    println!("direct ..... {direct:.2} ms (min of {ROUNDS}, {BATCH} evaluations each)");
+    println!("stack ...... {stacked:.2} ms (Memoized(Resilient(Traced(SimBackend))))");
+    println!(
+        "overhead ... {:+.2}% (threshold {:.0}%)",
+        stack_overhead * 100.0,
+        stack_threshold * 100.0
+    );
+    if stack_overhead > stack_threshold {
+        eprintln!("FAIL: the all-layers-off middleware stack must not tax the evaluation path");
         std::process::exit(1);
     }
     println!("OK");

@@ -24,6 +24,7 @@
 //! ```
 
 use heterogen_faults::{FaultInjector, NoFaults};
+use heterogen_toolchain::{SimBackend, Toolchain};
 use heterogen_trace::{Event, NullSink, TraceSink};
 use minic::types::Type;
 use minic::Program;
@@ -431,6 +432,7 @@ pub struct Session {
     config: PipelineConfig,
     sink: Arc<dyn TraceSink>,
     faults: Arc<dyn FaultInjector>,
+    backend: Arc<dyn Toolchain>,
 }
 
 impl std::fmt::Debug for Session {
@@ -439,6 +441,7 @@ impl std::fmt::Debug for Session {
             .field("config", &self.config)
             .field("sink_enabled", &self.sink.enabled())
             .field("faults_enabled", &self.faults.enabled())
+            .field("backend", &self.backend.info().name)
             .finish()
     }
 }
@@ -449,6 +452,7 @@ pub struct SessionBuilder {
     config: PipelineConfig,
     sink: Arc<dyn TraceSink>,
     faults: Arc<dyn FaultInjector>,
+    backend: Arc<dyn Toolchain>,
 }
 
 impl SessionBuilder {
@@ -475,12 +479,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the HLS toolchain backend every check, compile, and simulation
+    /// goes through (default: [`SimBackend::default_profile`]). Pick another
+    /// device profile — e.g. [`SimBackend::embedded_profile`] — or any
+    /// custom [`Toolchain`] implementation to retarget the whole pipeline.
+    pub fn backend<B: Toolchain + 'static>(mut self, backend: B) -> Self {
+        self.backend = Arc::new(backend);
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> Session {
         Session {
             config: self.config,
             sink: self.sink,
             faults: self.faults,
+            backend: self.backend,
         }
     }
 }
@@ -581,7 +595,7 @@ impl Session {
         } else {
             original.clone()
         };
-        let initial_errors = hls_sim::check_program(&broken).len();
+        let initial_errors = self.backend.diagnose(&broken).len();
 
         // 3–5. Iterative repair with differential testing.
         if sink.enabled() {
@@ -595,7 +609,7 @@ impl Session {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
-        let outcome: RepairOutcome = repair::repair_resilient(
+        let outcome: RepairOutcome = repair::repair_with_backend(
             &original,
             broken,
             &kernel,
@@ -604,6 +618,7 @@ impl Session {
             &search_cfg,
             sink,
             self.faults.as_ref(),
+            self.backend.as_ref(),
         )
         .map_err(PipelineError::Repair)?;
         let repair_end_min = testgen_min + outcome.stats.elapsed_min;
@@ -697,20 +712,21 @@ impl Session {
 /// The transpiler entry point.
 ///
 /// The pipeline is driven through a [`Session`] built with
-/// [`HeteroGen::builder`]; the methods on `HeteroGen` itself are thin
-/// deprecated shims kept for one release.
+/// [`HeteroGen::builder`].
 #[derive(Debug, Clone, Default)]
 pub struct HeteroGen {
     config: PipelineConfig,
 }
 
 impl HeteroGen {
-    /// Starts a [`Session`] builder (tracing off by default).
+    /// Starts a [`Session`] builder (tracing off, chaos off, and the default
+    /// [`SimBackend`] device profile).
     pub fn builder() -> SessionBuilder {
         SessionBuilder {
             config: PipelineConfig::default(),
             sink: Arc::new(NullSink),
             faults: Arc::new(NoFaults),
+            backend: Arc::new(SimBackend::default_profile()),
         }
     }
 
@@ -722,50 +738,6 @@ impl HeteroGen {
     /// The active configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
-    }
-
-    /// Runs the full pipeline on a program.
-    ///
-    /// `seeds` are initial kernel inputs (captured from a host run or
-    /// provided by the subject); they may be empty.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PipelineError`] when the kernel cannot be fuzzed or the
-    /// reference execution fails outright.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `HeteroGen::builder().config(cfg).build().run(Job::fuzz(..))`"
-    )]
-    pub fn run(
-        &self,
-        original: &Program,
-        kernel: &str,
-        seeds: Vec<TestCase>,
-    ) -> Result<PipelineReport, PipelineError> {
-        HeteroGen::builder()
-            .config(self.config)
-            .build()
-            .run(Job::fuzz(original.clone(), kernel, seeds))
-    }
-
-    /// Runs the pipeline with an externally supplied test suite (used by the
-    /// Figure 8 "pre-existing tests only" comparison). The profile is
-    /// collected by replaying the suite.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `HeteroGen::builder().config(cfg).build().run(Job::with_tests(..))`"
-    )]
-    pub fn run_with_existing_tests(
-        &self,
-        original: &Program,
-        kernel: &str,
-        tests: Vec<TestCase>,
-    ) -> Result<PipelineReport, PipelineError> {
-        HeteroGen::builder()
-            .config(self.config)
-            .build()
-            .run(Job::with_tests(original.clone(), kernel, tests))
     }
 }
 
@@ -853,7 +825,9 @@ mod tests {
         assert!(dump_on_failure(&report));
         assert!(report.testgen.tests > 0);
         assert!(report.delta_loc <= 10);
-        assert!(hls_sim::check_program(&report.program).is_empty());
+        assert!(SimBackend::default_profile()
+            .diagnose(&report.program)
+            .is_empty());
     }
 
     #[test]
@@ -896,19 +870,27 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_run() {
-        let p = minic::parse("int kernel(int x) { return x + 1; }").unwrap();
+    fn embedded_backend_runs_the_pipeline_end_to_end() {
+        let p =
+            minic::parse("int kernel(int x) { long double y = x; y = y + 1; return y; }").unwrap();
         let mut cfg = PipelineConfig::quick();
-        cfg.fuzz.idle_stop_min = 0.2;
-        cfg.fuzz.max_execs = 100;
-        #[allow(deprecated)]
-        let report = HeteroGen::new(cfg).run(&p, "kernel", vec![]).unwrap();
-        assert!(report.success());
-        #[allow(deprecated)]
-        let report = HeteroGen::new(cfg)
-            .run_with_existing_tests(&p, "kernel", vec![vec![ArgValue::Int(3)]])
+        cfg.fuzz.idle_stop_min = 0.5;
+        cfg.fuzz.max_execs = 200;
+        let session = HeteroGen::builder()
+            .config(cfg)
+            .backend(SimBackend::embedded_profile())
+            .build();
+        assert!(format!("{session:?}").contains("hls_sim-embedded"));
+        let report = session.run(Job::fuzz(p.clone(), "kernel", vec![])).unwrap();
+        assert!(dump_on_failure(&report));
+        // The embedded compile farm is slower, so the same repair consumes
+        // more of the simulated budget than the datacenter profile does.
+        let default_report = HeteroGen::builder()
+            .config(cfg)
+            .build()
+            .run(Job::fuzz(p, "kernel", vec![]))
             .unwrap();
-        assert_eq!(report.testgen.tests, 1);
+        assert!(report.repair.minutes > default_report.repair.minutes);
     }
 
     #[test]

@@ -25,7 +25,8 @@
 //! assert!(out.success);
 //! ```
 
-use hls_sim::ErrorCategory;
+use heterogen_toolchain::{SimBackend, Toolchain};
+use hls_sim::{ErrorCategory, HlsDiagnostic};
 use minic::Program;
 use repair::templates::RepairEdit;
 
@@ -47,13 +48,27 @@ pub struct RefactorResult {
     pub remaining: Vec<hls_sim::HlsDiagnostic>,
 }
 
-/// Runs the HeteroRefactor baseline on a program.
+/// Runs the HeteroRefactor baseline on a program, diagnosing through the
+/// default [`SimBackend`] profile.
 pub fn refactor(p: &Program) -> RefactorResult {
+    refactor_with(p, &SimBackend::default_profile())
+}
+
+/// Like [`refactor`], diagnosing through an arbitrary [`Toolchain`] backend.
+/// A backend whose compile infrastructure fails mid-run stops the fixed
+/// point gracefully: the result reports the diagnostics gathered so far.
+pub fn refactor_with<B: Toolchain + ?Sized>(p: &Program, backend: &B) -> RefactorResult {
+    let diagnose = |prog: &Program| -> Option<Vec<HlsDiagnostic>> {
+        let fp = minic::fingerprint_program(prog);
+        backend.compile(prog, fp).ok().map(|c| c.diags)
+    };
     let mut program = p.clone();
     let mut applied = Vec::new();
     // Fixed-point over the dynamic-data-structure repairs only.
     for _ in 0..16 {
-        let diags = hls_sim::check_program(&program);
+        let Some(diags) = diagnose(&program) else {
+            break;
+        };
         let mut progressed = false;
         for d in &diags {
             let edit = match d.category {
@@ -78,9 +93,14 @@ pub fn refactor(p: &Program) -> RefactorResult {
             break;
         }
     }
-    let remaining = hls_sim::check_program(&program);
+    // A backend that cannot even diagnose the final program is a failure,
+    // not a clean bill of health.
+    let (success, remaining) = match diagnose(&program) {
+        Some(r) => (r.is_empty(), r),
+        None => (false, Vec::new()),
+    };
     RefactorResult {
-        success: remaining.is_empty(),
+        success,
         program,
         applied,
         remaining,

@@ -150,6 +150,18 @@ pub enum ToolchainError {
         /// Human-readable failure description.
         message: String,
     },
+    /// A transient failure that persisted through every retry the policy
+    /// allowed. Behaves like a permanent fault (same `Display` form), but
+    /// remembers how many transient attempts were absorbed so resilience
+    /// accounting can replay them.
+    Exhausted {
+        /// Which toolchain stage failed.
+        site: &'static str,
+        /// Transient attempts absorbed before giving up.
+        attempts: u32,
+        /// Full failure description (includes the attempt count).
+        message: String,
+    },
 }
 
 impl ToolchainError {
@@ -170,15 +182,42 @@ impl ToolchainError {
         }
     }
 
+    /// Creates an exhausted-retries toolchain error: a transient fault that
+    /// persisted through `attempts` attempts. Displays exactly like the
+    /// permanent fault a retry loop would synthesize for it.
+    pub fn exhausted(site: &'static str, attempts: u32, inner: impl fmt::Display) -> Self {
+        ToolchainError::Exhausted {
+            site,
+            attempts,
+            message: format!("transient fault persisted through {attempts} attempts: {inner}"),
+        }
+    }
+
     /// Whether a retry of the same invocation may succeed.
     pub fn is_transient(&self) -> bool {
         matches!(self, ToolchainError::Transient { .. })
     }
 
+    /// Whether this is a transient fault that exhausted its retry policy.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, ToolchainError::Exhausted { .. })
+    }
+
+    /// Transient attempts absorbed before this error was produced (0 except
+    /// for [`ToolchainError::Exhausted`]).
+    pub fn absorbed_transients(&self) -> u32 {
+        match self {
+            ToolchainError::Exhausted { attempts, .. } => *attempts,
+            _ => 0,
+        }
+    }
+
     /// The toolchain stage that failed.
     pub fn site(&self) -> &'static str {
         match self {
-            ToolchainError::Transient { site, .. } | ToolchainError::Permanent { site, .. } => site,
+            ToolchainError::Transient { site, .. }
+            | ToolchainError::Permanent { site, .. }
+            | ToolchainError::Exhausted { site, .. } => site,
         }
     }
 
@@ -186,7 +225,8 @@ impl ToolchainError {
     pub fn message(&self) -> &str {
         match self {
             ToolchainError::Transient { message, .. }
-            | ToolchainError::Permanent { message, .. } => message,
+            | ToolchainError::Permanent { message, .. }
+            | ToolchainError::Exhausted { message, .. } => message,
         }
     }
 }
@@ -202,7 +242,8 @@ impl fmt::Display for ToolchainError {
                 f,
                 "transient toolchain fault at {site} (attempt {attempt}): {message}"
             ),
-            ToolchainError::Permanent { site, message } => {
+            ToolchainError::Permanent { site, message }
+            | ToolchainError::Exhausted { site, message, .. } => {
                 write!(f, "permanent toolchain fault at {site}: {message}")
             }
         }
@@ -300,6 +341,30 @@ mod tests {
             "permanent toolchain fault at hls_sim: scratch disk full"
         );
         assert_ne!(t, p);
+    }
+
+    #[test]
+    fn exhausted_displays_like_a_synthesized_permanent_fault() {
+        let e = ToolchainError::exhausted("hls_check", 4, "license server timed out");
+        assert!(!e.is_transient());
+        assert!(e.is_exhausted());
+        assert_eq!(e.absorbed_transients(), 4);
+        assert_eq!(e.site(), "hls_check");
+        // Byte-identical to the permanent fault a retry loop used to
+        // synthesize on exhaustion — pinned because chaos runs compare
+        // `SearchStop::PermanentFault(e.to_string())` across configurations.
+        assert_eq!(
+            e.to_string(),
+            ToolchainError::permanent(
+                "hls_check",
+                "transient fault persisted through 4 attempts: license server timed out"
+            )
+            .to_string()
+        );
+        assert_eq!(
+            ToolchainError::permanent("exec", "x").absorbed_transients(),
+            0
+        );
     }
 
     #[test]

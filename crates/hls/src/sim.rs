@@ -103,22 +103,39 @@ impl<'p> FpgaSimulator<'p> {
                 attempt,
                 "co-simulation crashed; the invocation may be retried",
             )),
-            Some(Fault::FuelSpike { factor }) => {
-                let mut config = MachineConfig::fpga();
-                config.fuel = (config.fuel / u64::from(factor.max(1))).max(1);
-                let r = self.run_with_config(args, config);
-                let fuel_exhausted = ExecError::trap(Trap::FuelExhausted).to_string();
-                if r.outcome.trapped && r.outcome.trap_reason.as_deref() == Some(&fuel_exhausted) {
-                    Err(ToolchainError::transient(
-                        "hls_sim",
-                        attempt,
-                        "fuel spike exhausted the simulation budget",
-                    ))
-                } else {
-                    Ok(r)
-                }
-            }
+            Some(Fault::FuelSpike { factor }) => self.run_spiked(args, factor, attempt),
             None => Ok(self.run(args)),
+        }
+    }
+
+    /// Simulates one test input under a fuel allowance slashed by `factor`,
+    /// as an injected fuel-spike fault does. If the kernel still finishes,
+    /// the result is identical to the unspiked run (fuel only bounds, never
+    /// alters, deterministic execution); if the allowance is exhausted the
+    /// invocation is classified transient so the caller retries it unspiked.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transient [`ToolchainError`] at `hls_sim` when the slashed
+    /// fuel allowance runs out before the kernel completes.
+    pub fn run_spiked(
+        &self,
+        args: &[ArgValue],
+        factor: u32,
+        attempt: u32,
+    ) -> Result<SimResult, ToolchainError> {
+        let mut config = MachineConfig::fpga();
+        config.fuel = (config.fuel / u64::from(factor.max(1))).max(1);
+        let r = self.run_with_config(args, config);
+        let fuel_exhausted = ExecError::trap(Trap::FuelExhausted).to_string();
+        if r.outcome.trapped && r.outcome.trap_reason.as_deref() == Some(&fuel_exhausted) {
+            Err(ToolchainError::transient(
+                "hls_sim",
+                attempt,
+                "fuel spike exhausted the simulation budget",
+            ))
+        } else {
+            Ok(r)
         }
     }
 

@@ -6,8 +6,8 @@
 //! behavior, and compares the simulation latency … between CPU and FPGA."
 
 use heterogen_faults::{FaultInjector, ResilienceStats, RetryPolicy};
+use heterogen_toolchain::{Resilient, SimBackend, Toolchain};
 use heterogen_trace::{Event, NullSink, TraceSink};
-use hls_sim::FpgaSimulator;
 use minic::Program;
 use minic_exec::{CpuCostModel, Machine, MachineConfig, Outcome};
 use testgen::TestCase;
@@ -116,7 +116,20 @@ impl DifferentialTester {
         candidate: &Program,
         sink: &S,
     ) -> DiffReport {
-        let report = self.evaluate_inner(candidate);
+        self.evaluate_with(&SimBackend::default_profile(), candidate, sink)
+    }
+
+    /// Like [`DifferentialTester::evaluate_traced`], simulating on an
+    /// arbitrary [`Toolchain`] backend. A backend that cannot simulate the
+    /// candidate at all (or fails a test's invocation) scores that test as
+    /// failing, exactly as the default backend does for an unsimulatable
+    /// design.
+    pub fn evaluate_with<B, S>(&self, backend: &B, candidate: &Program, sink: &S) -> DiffReport
+    where
+        B: Toolchain + ?Sized,
+        S: TraceSink + ?Sized,
+    {
+        let report = self.evaluate_inner(backend, candidate);
         if sink.enabled() {
             sink.emit(&Event::DiffEvaluated {
                 tests: self.tests.len() as u64,
@@ -157,13 +170,45 @@ impl DifferentialTester {
         S: TraceSink + ?Sized,
         I: FaultInjector + ?Sized,
     {
+        self.evaluate_resilient_with(
+            &SimBackend::default_profile(),
+            candidate,
+            sink,
+            injector,
+            retry,
+            key,
+            at_min,
+        )
+    }
+
+    /// Like [`DifferentialTester::evaluate_resilient`], simulating on an
+    /// arbitrary [`Toolchain`] backend. Workers evaluate through the
+    /// [`Resilient`] middleware (injector consultation + transient retry);
+    /// the calling thread replays the absorbed faults during the in-order
+    /// merge exactly as the default-backend path does.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_resilient_with<B, S, I>(
+        &self,
+        backend: &B,
+        candidate: &Program,
+        sink: &S,
+        injector: &I,
+        retry: &RetryPolicy,
+        key: u64,
+        at_min: f64,
+    ) -> (DiffReport, ResilienceStats)
+    where
+        B: Toolchain + ?Sized,
+        S: TraceSink + ?Sized,
+        I: FaultInjector + ?Sized,
+    {
         if !injector.enabled() {
             return (
-                self.evaluate_traced(candidate, sink),
+                self.evaluate_with(backend, candidate, sink),
                 ResilienceStats::default(),
             );
         }
-        let Ok(sim) = FpgaSimulator::new(candidate) else {
+        if !backend.can_simulate(candidate) {
             let report = DiffReport {
                 pass_ratio: 0.0,
                 fpga_latency_ms: f64::INFINITY,
@@ -176,7 +221,8 @@ impl DifferentialTester {
                 });
             }
             return (report, ResilienceStats::default());
-        };
+        }
+        let resilient = Resilient::new(backend, injector, *retry);
 
         // End states a worker can reach: success, transient faults that
         // outlived the retry budget, or a permanent fault.
@@ -188,27 +234,17 @@ impl DifferentialTester {
         type TestRun = (Option<(bool, f64)>, u32, u8);
         let runs: Vec<TestRun> = parallel::parallel_map(self.threads, &self.tests, |i, t| {
             let test_key = heterogen_faults::mix_key(key, i as u64);
-            let mut attempt = 0u32;
-            loop {
-                match sim.run_resilient(t, injector, test_key, attempt) {
-                    Ok(r) => {
-                        return (
-                            Some((
-                                self.reference[i].behaviour_eq(&r.outcome),
-                                r.estimate.latency_ms,
-                            )),
-                            attempt,
-                            OK,
-                        );
-                    }
-                    Err(e) if e.is_transient() => {
-                        attempt += 1;
-                        if retry.delay_before(attempt).is_none() {
-                            return (None, attempt, EXHAUSTED);
-                        }
-                    }
-                    Err(_) => return (None, attempt, PERMANENT),
-                }
+            match resilient.simulate(candidate, t, test_key) {
+                Ok(sim) => (
+                    Some((
+                        self.reference[i].behaviour_eq(&sim.result.outcome),
+                        sim.result.estimate.latency_ms,
+                    )),
+                    sim.transients,
+                    OK,
+                ),
+                Err(e) if e.is_exhausted() => (None, e.absorbed_transients(), EXHAUSTED),
+                Err(e) => (None, e.absorbed_transients(), PERMANENT),
             }
         });
 
@@ -279,19 +315,25 @@ impl DifferentialTester {
         (report, stats)
     }
 
-    fn evaluate_inner(&self, candidate: &Program) -> DiffReport {
-        let Ok(sim) = FpgaSimulator::new(candidate) else {
+    fn evaluate_inner<B: Toolchain + ?Sized>(
+        &self,
+        backend: &B,
+        candidate: &Program,
+    ) -> DiffReport {
+        if !backend.can_simulate(candidate) {
             return DiffReport {
                 pass_ratio: 0.0,
                 fpga_latency_ms: f64::INFINITY,
             };
-        };
+        }
         let runs: Vec<(bool, f64)> = parallel::parallel_map(self.threads, &self.tests, |i, t| {
-            let r = sim.run(t);
-            (
-                self.reference[i].behaviour_eq(&r.outcome),
-                r.estimate.latency_ms,
-            )
+            match backend.simulate(candidate, t, i as u64) {
+                Ok(sim) => (
+                    self.reference[i].behaviour_eq(&sim.result.outcome),
+                    sim.result.estimate.latency_ms,
+                ),
+                Err(_) => (false, 0.0),
+            }
         });
         let mut passed = 0usize;
         let mut latency = 0.0;

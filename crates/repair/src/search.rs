@@ -34,18 +34,19 @@ use crate::diff::DifferentialTester;
 use crate::localize::{candidate_edits, resize_edits};
 use crate::templates::{RepairEdit, ResizeTarget};
 use heterogen_faults::{FaultInjector, NoFaults, ResilienceStats, RetryPolicy};
-use heterogen_trace::{Event, NullSink, TraceSink, Verdict};
-use hls_sim::{
-    check_style, CompileCostModel, ErrorCategory, HlsDiagnostic, SimClock, ToolchainError,
+use heterogen_toolchain::{
+    EvalCache, EvalResult, Memoized, Resilient, SimBackend, Toolchain, Traced,
 };
+use heterogen_trace::{Event, NullSink, TraceSink, Verdict};
+use hls_sim::{CompileCostModel, HlsDiagnostic, SimClock, ToolchainError};
 use minic::ast::PragmaKind;
 use minic::Program;
 use minic_exec::Profile;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::collections::HashSet;
+use std::sync::Arc;
 use testgen::TestCase;
 
 /// Search configuration (including the two Figure 9 ablation switches).
@@ -330,118 +331,6 @@ impl Candidate {
     }
 }
 
-/// Memoized result of style-checking and fully "compiling" one candidate.
-#[derive(Clone)]
-struct EvalResult {
-    /// The cheap style pre-pass found nothing.
-    style_clean: bool,
-    /// Pretty-printed line count (drives the compile-cost billing); only
-    /// meaningful when `diags` is present.
-    loc: usize,
-    /// Full-compile diagnostics: the synthesizability check plus style
-    /// violations (a real toolchain rejects both; the cheap pre-pass only
-    /// sees the latter's subset). `None` when the enabled style checker
-    /// rejected the candidate before the toolchain was ever invoked.
-    diags: Option<Arc<Vec<HlsDiagnostic>>>,
-    /// Transient toolchain faults absorbed (and retried through) while
-    /// computing this result. Replayed by the merge phase into resilience
-    /// accounting and trace events.
-    transients: u32,
-}
-
-/// Fingerprint-keyed memo cache shared across the worker pool. It caches
-/// *computation* only — simulated-clock billing is still charged per
-/// sequential-accounting rules by the merge phase.
-struct EvalCache(Mutex<HashMap<u64, EvalResult>>);
-
-impl EvalCache {
-    fn new() -> EvalCache {
-        EvalCache(Mutex::new(HashMap::new()))
-    }
-
-    fn get(&self, fp: u64) -> Option<EvalResult> {
-        self.0.lock().unwrap().get(&fp).cloned()
-    }
-
-    fn insert(&self, fp: u64, r: EvalResult) {
-        self.0.lock().unwrap().insert(fp, r);
-    }
-}
-
-/// Style-checks and (unless the enabled checker rejects it first) fully
-/// compiles `p` through the fault injector, memoized by structural
-/// fingerprint. Runs on worker threads; touches no search state. Transient
-/// faults are retried up to the policy's limits (the backoff itself is
-/// replayed by the merge phase — workers never sleep, simulated or
-/// otherwise); an exhausted retry policy is reported as a permanent fault.
-/// A poison fault propagates as a panic for the caller's [`parallel::isolate`]
-/// boundary to catch.
-///
-/// The injector is consulted only past the style gate, so the fault schedule
-/// of a candidate is independent of whether the style checker is enabled for
-/// style-clean candidates (the only ones whose evaluation a fault can
-/// perturb).
-fn evaluate_candidate<I>(
-    p: &Program,
-    fp: u64,
-    use_style_checker: bool,
-    cache: &EvalCache,
-    injector: &I,
-    retry: &RetryPolicy,
-) -> Result<EvalResult, ToolchainError>
-where
-    I: FaultInjector + ?Sized,
-{
-    if let Some(hit) = cache.get(fp) {
-        return Ok(hit);
-    }
-    let style = check_style(p);
-    let style_clean = style.is_empty();
-    let result = if use_style_checker && !style_clean {
-        EvalResult {
-            style_clean,
-            loc: 0,
-            diags: None,
-            transients: 0,
-        }
-    } else {
-        let mut attempt: u32 = 0;
-        let mut diags = loop {
-            match hls_sim::check_program_resilient(p, injector, fp, attempt) {
-                Ok(d) => break d,
-                Err(e) if e.is_transient() => {
-                    attempt += 1;
-                    if retry.delay_before(attempt).is_none() {
-                        return Err(ToolchainError::permanent(
-                            e.site(),
-                            format!(
-                                "transient fault persisted through {attempt} attempts: {}",
-                                e.message()
-                            ),
-                        ));
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        };
-        for v in style {
-            diags.push(HlsDiagnostic::new(
-                "STYLE",
-                v.message,
-                ErrorCategory::LoopParallelization,
-            ));
-        }
-        EvalResult {
-            style_clean,
-            loc: minic::loc(p),
-            diags: Some(Arc::new(diags)),
-            transients: attempt,
-        }
-    };
-    cache.insert(fp, result.clone());
-    Ok(result)
-}
-
 /// One edit's classification from the speculative planning pass.
 enum Planned {
     /// `edit.apply` returned `None` — structurally inapplicable.
@@ -551,7 +440,55 @@ where
     S: TraceSink + ?Sized,
     I: FaultInjector + ?Sized,
 {
-    let costs = CompileCostModel::default();
+    repair_with_backend(
+        original,
+        broken,
+        kernel,
+        tests,
+        profile,
+        cfg,
+        sink,
+        injector,
+        &SimBackend::default_profile(),
+    )
+}
+
+/// Like [`repair_resilient`], generic over the [`Toolchain`] backend the
+/// search drives.
+///
+/// Every style check, full compile, and co-simulation goes through
+/// `backend`, wrapped in the middleware stack
+/// `Memoized(Resilient(Traced(backend)))`: memoization by structural
+/// fingerprint, fault consultation + transient retry, and invocation
+/// tracing. The [`Traced`] layer is instantiated with [`NullSink`] here —
+/// workers must never emit; all events still come from the merge phase's
+/// sequential accounting — so the stack's observable behaviour is
+/// byte-identical to the pre-backend direct-call pipeline when `backend` is
+/// [`SimBackend::default_profile`]. Billing constants come from
+/// [`Toolchain::cost_model`], so a slower backend consumes the simulated
+/// budget faster.
+///
+/// # Errors
+///
+/// Fails when the reference itself cannot be executed.
+#[allow(clippy::too_many_arguments)]
+pub fn repair_with_backend<B, S, I>(
+    original: &Program,
+    broken: Program,
+    kernel: &str,
+    tests: &[TestCase],
+    profile: &Profile,
+    cfg: &SearchConfig,
+    sink: &S,
+    injector: &I,
+    backend: &B,
+) -> Result<RepairOutcome, String>
+where
+    B: Toolchain + ?Sized,
+    S: TraceSink + ?Sized,
+    I: FaultInjector + ?Sized,
+{
+    let costs = backend.cost_model();
     let mut clock = SimClock::with_budget(cfg.budget_min);
     let mut stats = SearchStats::default();
     let mut resilience = ResilienceStats::default();
@@ -562,17 +499,29 @@ where
         DifferentialTester::with_threads(original, kernel, tests, cfg.max_diff_tests, cfg.threads)?;
     clock.advance(costs.cpu_tests(tester.test_count()));
 
+    // The middleware stack the whole search evaluates through: memoization
+    // over fault injection + retry over (unsinked) tracing over the backend.
+    // The initial compile goes through a second stack sharing the same memo
+    // cache but with the injector disabled — there is no search to degrade
+    // gracefully before the first candidate exists.
     let cache = EvalCache::new();
+    let stack = Memoized::sharing(
+        cache.clone(),
+        Resilient::new(Traced::new(backend, NullSink), injector, cfg.retry),
+    );
+    let initial = Memoized::sharing(
+        cache,
+        Resilient::new(Traced::new(backend, NullSink), NoFaults, cfg.retry),
+    );
 
     // Compile the initial version (style checker bypassed: the initial
-    // candidate always gets a full diagnosis, as a real flow would; the
-    // injector is bypassed too — there is no search to degrade gracefully
-    // before the first candidate exists).
+    // candidate always gets a full diagnosis, as a real flow would).
     let cost0 = costs.full_compile(&broken);
     clock.advance(cost0);
     stats.full_compiles += 1;
     let fp0 = minic::fingerprint_program(&broken);
-    let eval0 = evaluate_candidate(&broken, fp0, false, &cache, &NoFaults, &cfg.retry)
+    let eval0 = initial
+        .evaluate(&broken, fp0, false)
         .expect("a disabled injector cannot fault");
     if sink.enabled() {
         sink.emit(&Event::FullCompile {
@@ -619,7 +568,8 @@ where
         if cand.diags.is_empty() && cand.pass_ratio.is_none() {
             clock.advance(costs.simulate(tester.test_count()));
             stats.simulations += 1;
-            let (report, sim_faults) = tester.evaluate_resilient(
+            let (report, sim_faults) = tester.evaluate_resilient_with(
+                backend,
                 &cand.program,
                 sink,
                 injector,
@@ -712,14 +662,7 @@ where
                 }
                 let child_prog = Arc::new(child_prog);
                 let eval = match parallel::isolate(|| {
-                    evaluate_candidate(
-                        &child_prog,
-                        fp,
-                        cfg.use_style_checker,
-                        &cache,
-                        injector,
-                        &cfg.retry,
-                    )
+                    stack.evaluate(&child_prog, fp, cfg.use_style_checker)
                 }) {
                     Err(_panic) => {
                         bill_crashed(
@@ -751,65 +694,21 @@ where
                     }
                     Ok(Ok(eval)) => eval,
                 };
-                let mut attempt_cost = 0.0;
-                if cfg.use_style_checker {
-                    let c = costs.style_check(&child_prog);
-                    clock.advance(c);
-                    attempt_cost += c;
-                    stats.style_checks += 1;
-                    if !eval.style_clean {
-                        stats.style_rejects += 1;
-                        if sink.enabled() {
-                            sink.emit(&Event::StyleReject {
-                                fingerprint: fp,
-                                at_min: clock.elapsed_min(),
-                            });
-                        }
-                        emit_candidate(
-                            sink,
-                            kind,
-                            fp,
-                            Verdict::StyleRejected,
-                            attempt_cost,
-                            &clock,
-                        );
-                        continue;
-                    }
-                }
-                replay_transients(
-                    sink,
-                    &cfg.retry,
-                    &mut resilience,
-                    "hls_check",
+                let Some(child_diags) = merge_admission(
+                    &child_prog,
                     fp,
-                    eval.transients,
-                    &clock,
-                );
-                let compile_cost = costs.full_compile_loc(eval.loc);
-                clock.advance(compile_cost);
-                attempt_cost += compile_cost;
-                stats.full_compiles += 1;
-                if sink.enabled() {
-                    sink.emit(&Event::FullCompile {
-                        fingerprint: fp,
-                        loc: eval.loc as u64,
-                        cost_min: compile_cost,
-                        at_min: clock.elapsed_min(),
-                    });
-                }
-                let child_diags = eval.diags.expect("style-clean candidates are compiled");
-                // Regressions (strictly more errors) are dropped.
-                if child_diags.len() > cand.diags.len() && !cand.diags.is_empty() {
-                    emit_candidate(sink, kind, fp, Verdict::Regressed, attempt_cost, &clock);
+                    kind,
+                    &eval,
+                    &cand.diags,
+                    cfg,
+                    &costs,
+                    &mut clock,
+                    &mut stats,
+                    &mut resilience,
+                    sink,
+                ) else {
                     continue;
-                }
-                emit_candidate(sink, kind, fp, Verdict::Admitted, attempt_cost, &clock);
-                if sink.enabled() {
-                    sink.emit(&Event::EditApplied {
-                        kind: kind.to_string(),
-                        at_min: clock.elapsed_min(),
-                    });
-                }
+                };
                 let mut applied = base_applied.clone();
                 applied.push(kind.to_string());
                 if child_diags.is_empty() {
@@ -866,14 +765,7 @@ where
                         fingerprint,
                         ..
                     } => Some(parallel::isolate(|| {
-                        evaluate_candidate(
-                            program,
-                            *fingerprint,
-                            cfg.use_style_checker,
-                            &cache,
-                            injector,
-                            &cfg.retry,
-                        )
+                        stack.evaluate(program, *fingerprint, cfg.use_style_checker)
                     })),
                     _ => None,
                 });
@@ -931,79 +823,21 @@ where
                             }
                             Ok(Ok(eval)) => eval,
                         };
-                        let mut attempt_cost = 0.0;
-                        if cfg.use_style_checker {
-                            let c = costs.style_check(&program);
-                            clock.advance(c);
-                            attempt_cost += c;
-                            stats.style_checks += 1;
-                            if !eval.style_clean {
-                                stats.style_rejects += 1;
-                                if sink.enabled() {
-                                    sink.emit(&Event::StyleReject {
-                                        fingerprint,
-                                        at_min: clock.elapsed_min(),
-                                    });
-                                }
-                                emit_candidate(
-                                    sink,
-                                    kind,
-                                    fingerprint,
-                                    Verdict::StyleRejected,
-                                    attempt_cost,
-                                    &clock,
-                                );
-                                continue;
-                            }
-                        }
-                        replay_transients(
-                            sink,
-                            &cfg.retry,
-                            &mut resilience,
-                            "hls_check",
+                        let Some(child_diags) = merge_admission(
+                            &program,
                             fingerprint,
-                            eval.transients,
-                            &clock,
-                        );
-                        let compile_cost = costs.full_compile_loc(eval.loc);
-                        clock.advance(compile_cost);
-                        attempt_cost += compile_cost;
-                        stats.full_compiles += 1;
-                        if sink.enabled() {
-                            sink.emit(&Event::FullCompile {
-                                fingerprint,
-                                loc: eval.loc as u64,
-                                cost_min: compile_cost,
-                                at_min: clock.elapsed_min(),
-                            });
-                        }
-                        let child_diags = eval.diags.expect("style-clean candidates are compiled");
-                        // Regressions (strictly more errors) are dropped.
-                        if child_diags.len() > cand.diags.len() && !cand.diags.is_empty() {
-                            emit_candidate(
-                                sink,
-                                kind,
-                                fingerprint,
-                                Verdict::Regressed,
-                                attempt_cost,
-                                &clock,
-                            );
-                            continue;
-                        }
-                        emit_candidate(
-                            sink,
                             kind,
-                            fingerprint,
-                            Verdict::Admitted,
-                            attempt_cost,
-                            &clock,
-                        );
-                        if sink.enabled() {
-                            sink.emit(&Event::EditApplied {
-                                kind: kind.to_string(),
-                                at_min: clock.elapsed_min(),
-                            });
-                        }
+                            &eval,
+                            &cand.diags,
+                            cfg,
+                            &costs,
+                            &mut clock,
+                            &mut stats,
+                            &mut resilience,
+                            sink,
+                        ) else {
+                            continue;
+                        };
                         let mut applied = cand.applied.clone();
                         applied.push(kind.to_string());
                         frontier.push(Candidate {
@@ -1072,6 +906,106 @@ where
             })
         }
     }
+}
+
+/// Merge-phase admission of one evaluated candidate: bills the style check
+/// (rejecting if the enabled checker flagged it), replays absorbed
+/// transients, bills the full compile, and drops regressions — the exact
+/// sequential accounting both the chain loop and the sibling merge share,
+/// so their [`SearchStats`] counters cannot drift apart. Returns the
+/// admitted child's diagnostics, or `None` when the candidate was
+/// style-rejected or regressed (both already billed and emitted).
+#[allow(clippy::too_many_arguments)]
+fn merge_admission<S: TraceSink + ?Sized>(
+    program: &Program,
+    fingerprint: u64,
+    kind: &'static str,
+    eval: &EvalResult,
+    parent_diags: &[HlsDiagnostic],
+    cfg: &SearchConfig,
+    costs: &CompileCostModel,
+    clock: &mut SimClock,
+    stats: &mut SearchStats,
+    resilience: &mut ResilienceStats,
+    sink: &S,
+) -> Option<Arc<Vec<HlsDiagnostic>>> {
+    let mut attempt_cost = 0.0;
+    if cfg.use_style_checker {
+        let c = costs.style_check(program);
+        clock.advance(c);
+        attempt_cost += c;
+        stats.style_checks += 1;
+        if !eval.style_clean {
+            stats.style_rejects += 1;
+            if sink.enabled() {
+                sink.emit(&Event::StyleReject {
+                    fingerprint,
+                    at_min: clock.elapsed_min(),
+                });
+            }
+            emit_candidate(
+                sink,
+                kind,
+                fingerprint,
+                Verdict::StyleRejected,
+                attempt_cost,
+                clock,
+            );
+            return None;
+        }
+    }
+    replay_transients(
+        sink,
+        &cfg.retry,
+        resilience,
+        "hls_check",
+        fingerprint,
+        eval.transients,
+        clock,
+    );
+    let compile_cost = costs.full_compile_loc(eval.loc);
+    clock.advance(compile_cost);
+    attempt_cost += compile_cost;
+    stats.full_compiles += 1;
+    if sink.enabled() {
+        sink.emit(&Event::FullCompile {
+            fingerprint,
+            loc: eval.loc as u64,
+            cost_min: compile_cost,
+            at_min: clock.elapsed_min(),
+        });
+    }
+    let child_diags = eval
+        .diags
+        .clone()
+        .expect("style-clean candidates are compiled");
+    // Regressions (strictly more errors) are dropped.
+    if child_diags.len() > parent_diags.len() && !parent_diags.is_empty() {
+        emit_candidate(
+            sink,
+            kind,
+            fingerprint,
+            Verdict::Regressed,
+            attempt_cost,
+            clock,
+        );
+        return None;
+    }
+    emit_candidate(
+        sink,
+        kind,
+        fingerprint,
+        Verdict::Admitted,
+        attempt_cost,
+        clock,
+    );
+    if sink.enabled() {
+        sink.emit(&Event::EditApplied {
+            kind: kind.to_string(),
+            at_min: clock.elapsed_min(),
+        });
+    }
+    Some(child_diags)
 }
 
 /// Bills a crashed (poisoned) candidate exactly what its fault-free
@@ -1502,7 +1436,9 @@ mod tests {
         let out = repair(&p, p.clone(), "kernel", &tests, &profile, &quick_cfg()).unwrap();
         assert!(out.success, "applied: {:?}", out.applied);
         assert!(out.applied.contains(&"array_static".to_string()));
-        assert!(hls_sim::check_program(&out.program).is_empty());
+        assert!(SimBackend::default_profile()
+            .diagnose(&out.program)
+            .is_empty());
     }
 
     #[test]

@@ -388,13 +388,13 @@ mod tests {
             }
         "#,
         )
-        .unwrap();
+        .expect("test kernel source is valid mini-C");
         let cfg = FuzzConfig {
             idle_stop_min: 3.0,
             max_execs: 4000,
             ..Default::default()
         };
-        let r = fuzz(&p, "kernel", vec![], &cfg).unwrap();
+        let r = fuzz(&p, "kernel", vec![], &cfg).expect("kernel signature is fuzzable");
         assert!(r.coverage >= 0.99, "coverage = {}", r.coverage);
         assert!(r.corpus.len() >= 3);
         assert!(r.executed > 0);
@@ -402,14 +402,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let p = minic::parse("int kernel(int x) { if (x > 0) { return 1; } return 0; }").unwrap();
+        let p = minic::parse("int kernel(int x) { if (x > 0) { return 1; } return 0; }")
+            .expect("test kernel source is valid mini-C");
         let cfg = FuzzConfig {
             idle_stop_min: 0.5,
             max_execs: 500,
             ..Default::default()
         };
-        let a = fuzz(&p, "kernel", vec![], &cfg).unwrap();
-        let b = fuzz(&p, "kernel", vec![], &cfg).unwrap();
+        let a = fuzz(&p, "kernel", vec![], &cfg).expect("kernel signature is fuzzable");
+        let b = fuzz(&p, "kernel", vec![], &cfg).expect("kernel signature is fuzzable");
         assert_eq!(a.corpus, b.corpus);
         assert_eq!(a.executed, b.executed);
     }
@@ -419,14 +420,17 @@ mod tests {
         let p = minic::parse(
             "int kernel(int x) { int r = 0; if (x > 5) { r = 83; } else { r = 2; } return r; }",
         )
-        .unwrap();
+        .expect("test kernel source is valid mini-C");
         let cfg = FuzzConfig {
             idle_stop_min: 1.0,
             max_execs: 1000,
             ..Default::default()
         };
-        let rep = fuzz(&p, "kernel", vec![], &cfg).unwrap();
-        let range = rep.profile.range_of("kernel", "r").unwrap();
+        let rep = fuzz(&p, "kernel", vec![], &cfg).expect("kernel signature is fuzzable");
+        let range = rep
+            .profile
+            .range_of("kernel", "r")
+            .expect("every run assigns r, so its range is profiled");
         assert_eq!(range.max, 83);
     }
 
@@ -442,7 +446,7 @@ mod tests {
             }
         "#,
         )
-        .unwrap();
+        .expect("test kernel source is valid mini-C");
         let seeds = kernel_seeds_from_host(&p, "main_host", "kernel", vec![]);
         assert_eq!(seeds.len(), 1);
         assert_eq!(seeds[0][0], ArgValue::IntArray(vec![0, 10, 20, 30]));
@@ -450,7 +454,8 @@ mod tests {
 
     #[test]
     fn seeded_fuzzing_accepts_valid_seeds_only() {
-        let p = minic::parse("int kernel(int a[4]) { return a[0]; }").unwrap();
+        let p = minic::parse("int kernel(int a[4]) { return a[0]; }")
+            .expect("test kernel source is valid mini-C");
         let cfg = FuzzConfig {
             idle_stop_min: 0.2,
             max_execs: 100,
@@ -458,7 +463,7 @@ mod tests {
         };
         let good = vec![ArgValue::IntArray(vec![1, 2, 3, 4])];
         let bad = vec![ArgValue::IntArray(vec![1])]; // wrong length
-        let r = fuzz(&p, "kernel", vec![good, bad], &cfg).unwrap();
+        let r = fuzz(&p, "kernel", vec![good, bad], &cfg).expect("kernel signature is fuzzable");
         assert!(r.corpus.iter().all(|c| match &c[0] {
             ArgValue::IntArray(v) => v.len() == 4,
             _ => false,
@@ -467,13 +472,14 @@ mod tests {
 
     #[test]
     fn idle_tail_counts_in_reported_time() {
-        let p = minic::parse("int kernel(int x) { return x; }").unwrap();
+        let p = minic::parse("int kernel(int x) { return x; }")
+            .expect("test kernel source is valid mini-C");
         let cfg = FuzzConfig {
             idle_stop_min: 5.0,
             max_execs: 200,
             ..Default::default()
         };
-        let r = fuzz(&p, "kernel", vec![], &cfg).unwrap();
+        let r = fuzz(&p, "kernel", vec![], &cfg).expect("kernel signature is fuzzable");
         assert!(r.sim_minutes >= 5.0);
     }
 }

@@ -1,0 +1,1090 @@
+//! The backend-agnostic toolchain layer.
+//!
+//! HeteroGen's repair loop observes the HLS toolchain through exactly five
+//! signals — diagnostics, pass/fail, output values, latency, compile cost —
+//! so the loop itself should not care *which* toolchain produces them. This
+//! crate defines that seam:
+//!
+//! * [`Toolchain`] — the five-signal trait every backend implements
+//!   ([`Toolchain::style_check`], [`Toolchain::compile`],
+//!   [`Toolchain::simulate`], [`Toolchain::cost_model`], plus a
+//!   [`BackendInfo`] descriptor);
+//! * [`SimBackend`] — the default backend, wrapping the `hls_sim` simulated
+//!   toolchain in a named device profile (and an alternative
+//!   [`SimBackend::embedded_profile`] with different resource finitization
+//!   and cost scaling, proving the seam is real);
+//! * three composable middleware decorators re-expressing the repair
+//!   engine's cross-cutting concerns:
+//!   [`Memoized`] (fingerprint-keyed evaluation cache),
+//!   [`Resilient`] (fault-injection consultation + transient retry), and
+//!   [`Traced`] (invocation events), stacked as
+//!   `Memoized(Resilient(Traced(backend)))`.
+//!
+//! # Middleware stack semantics
+//!
+//! The stack order is load-bearing:
+//!
+//! * a **cache hit** in [`Memoized`] returns before the retry layer is
+//!   consulted — a memoized candidate can never fault again;
+//! * [`Resilient`] consults its [`FaultInjector`] *before* delegating
+//!   inward, so a faulted attempt never reaches [`Traced`] or the backend —
+//!   trace events fire once per *logical* invocation, not once per retry;
+//! * a transient fault that outlives the [`RetryPolicy`] surfaces as
+//!   [`ToolchainError::is_exhausted`], which displays byte-identically to
+//!   the permanent fault a hand-rolled retry loop would synthesize.
+//!
+//! Like `NullSink`/`NoFaults` elsewhere in the workspace, the stack is
+//! zero-cost when off: monomorphized over `NoFaults` the injector
+//! consultation compiles away, and over `NullSink` no event is constructed.
+//!
+//! Workers in the repair search evaluate through this stack but must not
+//! emit events (the merge-phase emission rule of `heterogen-trace`), so the
+//! search instantiates [`Traced`] with `NullSink` and keeps its own
+//! merge-phase emission; [`Traced`] with a real sink is for single-threaded
+//! backend drivers such as `reproduce toolchain`.
+//!
+//! # Examples
+//!
+//! ```
+//! use heterogen_faults::{NoFaults, RetryPolicy};
+//! use heterogen_toolchain::{Memoized, Resilient, SimBackend, Toolchain, Traced};
+//! use heterogen_trace::NullSink;
+//!
+//! let backend = SimBackend::default_profile();
+//! let stack = Memoized::new(Resilient::new(
+//!     Traced::new(&backend, NullSink),
+//!     NoFaults,
+//!     RetryPolicy::default(),
+//! ));
+//! let p = minic::parse("void kernel(int x) { int a[x]; }").unwrap();
+//! let fp = minic::fingerprint_program(&p);
+//! let eval = stack.evaluate(&p, fp, false).unwrap();
+//! assert!(!eval.diags.unwrap().is_empty()); // unknown-size array
+//! ```
+
+use heterogen_faults::{Fault, FaultInjector, FaultSite, RetryPolicy};
+use heterogen_trace::{Event, TraceSink};
+use hls_sim::{
+    check_program, check_style, CompileCostModel, ErrorCategory, FpgaSimulator, HlsDiagnostic,
+    ScheduleModel, SimResult, StyleViolation, ToolchainError,
+};
+use minic::Program;
+use minic_exec::ArgValue;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Descriptor of one toolchain backend: identity plus the device-profile
+/// constants that shape its schedules and billing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendInfo {
+    /// Stable backend name (also used in [`Event::ToolchainInvoked`]).
+    pub name: String,
+    /// Target device / part the backend synthesizes for.
+    pub device: String,
+    /// Memory ports per unpartitioned array.
+    pub memory_ports: u32,
+    /// Hard cap on combined per-loop speedup.
+    pub max_speedup: f64,
+    /// Base simulated minutes per full compile.
+    pub compile_base_min: f64,
+    /// Additional simulated minutes per line of code compiled.
+    pub compile_per_loc_min: f64,
+    /// Simulated minutes per co-simulated test.
+    pub sim_per_test_min: f64,
+    /// One-line human description.
+    pub description: String,
+}
+
+impl fmt::Display for BackendInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "backend {}", self.name)?;
+        writeln!(f, "  device:          {}", self.device)?;
+        writeln!(f, "  memory ports:    {} per array", self.memory_ports)?;
+        writeln!(f, "  max speedup:     {:.0}x", self.max_speedup)?;
+        writeln!(
+            f,
+            "  compile cost:    {:.2} min + {:.3} min/LoC",
+            self.compile_base_min, self.compile_per_loc_min
+        )?;
+        writeln!(f, "  co-sim per test: {:.4} min", self.sim_per_test_min)?;
+        write!(f, "  {}", self.description)
+    }
+}
+
+/// Outcome of one full compile: the diagnostics the backend reported and the
+/// transient faults the middleware absorbed getting them.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Every diagnostic found (empty means synthesizable).
+    pub diags: Vec<HlsDiagnostic>,
+    /// Transient faults absorbed (0 for plain backends; [`Resilient`] adds
+    /// the retries it performed).
+    pub transients: u32,
+}
+
+/// Outcome of co-simulating one test input.
+#[derive(Debug, Clone)]
+pub struct Simulated {
+    /// Behaviour and latency estimate.
+    pub result: SimResult,
+    /// Transient faults absorbed (0 for plain backends).
+    pub transients: u32,
+}
+
+/// Memoized result of style-checking and fully compiling one candidate.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// The cheap style pre-pass found nothing.
+    pub style_clean: bool,
+    /// Pretty-printed line count (drives the compile-cost billing); only
+    /// meaningful when `diags` is present.
+    pub loc: usize,
+    /// Full-compile diagnostics: the synthesizability check plus style
+    /// violations (a real toolchain rejects both; the cheap pre-pass only
+    /// sees the latter's subset). `None` when the enabled style gate
+    /// rejected the candidate before the toolchain was ever invoked.
+    pub diags: Option<Arc<Vec<HlsDiagnostic>>>,
+    /// Transient toolchain faults absorbed (and retried through) while
+    /// computing this result. Replayed by the search's merge phase into
+    /// resilience accounting and trace events.
+    pub transients: u32,
+}
+
+/// A pluggable HLS toolchain: the five signals HeteroGen's repair loop
+/// observes, behind one object-safe trait.
+///
+/// `key` parameters are stable evaluation keys (the candidate's structural
+/// fingerprint, or a fingerprint/test-index mix). Plain backends ignore
+/// them; the middleware layers use them for memoization and reproducible
+/// fault schedules.
+pub trait Toolchain: Send + Sync {
+    /// Identity and device-profile constants.
+    fn info(&self) -> BackendInfo;
+
+    /// The cost model billing this backend's invocations in simulated
+    /// minutes.
+    fn cost_model(&self) -> CompileCostModel;
+
+    /// The cheap coding-style pre-pass (the paper's checker ablation
+    /// subject).
+    fn style_check(&self, p: &Program) -> Vec<StyleViolation>;
+
+    /// One full HLS compile returning every diagnostic found.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the toolchain *infrastructure* fails (as opposed to the
+    /// program being unsynthesizable, which is reported via diagnostics).
+    fn compile(&self, p: &Program, key: u64) -> Result<Compiled, ToolchainError>;
+
+    /// Whether the backend can co-simulate this program at all (a resolvable
+    /// top function exists).
+    fn can_simulate(&self, p: &Program) -> bool {
+        p.top_function_name().is_some()
+    }
+
+    /// Co-simulates one test input.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the simulation infrastructure fails.
+    fn simulate(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        key: u64,
+    ) -> Result<Simulated, ToolchainError>;
+
+    /// Co-simulates one test input under a resource allowance slashed by
+    /// `factor` (an injected fuel spike). Backends that cannot model spikes
+    /// report the invocation as transient so the retry layer reruns it
+    /// unspiked.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transient [`ToolchainError`] when the slashed allowance is
+    /// exhausted.
+    fn simulate_spiked(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        factor: u32,
+        attempt: u32,
+    ) -> Result<SimResult, ToolchainError> {
+        let _ = (p, args, factor);
+        Err(ToolchainError::transient(
+            "hls_sim",
+            attempt,
+            "fuel spike exhausted the simulation budget",
+        ))
+    }
+
+    /// Style-checks and (unless the enabled style gate rejects it first)
+    /// fully compiles `p` — the repair search's per-candidate evaluation.
+    /// Style violations are appended to the compile diagnostics, as a real
+    /// toolchain reports both.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Toolchain::compile`] infrastructure failures.
+    fn evaluate(
+        &self,
+        p: &Program,
+        fingerprint: u64,
+        style_gate: bool,
+    ) -> Result<EvalResult, ToolchainError> {
+        let style = self.style_check(p);
+        let style_clean = style.is_empty();
+        if style_gate && !style_clean {
+            return Ok(EvalResult {
+                style_clean,
+                loc: 0,
+                diags: None,
+                transients: 0,
+            });
+        }
+        let compiled = self.compile(p, fingerprint)?;
+        let mut diags = compiled.diags;
+        for v in style {
+            diags.push(HlsDiagnostic::new(
+                "STYLE",
+                v.message,
+                ErrorCategory::LoopParallelization,
+            ));
+        }
+        Ok(EvalResult {
+            style_clean,
+            loc: minic::loc(p),
+            diags: Some(Arc::new(diags)),
+            transients: compiled.transients,
+        })
+    }
+
+    /// Convenience: the diagnostics of one compile, with infrastructure
+    /// failures collapsed to "no diagnostics" (callers that need the
+    /// distinction use [`Toolchain::compile`]).
+    fn diagnose(&self, p: &Program) -> Vec<HlsDiagnostic> {
+        let fp = minic::fingerprint_program(p);
+        self.compile(p, fp).map(|c| c.diags).unwrap_or_default()
+    }
+}
+
+macro_rules! delegate_toolchain {
+    () => {
+        fn info(&self) -> BackendInfo {
+            (**self).info()
+        }
+        fn cost_model(&self) -> CompileCostModel {
+            (**self).cost_model()
+        }
+        fn style_check(&self, p: &Program) -> Vec<StyleViolation> {
+            (**self).style_check(p)
+        }
+        fn compile(&self, p: &Program, key: u64) -> Result<Compiled, ToolchainError> {
+            (**self).compile(p, key)
+        }
+        fn can_simulate(&self, p: &Program) -> bool {
+            (**self).can_simulate(p)
+        }
+        fn simulate(
+            &self,
+            p: &Program,
+            args: &[ArgValue],
+            key: u64,
+        ) -> Result<Simulated, ToolchainError> {
+            (**self).simulate(p, args, key)
+        }
+        fn simulate_spiked(
+            &self,
+            p: &Program,
+            args: &[ArgValue],
+            factor: u32,
+            attempt: u32,
+        ) -> Result<SimResult, ToolchainError> {
+            (**self).simulate_spiked(p, args, factor, attempt)
+        }
+        fn evaluate(
+            &self,
+            p: &Program,
+            fingerprint: u64,
+            style_gate: bool,
+        ) -> Result<EvalResult, ToolchainError> {
+            (**self).evaluate(p, fingerprint, style_gate)
+        }
+        fn diagnose(&self, p: &Program) -> Vec<HlsDiagnostic> {
+            (**self).diagnose(p)
+        }
+    };
+}
+
+impl<T: Toolchain + ?Sized> Toolchain for &T {
+    delegate_toolchain!();
+}
+
+impl<T: Toolchain + ?Sized> Toolchain for Arc<T> {
+    delegate_toolchain!();
+}
+
+/// The default backend: the workspace's simulated HLS toolchain (`hls_sim`)
+/// under a named device profile.
+///
+/// Two profiles ship with the crate. [`SimBackend::default_profile`]
+/// reproduces the pre-refactor pipeline byte-for-byte (default schedule
+/// model, default cost model); [`SimBackend::embedded_profile`] models a
+/// small embedded part with single-port BRAM, a lower speedup ceiling and a
+/// slower compile farm, so the same repair loop produces visibly different
+/// reports — the proof that the [`Toolchain`] seam is real.
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    name: &'static str,
+    device: &'static str,
+    description: &'static str,
+    schedule: ScheduleModel,
+    costs: CompileCostModel,
+}
+
+impl SimBackend {
+    /// The datacenter profile — identical constants to the pre-refactor
+    /// direct-call pipeline.
+    pub fn default_profile() -> SimBackend {
+        SimBackend {
+            name: "hls_sim",
+            device: "xcvu9p (datacenter)",
+            description: "Reference profile: dual-port BRAM, 24x speedup ceiling, \
+                          datacenter compile farm.",
+            schedule: ScheduleModel::default(),
+            costs: CompileCostModel::default(),
+        }
+    }
+
+    /// An embedded-class profile: single-port BRAM (half the unroll
+    /// headroom), an 8x speedup ceiling, deeper pipeline fill, and a compile
+    /// farm twice as slow per invocation.
+    pub fn embedded_profile() -> SimBackend {
+        SimBackend {
+            name: "hls_sim-embedded",
+            device: "xc7z020 (embedded)",
+            description: "Embedded profile: single-port BRAM, 8x speedup ceiling, \
+                          slow on-prem compile server.",
+            schedule: ScheduleModel {
+                cycles_per_op: 1.25,
+                default_ports: 1,
+                max_speedup: 8.0,
+                pipeline_fill: 10.0,
+                loop_control_ops: 6.0,
+            },
+            costs: CompileCostModel {
+                style_check_min: 0.05,
+                full_compile_base_min: 4.0,
+                full_compile_per_loc_min: 0.05,
+                sim_per_test_min: 0.004,
+                cpu_per_test_min: 0.0002,
+            },
+        }
+    }
+
+    /// Resolves a backend by CLI name. `"default"` (aliases `"hls_sim"`,
+    /// `"datacenter"`) and `"embedded"` (aliases `"zynq"`,
+    /// `"hls_sim-embedded"`) are known.
+    pub fn by_name(name: &str) -> Option<SimBackend> {
+        match name {
+            "default" | "hls_sim" | "datacenter" => Some(SimBackend::default_profile()),
+            "embedded" | "zynq" | "hls_sim-embedded" => Some(SimBackend::embedded_profile()),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI names of the shipped profiles.
+    pub fn names() -> &'static [&'static str] {
+        &["default", "embedded"]
+    }
+
+    fn simulator<'p>(&self, p: &'p Program) -> Result<FpgaSimulator<'p>, ToolchainError> {
+        FpgaSimulator::new(p)
+            .map(|s| s.with_model(self.schedule))
+            .map_err(|e| ToolchainError::permanent("hls_sim", e.to_string()))
+    }
+}
+
+impl Toolchain for SimBackend {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: self.name.to_string(),
+            device: self.device.to_string(),
+            memory_ports: self.schedule.default_ports,
+            max_speedup: self.schedule.max_speedup,
+            compile_base_min: self.costs.full_compile_base_min,
+            compile_per_loc_min: self.costs.full_compile_per_loc_min,
+            sim_per_test_min: self.costs.sim_per_test_min,
+            description: self.description.to_string(),
+        }
+    }
+
+    fn cost_model(&self) -> CompileCostModel {
+        self.costs
+    }
+
+    fn style_check(&self, p: &Program) -> Vec<StyleViolation> {
+        check_style(p)
+    }
+
+    fn compile(&self, p: &Program, _key: u64) -> Result<Compiled, ToolchainError> {
+        Ok(Compiled {
+            diags: check_program(p),
+            transients: 0,
+        })
+    }
+
+    fn simulate(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        _key: u64,
+    ) -> Result<Simulated, ToolchainError> {
+        Ok(Simulated {
+            result: self.simulator(p)?.run(args),
+            transients: 0,
+        })
+    }
+
+    fn simulate_spiked(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        factor: u32,
+        attempt: u32,
+    ) -> Result<SimResult, ToolchainError> {
+        self.simulator(p)?.run_spiked(args, factor, attempt)
+    }
+}
+
+/// Fingerprint-keyed evaluation cache, cloneable so several middleware
+/// stacks (e.g. a fault-injected one and a fault-free one for the initial
+/// compile) can share one memo table. It caches *computation* only —
+/// simulated-clock billing is still charged per sequential-accounting rules
+/// by the search's merge phase.
+#[derive(Debug, Clone, Default)]
+pub struct EvalCache(Arc<Mutex<HashMap<u64, EvalResult>>>);
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache::default()
+    }
+
+    /// Looks up a fingerprint.
+    pub fn get(&self, fp: u64) -> Option<EvalResult> {
+        self.0.lock().unwrap().get(&fp).cloned()
+    }
+
+    /// Stores one evaluation.
+    pub fn insert(&self, fp: u64, r: EvalResult) {
+        self.0.lock().unwrap().insert(fp, r);
+    }
+
+    /// Entries cached.
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().unwrap().is_empty()
+    }
+}
+
+/// Middleware: memoizes [`Toolchain::evaluate`] by structural fingerprint.
+///
+/// A cache hit returns before any inner layer runs — no fault injection, no
+/// retries, no trace events. Errors are *not* cached, so a faulted
+/// evaluation is retried from scratch if the same fingerprint comes back.
+#[derive(Debug, Clone)]
+pub struct Memoized<T> {
+    cache: EvalCache,
+    inner: T,
+}
+
+impl<T: Toolchain> Memoized<T> {
+    /// Wraps `inner` with a fresh cache.
+    pub fn new(inner: T) -> Memoized<T> {
+        Memoized {
+            cache: EvalCache::new(),
+            inner,
+        }
+    }
+
+    /// Wraps `inner` sharing an existing cache.
+    pub fn sharing(cache: EvalCache, inner: T) -> Memoized<T> {
+        Memoized { cache, inner }
+    }
+
+    /// The underlying cache.
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+}
+
+impl<T: Toolchain> Toolchain for Memoized<T> {
+    fn info(&self) -> BackendInfo {
+        self.inner.info()
+    }
+    fn cost_model(&self) -> CompileCostModel {
+        self.inner.cost_model()
+    }
+    fn style_check(&self, p: &Program) -> Vec<StyleViolation> {
+        self.inner.style_check(p)
+    }
+    fn compile(&self, p: &Program, key: u64) -> Result<Compiled, ToolchainError> {
+        self.inner.compile(p, key)
+    }
+    fn can_simulate(&self, p: &Program) -> bool {
+        self.inner.can_simulate(p)
+    }
+    fn simulate(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        key: u64,
+    ) -> Result<Simulated, ToolchainError> {
+        self.inner.simulate(p, args, key)
+    }
+    fn simulate_spiked(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        factor: u32,
+        attempt: u32,
+    ) -> Result<SimResult, ToolchainError> {
+        self.inner.simulate_spiked(p, args, factor, attempt)
+    }
+    fn evaluate(
+        &self,
+        p: &Program,
+        fingerprint: u64,
+        style_gate: bool,
+    ) -> Result<EvalResult, ToolchainError> {
+        if let Some(hit) = self.cache.get(fingerprint) {
+            return Ok(hit);
+        }
+        let r = self.inner.evaluate(p, fingerprint, style_gate)?;
+        self.cache.insert(fingerprint, r.clone());
+        Ok(r)
+    }
+    fn diagnose(&self, p: &Program) -> Vec<HlsDiagnostic> {
+        self.inner.diagnose(p)
+    }
+}
+
+/// Middleware: consults a [`FaultInjector`] before every compile/simulate
+/// and retries transient faults under a [`RetryPolicy`].
+///
+/// Workers never sleep — the deterministic backoff schedule is *accounted*,
+/// not waited out: the absorbed-transient count travels out in
+/// [`Compiled::transients`] / [`Simulated::transients`] (or in
+/// [`ToolchainError::absorbed_transients`] on failure) for the caller's
+/// merge phase to replay into its resilience ledger. A transient fault that
+/// outlives the policy surfaces as [`ToolchainError::is_exhausted`]; a
+/// poison fault panics for the caller's isolation boundary to catch.
+///
+/// With a disabled injector ([`heterogen_faults::NoFaults`]) every method
+/// delegates straight to the inner layer.
+#[derive(Debug, Clone)]
+pub struct Resilient<T, I> {
+    inner: T,
+    injector: I,
+    retry: RetryPolicy,
+}
+
+impl<T: Toolchain, I: FaultInjector> Resilient<T, I> {
+    /// Wraps `inner` with fault consultation and a retry policy.
+    pub fn new(inner: T, injector: I, retry: RetryPolicy) -> Resilient<T, I> {
+        Resilient {
+            inner,
+            injector,
+            retry,
+        }
+    }
+}
+
+impl<T: Toolchain, I: FaultInjector> Toolchain for Resilient<T, I> {
+    fn info(&self) -> BackendInfo {
+        self.inner.info()
+    }
+    fn cost_model(&self) -> CompileCostModel {
+        self.inner.cost_model()
+    }
+    fn style_check(&self, p: &Program) -> Vec<StyleViolation> {
+        self.inner.style_check(p)
+    }
+    fn can_simulate(&self, p: &Program) -> bool {
+        self.inner.can_simulate(p)
+    }
+    fn simulate_spiked(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        factor: u32,
+        attempt: u32,
+    ) -> Result<SimResult, ToolchainError> {
+        self.inner.simulate_spiked(p, args, factor, attempt)
+    }
+
+    fn compile(&self, p: &Program, key: u64) -> Result<Compiled, ToolchainError> {
+        if !self.injector.enabled() {
+            return self.inner.compile(p, key);
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            match self.injector.fault(FaultSite::HlsCheck, key, attempt) {
+                Some(Fault::Poison) => heterogen_faults::poison(FaultSite::HlsCheck, key),
+                Some(Fault::Permanent) => {
+                    return Err(ToolchainError::permanent(
+                        "hls_check",
+                        "synthesis front-end rejected the invocation",
+                    ));
+                }
+                Some(Fault::Transient) | Some(Fault::FuelSpike { .. }) => {
+                    attempt += 1;
+                    if self.retry.delay_before(attempt).is_none() {
+                        return Err(ToolchainError::exhausted(
+                            "hls_check",
+                            attempt,
+                            "synthesis front-end crashed; the invocation may be retried",
+                        ));
+                    }
+                }
+                None => {
+                    let mut c = self.inner.compile(p, key)?;
+                    c.transients += attempt;
+                    return Ok(c);
+                }
+            }
+        }
+    }
+
+    fn simulate(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        key: u64,
+    ) -> Result<Simulated, ToolchainError> {
+        if !self.injector.enabled() {
+            return self.inner.simulate(p, args, key);
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            match self.injector.fault(FaultSite::HlsSim, key, attempt) {
+                Some(Fault::Poison) => heterogen_faults::poison(FaultSite::HlsSim, key),
+                Some(Fault::Permanent) => {
+                    return Err(ToolchainError::permanent(
+                        "hls_sim",
+                        "co-simulation backend rejected the invocation",
+                    ));
+                }
+                Some(Fault::Transient) => {
+                    attempt += 1;
+                    if self.retry.delay_before(attempt).is_none() {
+                        return Err(ToolchainError::exhausted(
+                            "hls_sim",
+                            attempt,
+                            "co-simulation crashed; the invocation may be retried",
+                        ));
+                    }
+                }
+                Some(Fault::FuelSpike { factor }) => {
+                    match self.inner.simulate_spiked(p, args, factor, attempt) {
+                        Ok(result) => {
+                            return Ok(Simulated {
+                                result,
+                                transients: attempt,
+                            });
+                        }
+                        Err(e) if e.is_transient() => {
+                            attempt += 1;
+                            if self.retry.delay_before(attempt).is_none() {
+                                let msg = e.message().to_string();
+                                return Err(ToolchainError::exhausted("hls_sim", attempt, msg));
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => {
+                    let mut s = self.inner.simulate(p, args, key)?;
+                    s.transients += attempt;
+                    return Ok(s);
+                }
+            }
+        }
+    }
+}
+
+/// Middleware: emits one [`Event::ToolchainInvoked`] per invocation that
+/// actually reaches the backend.
+///
+/// Placed *inside* [`Resilient`], a faulted attempt never reaches this layer
+/// — events fire exactly once per logical invocation, never per retry — and
+/// inside [`Memoized`], cache hits emit nothing. Gated on
+/// [`TraceSink::enabled`], so the `NullSink` instantiation compiles the
+/// emission away (the repair search's worker stacks rely on this: worker
+/// threads must never emit).
+#[derive(Debug, Clone)]
+pub struct Traced<T, S> {
+    inner: T,
+    sink: S,
+}
+
+impl<T: Toolchain, S: TraceSink> Traced<T, S> {
+    /// Wraps `inner`, reporting invocations on `sink`.
+    pub fn new(inner: T, sink: S) -> Traced<T, S> {
+        Traced { inner, sink }
+    }
+}
+
+impl<T: Toolchain, S: TraceSink> Toolchain for Traced<T, S> {
+    fn info(&self) -> BackendInfo {
+        self.inner.info()
+    }
+    fn cost_model(&self) -> CompileCostModel {
+        self.inner.cost_model()
+    }
+    fn style_check(&self, p: &Program) -> Vec<StyleViolation> {
+        self.inner.style_check(p)
+    }
+    fn can_simulate(&self, p: &Program) -> bool {
+        self.inner.can_simulate(p)
+    }
+    fn compile(&self, p: &Program, key: u64) -> Result<Compiled, ToolchainError> {
+        if self.sink.enabled() {
+            self.sink.emit(&Event::ToolchainInvoked {
+                backend: self.inner.info().name,
+                op: "compile".to_string(),
+                fingerprint: key,
+            });
+        }
+        self.inner.compile(p, key)
+    }
+    fn simulate(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        key: u64,
+    ) -> Result<Simulated, ToolchainError> {
+        if self.sink.enabled() {
+            self.sink.emit(&Event::ToolchainInvoked {
+                backend: self.inner.info().name,
+                op: "simulate".to_string(),
+                fingerprint: key,
+            });
+        }
+        self.inner.simulate(p, args, key)
+    }
+    fn simulate_spiked(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        factor: u32,
+        attempt: u32,
+    ) -> Result<SimResult, ToolchainError> {
+        self.inner.simulate_spiked(p, args, factor, attempt)
+    }
+}
+
+/// A scriptable in-memory backend for middleware tests: configurable
+/// diagnostics and style violations, atomic call counters, constant
+/// simulation results.
+#[derive(Debug, Default)]
+pub struct MockToolchain {
+    /// Diagnostics every [`Toolchain::compile`] reports.
+    pub diags: Vec<HlsDiagnostic>,
+    /// Violations every [`Toolchain::style_check`] reports.
+    pub style: Vec<StyleViolation>,
+    compiles: std::sync::atomic::AtomicU32,
+    simulates: std::sync::atomic::AtomicU32,
+    style_checks: std::sync::atomic::AtomicU32,
+}
+
+impl MockToolchain {
+    /// A mock reporting a clean bill of health on every signal.
+    pub fn clean() -> MockToolchain {
+        MockToolchain::default()
+    }
+
+    /// Times [`Toolchain::compile`] reached the backend.
+    pub fn compile_calls(&self) -> u32 {
+        self.compiles.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Times [`Toolchain::simulate`] reached the backend.
+    pub fn simulate_calls(&self) -> u32 {
+        self.simulates.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Times [`Toolchain::style_check`] was invoked.
+    pub fn style_check_calls(&self) -> u32 {
+        self.style_checks.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl Toolchain for MockToolchain {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: "mock".to_string(),
+            device: "none".to_string(),
+            memory_ports: 2,
+            max_speedup: 1.0,
+            compile_base_min: 0.0,
+            compile_per_loc_min: 0.0,
+            sim_per_test_min: 0.0,
+            description: "scriptable test backend".to_string(),
+        }
+    }
+
+    fn cost_model(&self) -> CompileCostModel {
+        CompileCostModel::default()
+    }
+
+    fn style_check(&self, _p: &Program) -> Vec<StyleViolation> {
+        self.style_checks
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.style.clone()
+    }
+
+    fn compile(&self, _p: &Program, _key: u64) -> Result<Compiled, ToolchainError> {
+        self.compiles
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        Ok(Compiled {
+            diags: self.diags.clone(),
+            transients: 0,
+        })
+    }
+
+    fn simulate(
+        &self,
+        _p: &Program,
+        _args: &[ArgValue],
+        _key: u64,
+    ) -> Result<Simulated, ToolchainError> {
+        self.simulates
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        Ok(Simulated {
+            result: SimResult {
+                outcome: minic_exec::Outcome::default(),
+                estimate: hls_sim::FpgaEstimate {
+                    cycles: 1.0,
+                    latency_ms: 1.0,
+                    effective_ops: 1.0,
+                },
+            },
+            transients: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterogen_faults::NoFaults;
+    use heterogen_trace::{JsonlSink, NullSink};
+
+    fn prog() -> Program {
+        minic::parse("int kernel(int x) { return x * 2; }").unwrap()
+    }
+
+    fn fp(p: &Program) -> u64 {
+        minic::fingerprint_program(p)
+    }
+
+    /// Transient for the first `n` attempts of every invocation, then clean.
+    struct TransientFor(u32);
+    impl FaultInjector for TransientFor {
+        fn fault(&self, _site: FaultSite, _key: u64, attempt: u32) -> Option<Fault> {
+            (attempt < self.0).then_some(Fault::Transient)
+        }
+    }
+
+    /// Never faults, but counts consultations and reports itself enabled.
+    #[derive(Default)]
+    struct CountingNone(std::sync::atomic::AtomicU32);
+    impl CountingNone {
+        fn calls(&self) -> u32 {
+            self.0.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+    impl FaultInjector for CountingNone {
+        fn fault(&self, _site: FaultSite, _key: u64, _attempt: u32) -> Option<Fault> {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            None
+        }
+    }
+
+    #[test]
+    fn cache_hit_skips_the_retry_layer() {
+        let mock = MockToolchain::clean();
+        let injector = CountingNone::default();
+        let stack = Memoized::new(Resilient::new(&mock, &injector, RetryPolicy::default()));
+        let p = prog();
+        let a = stack.evaluate(&p, fp(&p), true).unwrap();
+        let b = stack.evaluate(&p, fp(&p), true).unwrap();
+        assert_eq!(mock.compile_calls(), 1, "second evaluation is a cache hit");
+        assert_eq!(injector.calls(), 1, "cache hit never consults the injector");
+        assert_eq!(a.loc, b.loc);
+        assert!(a.style_clean && b.style_clean);
+    }
+
+    #[test]
+    fn retry_exhaustion_converts_transient_to_permanent_through_the_stack() {
+        let mock = MockToolchain::clean();
+        let stack = Memoized::new(Resilient::new(
+            &mock,
+            TransientFor(u32::MAX),
+            RetryPolicy::default(),
+        ));
+        let p = prog();
+        let err = stack.evaluate(&p, fp(&p), true).unwrap_err();
+        assert!(err.is_exhausted());
+        assert!(!err.is_transient(), "exhaustion is not retryable");
+        // Default policy: 3 retries → 4 transient attempts absorbed.
+        assert_eq!(err.absorbed_transients(), 4);
+        assert_eq!(mock.compile_calls(), 0, "the backend was never reached");
+        assert!(err
+            .to_string()
+            .starts_with("permanent toolchain fault at hls_check:"));
+        // Errors are not cached: the same fingerprint faults afresh.
+        let err2 = stack.evaluate(&p, fp(&p), true).unwrap_err();
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn trace_fires_once_per_logical_evaluation_not_per_retry() {
+        let mock = MockToolchain::clean();
+        let sink = JsonlSink::new();
+        let stack = Memoized::new(Resilient::new(
+            Traced::new(&mock, &sink),
+            TransientFor(2),
+            RetryPolicy::default(),
+        ));
+        let p = prog();
+        let r = stack.evaluate(&p, fp(&p), true).unwrap();
+        assert_eq!(r.transients, 2, "two faulted attempts were absorbed");
+        assert_eq!(mock.compile_calls(), 1);
+        assert_eq!(
+            sink.events(),
+            1,
+            "one toolchain_invoked event despite the retries"
+        );
+        assert!(sink.contents().contains(r#""event":"toolchain_invoked""#));
+        stack.evaluate(&p, fp(&p), true).unwrap();
+        assert_eq!(sink.events(), 1, "cache hits emit nothing");
+    }
+
+    #[test]
+    fn style_gate_rejects_before_any_compile_or_event() {
+        let mock = MockToolchain {
+            style: vec![StyleViolation {
+                message: "pipeline outside loop".to_string(),
+                function: Some("kernel".to_string()),
+            }],
+            ..MockToolchain::default()
+        };
+        let sink = JsonlSink::new();
+        let stack = Memoized::new(Resilient::new(
+            Traced::new(&mock, &sink),
+            NoFaults,
+            RetryPolicy::default(),
+        ));
+        let p = prog();
+        let r = stack.evaluate(&p, fp(&p), true).unwrap();
+        assert!(!r.style_clean);
+        assert!(r.diags.is_none());
+        assert_eq!(mock.compile_calls(), 0);
+        assert_eq!(sink.events(), 0);
+        // With the gate off the compile happens and style joins the diags.
+        let stack_off = Memoized::new(&mock);
+        let r = stack_off.evaluate(&p, fp(&p), false).unwrap();
+        assert_eq!(r.diags.unwrap().len(), 1);
+        assert_eq!(mock.compile_calls(), 1);
+    }
+
+    #[test]
+    fn default_stack_matches_the_bare_backend() {
+        let backend = SimBackend::default_profile();
+        let stack = Memoized::new(Resilient::new(
+            Traced::new(&backend, NullSink),
+            NoFaults,
+            RetryPolicy::default(),
+        ));
+        let p = minic::parse("void kernel(int x) { int a[x]; }").unwrap();
+        let through = stack.evaluate(&p, fp(&p), false).unwrap();
+        let bare = backend.evaluate(&p, fp(&p), false).unwrap();
+        assert_eq!(through.style_clean, bare.style_clean);
+        assert_eq!(through.loc, bare.loc);
+        assert_eq!(through.diags.unwrap(), bare.diags.unwrap());
+        assert_eq!(backend.diagnose(&p).len(), hls_sim::check_program(&p).len());
+    }
+
+    #[test]
+    fn profiles_are_distinct_and_resolvable() {
+        for name in SimBackend::names() {
+            assert!(SimBackend::by_name(name).is_some(), "{name}");
+        }
+        assert!(SimBackend::by_name("nope").is_none());
+        let a = SimBackend::default_profile().info();
+        let b = SimBackend::embedded_profile().info();
+        assert_ne!(a.name, b.name);
+        assert!(b.compile_base_min > a.compile_base_min);
+        assert!(b.max_speedup < a.max_speedup);
+        assert!(a.to_string().contains("xcvu9p"));
+
+        // Same kernel, different latency estimates: the seam is real.
+        let p = minic::parse(
+            "void kernel(int a[16]) { for (int i = 0; i < 16; i++) { a[i] = a[i] + 1; } }",
+        )
+        .unwrap();
+        let args = vec![ArgValue::IntArray(vec![0; 16])];
+        let da = SimBackend::default_profile()
+            .simulate(&p, &args, 0)
+            .unwrap();
+        let db = SimBackend::embedded_profile()
+            .simulate(&p, &args, 0)
+            .unwrap();
+        assert_eq!(da.result.outcome, db.result.outcome, "behaviour agrees");
+        assert!(
+            db.result.estimate.latency_ms > da.result.estimate.latency_ms,
+            "embedded profile is slower: {} vs {}",
+            db.result.estimate.latency_ms,
+            da.result.estimate.latency_ms
+        );
+    }
+
+    #[test]
+    fn resilient_simulate_replays_fuel_spikes() {
+        let backend = SimBackend::default_profile();
+        let plan = heterogen_faults::FaultPlan::builder(3)
+            .with_fuel_spike_rate(1.0)
+            .with_spike_factor(4)
+            .build();
+        let resilient = Resilient::new(&backend, &plan, RetryPolicy::default());
+        let p = prog();
+        let args = vec![ArgValue::Int(21)];
+        let spiked = resilient.simulate(&p, &args, 11).unwrap();
+        let plain = backend.simulate(&p, &args, 11).unwrap();
+        assert_eq!(
+            spiked.result, plain.result,
+            "survivable spike is transparent"
+        );
+        assert_eq!(spiked.transients, 0);
+    }
+
+    #[test]
+    fn disabled_injector_compiles_straight_through() {
+        let mock = MockToolchain::clean();
+        let resilient = Resilient::new(&mock, NoFaults, RetryPolicy::default());
+        let p = prog();
+        assert!(resilient.compile(&p, 1).unwrap().diags.is_empty());
+        assert_eq!(resilient.simulate(&p, &[], 1).unwrap().transients, 0);
+        assert_eq!(mock.compile_calls(), 1);
+        assert_eq!(mock.simulate_calls(), 1);
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`heterorefactor`] | the ICSE'20 baseline (dynamic data structures only) |
 //! | [`benchsuite`] | the ten evaluation subjects P1–P10 |
 //! | [`heterogen_core`] | the end-to-end pipeline |
+//! | [`heterogen_toolchain`] | backend-agnostic toolchain trait + cache/retry/trace middleware |
 //! | [`heterogen_trace`] | structured event tracing and metrics |
 //! | [`heterogen_faults`] | deterministic fault injection, retry policies, resilience stats |
 //!
@@ -60,6 +61,7 @@
 pub use benchsuite;
 pub use heterogen_core;
 pub use heterogen_faults;
+pub use heterogen_toolchain;
 pub use heterogen_trace;
 pub use heterorefactor;
 pub use hls_sim;
@@ -77,6 +79,10 @@ pub mod prelude {
     };
     pub use heterogen_faults::{
         FaultInjector, FaultPlan, FaultPlanBuilder, NoFaults, ResilienceStats, RetryPolicy,
+    };
+    pub use heterogen_toolchain::{
+        BackendInfo, EvalCache, EvalResult, Memoized, MockToolchain, Resilient, SimBackend,
+        Toolchain, Traced,
     };
     pub use heterogen_trace::{
         Event, JsonlSink, MetricsSink, NullSink, TeeSink, TraceSink, Verdict,

@@ -175,6 +175,76 @@ fn random_ablation_is_thread_count_invariant() {
     });
 }
 
+/// The backend-generic entry point under a non-default backend: the
+/// embedded profile reschedules and re-bills every candidate, and the
+/// whole search must still be thread-count invariant — same stats, same
+/// winning program, bit-identical latency at any worker count.
+#[test]
+fn alternative_backend_search_is_thread_count_invariant() {
+    use heterogen_faults::NoFaults;
+    use heterogen_toolchain::SimBackend;
+    use heterogen_trace::NullSink;
+
+    let s = benchsuite::subject("P6").unwrap();
+    let p = s.parse();
+    let fr = testgen::fuzz(&p, s.kernel, s.seed_inputs.clone(), &fuzz_cfg(1)).unwrap();
+    let broken = heterogen_core::initial_version(&p, &fr.profile);
+    let backend = SimBackend::embedded_profile();
+
+    let run_at = |threads: usize| {
+        repair::repair_with_backend(
+            &p,
+            broken.clone(),
+            s.kernel,
+            &fr.corpus,
+            &fr.profile,
+            &search_cfg(threads),
+            &NullSink,
+            &NoFaults,
+            &backend,
+        )
+        .unwrap()
+    };
+
+    let base = run_at(1);
+    for threads in [2usize, 4] {
+        let r = run_at(threads);
+        assert_eq!(base.applied, r.applied, "applied @ {threads} threads");
+        assert_eq!(base.stats, r.stats, "stats @ {threads} threads");
+        assert_eq!(base.success, r.success, "success @ {threads} threads");
+        assert_eq!(base.stop, r.stop, "stop reason @ {threads} threads");
+        assert_eq!(
+            base.fpga_latency_ms.to_bits(),
+            r.fpga_latency_ms.to_bits(),
+            "fpga latency @ {threads} threads"
+        );
+        assert_eq!(
+            minic::print_program(&base.program),
+            minic::print_program(&r.program),
+            "returned program @ {threads} threads"
+        );
+    }
+
+    // The two profiles are genuinely distinct toolchains: the embedded
+    // schedule model (single-port BRAM, 1.25 cycles/op, 8x speedup cap)
+    // must land the same subject at a different latency than the default
+    // datacenter profile.
+    let default_run = repair::repair(
+        &p,
+        broken,
+        s.kernel,
+        &fr.corpus,
+        &fr.profile,
+        &search_cfg(1),
+    )
+    .unwrap();
+    assert_ne!(
+        base.fpga_latency_ms.to_bits(),
+        default_run.fpga_latency_ms.to_bits(),
+        "the embedded backend should schedule P6 differently from the default"
+    );
+}
+
 /// The trace layer's merge-phase emission rule, pinned end to end: a full
 /// pipeline run (fuzzing + repair) with a `JsonlSink` must produce a
 /// byte-identical event stream at every thread count.
