@@ -10,43 +10,103 @@
 //! cargo run --release -p bench --bin reproduce -- toolchain P3 --backend embedded
 //! cargo run --release -p bench --bin reproduce -- bench-guard
 //! cargo run --release -p bench --bin reproduce -- chaos P3
+//! cargo run --release -p bench --bin reproduce -- serve --threads 4
+//! cargo run --release -p bench --bin reproduce -- loadgen --jobs 400 --clients 8
 //! ```
 
 use bench::*;
-use heterogen_core::{HeteroGen, Job};
+use heterogen_core::{HeteroGen, JobSpec, PipelineConfig};
+use heterogen_server::{loadgen, Server, ServerConfig};
 use heterogen_toolchain::{EvalCache, Memoized, Resilient, SimBackend, Toolchain, Traced};
 use heterogen_trace::{JsonlSink, MetricsSink, NullSink, TeeSink, TraceSink};
 use std::sync::Arc;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    let wants_json = args.iter().any(|a| a == "--json");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
+/// The flags every subject-driving subcommand shares, parsed once:
+/// `<subject>` (first non-flag positional after the subcommand),
+/// `--backend <name>`, `--threads <n>`, and `--json [path]`.
+#[derive(Debug, Clone, Default)]
+struct CommonOpts {
+    subcommand: String,
+    subject: Option<String>,
+    backend: Option<String>,
+    threads: Option<usize>,
+    wants_json: bool,
+    json_path: Option<String>,
+}
+
+impl CommonOpts {
+    fn parse(args: &[String]) -> CommonOpts {
+        CommonOpts {
+            subcommand: args.first().cloned().unwrap_or_else(|| "all".to_string()),
+            subject: args.get(1).filter(|a| !a.starts_with("--")).cloned(),
+            backend: flag_value(args, "--backend"),
+            threads: flag_value(args, "--threads").and_then(|v| v.parse().ok()),
+            wants_json: args.iter().any(|a| a == "--json"),
+            json_path: flag_value(args, "--json"),
+        }
+    }
+
+    /// The subject positional, or a usage error naming the subcommand.
+    fn require_subject(&self) -> String {
+        self.subject.clone().unwrap_or_else(|| {
+            eprintln!(
+                "usage: reproduce -- {} <subject> [--backend <name>] [--threads <n>] [--json [path]]",
+                self.subcommand
+            );
+            std::process::exit(2);
+        })
+    }
+
+    /// The standard pipeline configuration with the `--threads` override
+    /// applied to both the fuzzing and search phases.
+    fn config(&self) -> PipelineConfig {
+        let mut cfg = standard_config();
+        if let Some(t) = self.threads {
+            cfg.fuzz.threads = t;
+            cfg.search.threads = t;
+        }
+        cfg
+    }
+
+    /// A job for `subject` honouring the `--backend` override.
+    fn spec_for(&self, s: &benchsuite::Subject) -> JobSpec {
+        let mut seeds = s.seed_inputs.clone();
+        seeds.extend(s.existing_tests.clone());
+        let mut b = JobSpec::builder(s.parse(), s.kernel).seeds(seeds);
+        if let Some(name) = &self.backend {
+            b = b.backend(name);
+        }
+        b.build()
+    }
+}
+
+/// The value following `name`, unless it is itself a flag.
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .filter(|p| !p.starts_with("--"))
-        .cloned();
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = CommonOpts::parse(&args);
+    let what = opts.subcommand.as_str();
+    let json_path = opts.json_path.clone();
 
     // Single-subject drivers sit outside the table/figure bundle.
     match what {
         "run" => {
-            run_one(&subject_arg(&args), wants_json, json_path.as_deref());
+            run_one(&opts);
             return;
         }
         "trace" => {
-            run_trace(&subject_arg(&args), json_path.as_deref());
+            run_trace(&opts);
             return;
         }
         "toolchain" => {
-            let backend = args
-                .iter()
-                .position(|a| a == "--backend")
-                .and_then(|i| args.get(i + 1))
-                .cloned()
-                .unwrap_or_else(|| "embedded".to_string());
-            run_toolchain(&subject_arg(&args), &backend);
+            run_toolchain(&opts);
             return;
         }
         "bench-guard" => {
@@ -54,12 +114,15 @@ fn main() {
             return;
         }
         "chaos" => {
-            run_chaos(
-                args.get(1)
-                    .filter(|a| !a.starts_with("--"))
-                    .map(String::as_str)
-                    .unwrap_or("P3"),
-            );
+            run_chaos(&opts);
+            return;
+        }
+        "serve" => {
+            run_serve(&opts);
+            return;
+        }
+        "loadgen" => {
+            run_loadgen(&opts, &args);
             return;
         }
         _ => {}
@@ -98,7 +161,7 @@ fn main() {
             run_summary(&bundle);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair run trace toolchain bench-guard chaos summary all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair run trace toolchain bench-guard chaos serve loadgen summary all");
             std::process::exit(2);
         }
     }
@@ -106,16 +169,6 @@ fn main() {
         let json = serde_json::to_string_pretty(&bundle).expect("serializable bundle");
         std::fs::write(&path, json).expect("write json");
         println!("\nwrote {path}");
-    }
-}
-
-fn subject_arg(args: &[String]) -> String {
-    match args.get(1).filter(|a| !a.starts_with("--")) {
-        Some(id) => id.clone(),
-        None => {
-            eprintln!("usage: reproduce -- {} <subject> [--json [path]]", args[0]);
-            std::process::exit(2);
-        }
     }
 }
 
@@ -133,14 +186,19 @@ fn load_subject(id: &str) -> benchsuite::Subject {
     })
 }
 
-/// `reproduce -- run <subject> [--json [path]]`: one pipeline run; the
-/// report prints as a table or serializes whole (program as HLS-C source).
-fn run_one(id: &str, wants_json: bool, json_path: Option<&str>) {
-    let s = load_subject(id);
-    let report = run_subject(&s, &standard_config());
-    if wants_json {
+/// `reproduce -- run <subject> [--backend <name>] [--threads <n>]
+/// [--json [path]]`: one pipeline run; the report prints as a table or
+/// serializes whole (program as HLS-C source).
+fn run_one(opts: &CommonOpts) {
+    let s = load_subject(&opts.require_subject());
+    let report = HeteroGen::builder()
+        .config(opts.config())
+        .build()
+        .run(opts.spec_for(&s))
+        .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", s.id));
+    if opts.wants_json {
         let json = serde_json::to_string_pretty(&report).expect("serializable report");
-        match json_path {
+        match opts.json_path.as_deref() {
             Some(path) => {
                 std::fs::write(path, json).expect("write json");
                 println!("wrote {path}");
@@ -176,13 +234,11 @@ fn run_one(id: &str, wants_json: bool, json_path: Option<&str>) {
     );
 }
 
-/// `reproduce -- trace <subject> [--json path]`: the same run under a
-/// `MetricsSink` + `JsonlSink` tee, summarized per phase.
-fn run_trace(id: &str, json_path: Option<&str>) {
-    let s = load_subject(id);
-    let p = s.parse();
-    let mut seeds = s.seed_inputs.clone();
-    seeds.extend(s.existing_tests.clone());
+/// `reproduce -- trace <subject> [--backend <name>] [--threads <n>]
+/// [--json path]`: the same run under a `MetricsSink` + `JsonlSink` tee,
+/// summarized per phase.
+fn run_trace(opts: &CommonOpts) {
+    let s = load_subject(&opts.require_subject());
     let metrics = Arc::new(MetricsSink::new());
     let jsonl = Arc::new(JsonlSink::new());
     let tee: Arc<dyn TraceSink> = Arc::new(TeeSink::new(vec![
@@ -190,11 +246,11 @@ fn run_trace(id: &str, json_path: Option<&str>) {
         jsonl.clone() as Arc<dyn TraceSink>,
     ]));
     let report = HeteroGen::builder()
-        .config(standard_config())
+        .config(opts.config())
         .sink(tee)
         .build()
-        .run(Job::fuzz(p, s.kernel, seeds))
-        .unwrap_or_else(|e| panic!("{id}: pipeline failed: {e}"));
+        .run(opts.spec_for(&s))
+        .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", s.id));
 
     println!("== trace: {} ({}) ==", s.id, s.name);
     println!("\n-- phases (simulated minutes) --");
@@ -241,17 +297,18 @@ fn run_trace(id: &str, json_path: Option<&str>) {
         jsonl.events(),
         report.success()
     );
-    if let Some(path) = json_path {
+    if let Some(path) = &opts.json_path {
         std::fs::write(path, jsonl.contents()).expect("write jsonl");
         println!("wrote {path}");
     }
 }
 
-/// `reproduce -- toolchain <subject> [--backend <name>]`: the same pipeline
-/// run twice, once through the default datacenter backend and once through
-/// the named alternative, demonstrating that the repair search is generic
-/// over the [`Toolchain`] it drives.
-fn run_toolchain(id: &str, backend_name: &str) {
+/// `reproduce -- toolchain <subject> [--backend <name>] [--threads <n>]`:
+/// the same pipeline run twice, once through the default datacenter backend
+/// and once through the named alternative, demonstrating that the repair
+/// search is generic over the [`Toolchain`] it drives.
+fn run_toolchain(opts: &CommonOpts) {
+    let backend_name = opts.backend.as_deref().unwrap_or("embedded");
     let alt = SimBackend::by_name(backend_name).unwrap_or_else(|| {
         eprintln!(
             "unknown backend `{backend_name}`; expected one of: {}",
@@ -259,8 +316,8 @@ fn run_toolchain(id: &str, backend_name: &str) {
         );
         std::process::exit(2);
     });
-    let s = load_subject(id);
-    let cfg = standard_config();
+    let s = load_subject(&opts.require_subject());
+    let cfg = opts.config();
     let run_with = |backend: SimBackend| {
         let p = s.parse();
         let mut seeds = s.seed_inputs.clone();
@@ -270,8 +327,8 @@ fn run_toolchain(id: &str, backend_name: &str) {
             .config(cfg)
             .backend(backend)
             .build()
-            .run(Job::fuzz(p, s.kernel, seeds))
-            .unwrap_or_else(|e| panic!("{id}: pipeline failed on `{}`: {e}", info.name));
+            .run(JobSpec::fuzz(p, s.kernel, seeds))
+            .unwrap_or_else(|e| panic!("{}: pipeline failed on `{}`: {e}", s.id, info.name));
         (info, report)
     };
     let (base_info, base) = run_with(SimBackend::default_profile());
@@ -483,9 +540,10 @@ fn run_bench_guard() {
 /// panics mid-compile), and asserts the chaos run absorbed every fault
 /// without perturbing the outcome: same applied edits, same stats, same
 /// best program, bit-identical latency.
-fn run_chaos(id: &str) {
+fn run_chaos(opts: &CommonOpts) {
     use heterogen_faults::FaultPlan;
 
+    let id = opts.subject.as_deref().unwrap_or("P3");
     let s = load_subject(id);
     let p = s.parse();
     let fuzz_cfg = testgen::FuzzConfig::builder()
@@ -502,6 +560,7 @@ fn run_chaos(id: &str) {
     let sc = repair::SearchConfig::builder()
         .with_budget_min(150.0)
         .with_max_diff_tests(12)
+        .with_threads(opts.threads.unwrap_or(0))
         .build();
 
     let base_sink = JsonlSink::new();
@@ -607,6 +666,200 @@ fn run_chaos(id: &str) {
         std::process::exit(1);
     }
     println!("OK: fault-free and chaos runs agree on every observable output");
+}
+
+/// `reproduce -- serve [subject] [--backend <name>] [--threads <n>]
+/// [--json [path]]`: runs the benchmark subjects through the in-process job
+/// server — every subject is submitted up front under its own client id, the
+/// bounded worker pool drains the queue, and the per-job reports plus the
+/// server-wide stats snapshot print at the end.
+fn run_serve(opts: &CommonOpts) {
+    let subjects: Vec<benchsuite::Subject> = match &opts.subject {
+        Some(id) => vec![load_subject(id)],
+        None => benchsuite::subjects(),
+    };
+    let server = Server::start(
+        ServerConfig::builder()
+            .with_workers(opts.threads.unwrap_or(0))
+            .with_pipeline(opts.config())
+            .build(),
+    );
+    println!(
+        "== serve: {} subjects on {} workers ==",
+        subjects.len(),
+        server.worker_count()
+    );
+    let handles: Vec<_> = subjects
+        .iter()
+        .map(|s| {
+            let mut spec = opts.spec_for(s);
+            spec.client = s.id.to_string();
+            server.submit(spec).unwrap_or_else(|e| {
+                eprintln!("{}: submission rejected: {e}", s.id);
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    let outputs: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    let stats = server.shutdown();
+
+    print_table(
+        &[
+            "ID",
+            "Queue (ms)",
+            "Wall (ms)",
+            "Success",
+            "Speedup",
+            "Degradations",
+        ],
+        &outputs
+            .iter()
+            .map(|o| {
+                let (success, speedup, degradations) = match &o.report {
+                    Ok(r) => (
+                        tick(r.success()),
+                        format!("{:.2}x", r.speedup()),
+                        r.degradations.len().to_string(),
+                    ),
+                    Err(e) => (format!("error: {e}"), "-".into(), "-".into()),
+                };
+                vec![
+                    o.client.clone(),
+                    format!("{:.1}", o.queue_ms),
+                    format!("{:.1}", o.wall_ms),
+                    success,
+                    speedup,
+                    degradations,
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "accepted {} / completed {} (ok {}, degraded {}, failed {}); wall p50 {:.1} ms, p99 {:.1} ms",
+        stats.accepted,
+        stats.completed,
+        stats.succeeded,
+        stats.degraded,
+        stats.failed,
+        stats.wall_ms.p50,
+        stats.wall_ms.p99,
+    );
+    if opts.wants_json {
+        let reports: Vec<_> = outputs
+            .iter()
+            .filter_map(|o| o.report.as_ref().ok())
+            .collect();
+        let json = serde_json::to_string_pretty(&reports).expect("serializable reports");
+        match opts.json_path.as_deref() {
+            Some(path) => {
+                std::fs::write(path, json).expect("write json");
+                println!("wrote {path}");
+            }
+            None => println!("{json}"),
+        }
+    }
+}
+
+/// `reproduce -- loadgen [--jobs <n>] [--clients <n>] [--queue <n>]
+/// [--threads <n>] [--json path]`: replays many concurrent seeded synthetic
+/// jobs against a bounded server and writes the measured latency,
+/// throughput, and rejection profile to `BENCH_server.json` (or the
+/// `--json` path).
+fn run_loadgen(opts: &CommonOpts, args: &[String]) {
+    let jobs: usize = flag_value(args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    let clients: usize = flag_value(args, "--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let queue: usize = flag_value(args, "--queue")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+
+    // Small seeded subjects so a run is thousands of complete pipeline
+    // executions, not minutes per job; parallelism comes from the worker
+    // pool, so each job's phases stay single-threaded.
+    let mut pipeline = heterogen_core::PipelineConfig::quick();
+    pipeline.fuzz.idle_stop_min = 0.2;
+    pipeline.fuzz.max_execs = 80;
+    pipeline.fuzz.threads = 1;
+    pipeline.search.threads = 1;
+    let programs = [
+        "int kernel(int x) { return x + 1; }",
+        "int kernel(int x) { long double y = x; y = y + 1; return y; }",
+        "int kernel(int a[4]) { int s = 0; for (int i = 0; i < 4; i++) { s += a[i]; } return s; }",
+    ];
+    let parsed: Vec<minic::Program> = programs.iter().map(|s| minic::parse(s).unwrap()).collect();
+
+    let cfg = loadgen::LoadgenConfig::builder()
+        .with_jobs(jobs)
+        .with_clients(clients)
+        .with_server(
+            ServerConfig::builder()
+                .with_workers(opts.threads.unwrap_or(0))
+                .with_queue_capacity(queue)
+                .with_pipeline(pipeline)
+                .build(),
+        )
+        .build();
+    println!("== loadgen: {jobs} jobs, {clients} clients, queue {queue} ==");
+    let report = loadgen::run(&cfg, |i| {
+        let mut b = JobSpec::builder(parsed[i % parsed.len()].clone(), "kernel").seed(i as u64);
+        if let Some(name) = &opts.backend {
+            b = b.backend(name);
+        }
+        b.build()
+    });
+
+    print_table(
+        &["Metric", "Value"],
+        &[
+            vec!["workers".into(), report.workers.to_string()],
+            vec!["accepted".into(), report.accepted.to_string()],
+            vec!["rejections".into(), report.rejections.to_string()],
+            vec!["rejection rate".into(), pct(report.rejection_rate)],
+            vec!["dropped".into(), report.dropped.to_string()],
+            vec![
+                "completed".into(),
+                format!(
+                    "{} (ok {}, degraded {}, failed {})",
+                    report.completed, report.succeeded, report.degraded, report.failed
+                ),
+            ],
+            vec![
+                "throughput".into(),
+                format!(
+                    "{:.1} jobs/s over {:.2} s",
+                    report.throughput_jobs_per_sec, report.wall_s
+                ),
+            ],
+            vec![
+                "latency (ms)".into(),
+                format!(
+                    "p50 {:.1} / p90 {:.1} / p99 {:.1} / max {:.1}",
+                    report.latency_ms.p50,
+                    report.latency_ms.p90,
+                    report.latency_ms.p99,
+                    report.latency_ms.max
+                ),
+            ],
+            vec![
+                "queue wait (ms)".into(),
+                format!(
+                    "p50 {:.1} / p99 {:.1} / max {:.1}",
+                    report.queue_wait_ms.p50, report.queue_wait_ms.p99, report.queue_wait_ms.max
+                ),
+            ],
+        ],
+    );
+    if report.failed > 0 || report.dropped > 0 {
+        eprintln!("FAIL: a load run must complete every admitted job without errors");
+        std::process::exit(1);
+    }
+    let path = opts.json_path.as_deref().unwrap_or("BENCH_server.json");
+    let json = serde_json::to_string_pretty(&report).expect("serializable loadgen report");
+    std::fs::write(path, json).expect("write loadgen report");
+    println!("wrote {path}");
 }
 
 fn pct(x: f64) -> String {

@@ -342,7 +342,7 @@ pub fn fig8() -> Fig8Result {
 
     let session = heterogen_core::HeteroGen::builder().config(cfg).build();
     let existing_run = session
-        .run(heterogen_core::Job::with_tests(
+        .run(heterogen_core::JobSpec::with_tests(
             p.clone(),
             s.kernel,
             s.existing_tests.clone(),
@@ -352,7 +352,7 @@ pub fn fig8() -> Fig8Result {
     let mut seeds = s.seed_inputs.clone();
     seeds.extend(s.existing_tests.clone());
     let generated_run = session
-        .run(heterogen_core::Job::fuzz(p.clone(), s.kernel, seeds))
+        .run(heterogen_core::JobSpec::fuzz(p.clone(), s.kernel, seeds))
         .expect("generated run");
 
     let d = DifferentialTester::new(&p, s.kernel, &generated_run.tests, 64)

@@ -7,7 +7,7 @@
 //! reproduction targets, recorded in EXPERIMENTS.md.
 
 use benchsuite::Subject;
-use heterogen_core::{HeteroGen, Job, PipelineConfig, PipelineReport};
+use heterogen_core::{HeteroGen, JobSpec, PipelineConfig, PipelineReport};
 use repair::DifferentialTester;
 use serde::Serialize;
 
@@ -33,7 +33,7 @@ pub fn run_subject(s: &Subject, cfg: &PipelineConfig) -> PipelineReport {
     HeteroGen::builder()
         .config(*cfg)
         .build()
-        .run(Job::fuzz(p, s.kernel, seeds))
+        .run(JobSpec::fuzz(p, s.kernel, seeds))
         .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", s.id))
 }
 

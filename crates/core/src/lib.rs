@@ -10,7 +10,7 @@
 //! # Examples
 //!
 //! ```
-//! use heterogen_core::{HeteroGen, Job, PipelineConfig};
+//! use heterogen_core::{HeteroGen, JobSpec, PipelineConfig};
 //!
 //! let program = minic::parse(
 //!     "int kernel(int x) { long double y = x; y = y + 1; return y; }",
@@ -19,7 +19,7 @@
 //! cfg.fuzz.idle_stop_min = 0.5;
 //! cfg.fuzz.max_execs = 200;
 //! let session = HeteroGen::builder().config(cfg).build();
-//! let report = session.run(Job::fuzz(program, "kernel", vec![])).unwrap();
+//! let report = session.run(JobSpec::fuzz(program, "kernel", vec![])).unwrap();
 //! assert!(report.success());
 //! ```
 
@@ -309,8 +309,10 @@ impl Serialize for Degradation {
 ///
 /// Serializes to JSON (`serde::Serialize`) with the final program rendered
 /// as pretty-printed HLS-C source — the shape behind
-/// `reproduce run <subject> --json`.
-#[derive(Debug, Clone, Serialize)]
+/// `reproduce run <subject> --json`. The JSON opens with a
+/// `schema_version` field (see [`heterogen_trace::SCHEMA_VERSION`]);
+/// [`wire::parse_versioned`] rejects documents from other versions.
+#[derive(Debug, Clone)]
 pub struct PipelineReport {
     /// Kernel (top function) name.
     pub kernel: String,
@@ -334,6 +336,35 @@ pub struct PipelineReport {
     /// Phases that finished best-effort instead of completely (empty on a
     /// clean run).
     pub degradations: Vec<Degradation>,
+}
+
+// Manual impl: the wire format opens with `schema_version`, which is a
+// format constant rather than a struct field.
+impl Serialize for PipelineReport {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                heterogen_trace::SCHEMA_VERSION.to_json_value(),
+            ),
+            ("kernel".to_string(), self.kernel.to_json_value()),
+            ("testgen".to_string(), self.testgen.to_json_value()),
+            (
+                "initial_errors".to_string(),
+                self.initial_errors.to_json_value(),
+            ),
+            ("repair".to_string(), self.repair.to_json_value()),
+            ("delta_loc".to_string(), self.delta_loc.to_json_value()),
+            ("origin_loc".to_string(), self.origin_loc.to_json_value()),
+            ("program".to_string(), self.program.to_json_value()),
+            ("tests".to_string(), self.tests.to_json_value()),
+            ("profile".to_string(), self.profile.to_json_value()),
+            (
+                "degradations".to_string(),
+                self.degradations.to_json_value(),
+            ),
+        ])
+    }
 }
 
 impl PipelineReport {
@@ -364,6 +395,8 @@ pub enum PipelineError {
     TestGen(String),
     /// The differential reference could not be built.
     Repair(String),
+    /// The [`JobSpec`] itself is unusable (e.g. an unknown backend name).
+    Spec(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -371,11 +404,32 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::TestGen(m) => write!(f, "test generation failed: {m}"),
             PipelineError::Repair(m) => write!(f, "repair failed: {m}"),
+            PipelineError::Spec(m) => write!(f, "invalid job spec: {m}"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+/// Resolves a backend name from a [`JobSpec`] to a live [`Toolchain`].
+///
+/// Accepts every name [`SimBackend::by_name`] knows. The server and
+/// [`Session::run`] share this resolver, so a spec behaves identically
+/// whichever path executes it.
+///
+/// # Errors
+///
+/// [`PipelineError::Spec`] for unknown names, listing the canonical ones.
+pub fn resolve_backend(name: &str) -> Result<Arc<dyn Toolchain>, PipelineError> {
+    SimBackend::by_name(name)
+        .map(|b| Arc::new(b) as Arc<dyn Toolchain>)
+        .ok_or_else(|| {
+            PipelineError::Spec(format!(
+                "unknown backend `{name}` (known: {})",
+                SimBackend::names().join(", ")
+            ))
+        })
+}
 
 /// Where a job's test suite comes from.
 #[derive(Debug, Clone)]
@@ -388,7 +442,139 @@ pub enum TestSource {
     Existing(Vec<TestCase>),
 }
 
+/// One unit of transpilation work, shared by [`Session::run`] and the job
+/// server.
+///
+/// `#[non_exhaustive]`: construct one with [`JobSpec::fuzz`] /
+/// [`JobSpec::with_tests`] or the full [`JobSpec::builder`], so new knobs
+/// (backend, seed, budgets, client) are not semver breaks. All override
+/// fields default to "inherit from the session": a bare spec behaves
+/// exactly like the old [`Job`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct JobSpec {
+    /// The original C program.
+    pub program: Program,
+    /// The kernel (top function) name.
+    pub kernel: String,
+    /// Where the differential test suite comes from.
+    pub tests: TestSource,
+    /// Backend name override (see [`resolve_backend`]); `None` inherits the
+    /// session's backend.
+    pub backend: Option<String>,
+    /// RNG seed override for *both* the fuzzer and the repair search;
+    /// `None` inherits the configured seeds.
+    pub seed: Option<u64>,
+    /// Per-phase budget override; `None` inherits the session's budgets.
+    pub budgets: Option<PhaseBudgets>,
+    /// Client identity for the server's fair-share admission. The library
+    /// path ignores it.
+    pub client: String,
+}
+
+/// The client id a [`JobSpec`] carries unless [`JobSpecBuilder::client`]
+/// sets one.
+pub const ANONYMOUS_CLIENT: &str = "anonymous";
+
+impl JobSpec {
+    /// A spec whose test suite is fuzzed from `seeds` (which may be empty).
+    pub fn fuzz(program: Program, kernel: impl Into<String>, seeds: Vec<TestCase>) -> JobSpec {
+        JobSpec::builder(program, kernel).seeds(seeds).build()
+    }
+
+    /// A spec that runs against an externally supplied test suite.
+    pub fn with_tests(
+        program: Program,
+        kernel: impl Into<String>,
+        tests: Vec<TestCase>,
+    ) -> JobSpec {
+        JobSpec::builder(program, kernel)
+            .existing_tests(tests)
+            .build()
+    }
+
+    /// Starts a builder for `program`'s `kernel`; the test source defaults
+    /// to fuzzing from no seeds.
+    pub fn builder(program: Program, kernel: impl Into<String>) -> JobSpecBuilder {
+        JobSpecBuilder {
+            spec: JobSpec {
+                program,
+                kernel: kernel.into(),
+                tests: TestSource::Fuzz(Vec::new()),
+                backend: None,
+                seed: None,
+                budgets: None,
+                client: ANONYMOUS_CLIENT.to_string(),
+            },
+        }
+    }
+}
+
+/// Builder for [`JobSpec`].
+///
+/// ```
+/// use heterogen_core::{JobSpec, PhaseBudgets};
+///
+/// let program = minic::parse("int kernel(int x) { return x + 1; }").unwrap();
+/// let spec = JobSpec::builder(program, "kernel")
+///     .backend("embedded")
+///     .seed(42)
+///     .budgets(PhaseBudgets::builder().with_repair_evals(500).build())
+///     .client("team-a")
+///     .build();
+/// assert_eq!(spec.client, "team-a");
+/// assert_eq!(spec.seed, Some(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobSpecBuilder {
+    spec: JobSpec,
+}
+
+impl JobSpecBuilder {
+    /// Fuzzes the test suite from these seed inputs (may be empty).
+    pub fn seeds(mut self, seeds: Vec<TestCase>) -> Self {
+        self.spec.tests = TestSource::Fuzz(seeds);
+        self
+    }
+
+    /// Uses an externally supplied test suite instead of fuzzing.
+    pub fn existing_tests(mut self, tests: Vec<TestCase>) -> Self {
+        self.spec.tests = TestSource::Existing(tests);
+        self
+    }
+
+    /// Overrides the backend by name (see [`resolve_backend`]).
+    pub fn backend(mut self, name: impl Into<String>) -> Self {
+        self.spec.backend = Some(name.into());
+        self
+    }
+
+    /// Overrides the RNG seed for both the fuzzer and the repair search.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = Some(seed);
+        self
+    }
+
+    /// Overrides the per-phase work budgets.
+    pub fn budgets(mut self, budgets: PhaseBudgets) -> Self {
+        self.spec.budgets = Some(budgets);
+        self
+    }
+
+    /// Names the submitting client (for the server's fair-share admission).
+    pub fn client(mut self, client: impl Into<String>) -> Self {
+        self.spec.client = client.into();
+        self
+    }
+
+    /// Finalizes the spec.
+    pub fn build(self) -> JobSpec {
+        self.spec
+    }
+}
+
 /// One unit of transpilation work for [`Session::run`].
+#[deprecated(note = "use `JobSpec` (builder-backed, shared with the job server) instead")]
 #[derive(Debug, Clone)]
 pub struct Job {
     /// The original C program.
@@ -399,6 +585,7 @@ pub struct Job {
     pub tests: TestSource,
 }
 
+#[allow(deprecated)]
 impl Job {
     /// A job whose test suite is fuzzed from `seeds` (which may be empty).
     pub fn fuzz(program: Program, kernel: impl Into<String>, seeds: Vec<TestCase>) -> Job {
@@ -416,6 +603,15 @@ impl Job {
             kernel: kernel.into(),
             tests: TestSource::Existing(tests),
         }
+    }
+}
+
+#[allow(deprecated)]
+impl From<Job> for JobSpec {
+    fn from(job: Job) -> JobSpec {
+        let mut b = JobSpec::builder(job.program, job.kernel);
+        b.spec.tests = job.tests;
+        b.build()
     }
 }
 
@@ -507,17 +703,31 @@ impl Session {
 
     /// Runs the full pipeline on one job.
     ///
+    /// Accepts anything convertible into a [`JobSpec`] (including the
+    /// deprecated [`Job`]). Spec-level overrides — backend name, RNG seed,
+    /// budgets — take precedence over the session's configuration; a spec
+    /// with no overrides behaves exactly as the session is configured.
+    ///
     /// # Errors
     ///
-    /// Returns [`PipelineError`] when the kernel cannot be fuzzed or the
-    /// reference execution fails outright.
-    pub fn run(&self, job: Job) -> Result<PipelineReport, PipelineError> {
+    /// Returns [`PipelineError`] when the spec is invalid, the kernel
+    /// cannot be fuzzed, or the reference execution fails outright.
+    pub fn run(&self, job: impl Into<JobSpec>) -> Result<PipelineReport, PipelineError> {
         let sink = self.sink.as_ref();
-        let Job {
+        let JobSpec {
             program: original,
             kernel,
             tests,
-        } = job;
+            backend,
+            seed,
+            budgets,
+            client: _,
+        } = job.into();
+        let backend: Arc<dyn Toolchain> = match backend {
+            None => self.backend.clone(),
+            Some(name) => resolve_backend(&name)?,
+        };
+        let budgets = budgets.unwrap_or(self.config.budgets);
         if sink.enabled() {
             sink.emit(&Event::PhaseEnter {
                 phase: "testgen".to_string(),
@@ -528,11 +738,10 @@ impl Session {
         // 1. Test generation (paper §4, Algorithm 1) — or replay of a
         //    pre-existing suite to collect the profile.
         let mut fuzz_cfg = self.config.fuzz;
-        let fuzz_cap = self
-            .config
-            .budgets
-            .fuzz_execs
-            .filter(|cap| *cap < fuzz_cfg.max_execs);
+        if let Some(seed) = seed {
+            fuzz_cfg.rng_seed = seed;
+        }
+        let fuzz_cap = budgets.fuzz_execs.filter(|cap| *cap < fuzz_cfg.max_execs);
         if let Some(cap) = fuzz_cap {
             fuzz_cfg.max_execs = cap;
         }
@@ -595,7 +804,7 @@ impl Session {
         } else {
             original.clone()
         };
-        let initial_errors = self.backend.diagnose(&broken).len();
+        let initial_errors = backend.diagnose(&broken).len();
 
         // 3–5. Iterative repair with differential testing.
         if sink.enabled() {
@@ -605,7 +814,10 @@ impl Session {
             });
         }
         let mut search_cfg = self.config.search;
-        search_cfg.max_evals = match (search_cfg.max_evals, self.config.budgets.repair_evals) {
+        if let Some(seed) = seed {
+            search_cfg.rng_seed = seed;
+        }
+        search_cfg.max_evals = match (search_cfg.max_evals, budgets.repair_evals) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
@@ -618,7 +830,7 @@ impl Session {
             &search_cfg,
             sink,
             self.faults.as_ref(),
-            self.backend.as_ref(),
+            backend.as_ref(),
         )
         .map_err(PipelineError::Repair)?;
         let repair_end_min = testgen_min + outcome.stats.elapsed_min;
@@ -777,6 +989,100 @@ pub fn initial_version(p: &Program, profile: &Profile) -> Program {
     out
 }
 
+/// Versioned wire-format helpers for server clients.
+///
+/// Every serialized [`PipelineReport`] opens with a `schema_version` field
+/// and every JSONL trace stream opens with a schema header line (both carry
+/// [`heterogen_trace::SCHEMA_VERSION`]). These helpers parse such documents
+/// and *reject* versions they do not understand, so a client talking to a
+/// newer server fails loudly instead of misreading fields.
+pub mod wire {
+    use heterogen_trace::SCHEMA_VERSION;
+
+    /// Why a wire document was rejected.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum WireError {
+        /// The document is not valid JSON (or the trace stream is empty).
+        Malformed(String),
+        /// No `schema_version` field / schema header line was found.
+        MissingVersion,
+        /// The document declares a version this build does not speak.
+        UnsupportedVersion {
+            /// The version the document declared.
+            found: i128,
+            /// The version this build supports.
+            supported: u32,
+        },
+    }
+
+    impl std::fmt::Display for WireError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                WireError::Malformed(m) => write!(f, "malformed wire document: {m}"),
+                WireError::MissingVersion => write!(f, "wire document carries no schema_version"),
+                WireError::UnsupportedVersion { found, supported } => write!(
+                    f,
+                    "unsupported schema_version {found} (this build speaks {supported})"
+                ),
+            }
+        }
+    }
+
+    impl std::error::Error for WireError {}
+
+    fn check_version(found: i128) -> Result<(), WireError> {
+        if found == i128::from(SCHEMA_VERSION) {
+            Ok(())
+        } else {
+            Err(WireError::UnsupportedVersion {
+                found,
+                supported: SCHEMA_VERSION,
+            })
+        }
+    }
+
+    /// Parses a versioned JSON document (e.g. a serialized
+    /// [`PipelineReport`](super::PipelineReport)), verifying its
+    /// `schema_version` matches this build's.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed JSON, a missing version field, or a
+    /// version mismatch.
+    pub fn parse_versioned(json: &str) -> Result<serde::Value, WireError> {
+        let doc = serde_json::from_str(json).map_err(|e| WireError::Malformed(e.to_string()))?;
+        let found = doc
+            .get("schema_version")
+            .and_then(serde::Value::as_i128)
+            .ok_or(WireError::MissingVersion)?;
+        check_version(found)?;
+        Ok(doc)
+    }
+
+    /// Verifies a JSONL trace stream opens with a schema header line this
+    /// build understands.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] when the stream is empty, the first line is not a
+    /// schema header, or the version does not match.
+    pub fn check_trace_header(stream: &str) -> Result<(), WireError> {
+        let first = stream
+            .lines()
+            .next()
+            .ok_or_else(|| WireError::Malformed("empty trace stream".to_string()))?;
+        let doc = serde_json::from_str(first).map_err(|e| WireError::Malformed(e.to_string()))?;
+        if doc.get("event").and_then(serde::Value::as_str) != Some("schema") {
+            return Err(WireError::MissingVersion);
+        }
+        let found = doc
+            .get("schema_version")
+            .and_then(serde::Value::as_i128)
+            .ok_or(WireError::MissingVersion)?;
+        check_version(found)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -821,7 +1127,7 @@ mod tests {
         cfg.fuzz.idle_stop_min = 0.5;
         cfg.fuzz.max_execs = 200;
         let session = HeteroGen::builder().config(cfg).build();
-        let report = session.run(Job::fuzz(p, "kernel", vec![])).unwrap();
+        let report = session.run(JobSpec::fuzz(p, "kernel", vec![])).unwrap();
         assert!(dump_on_failure(&report));
         assert!(report.testgen.tests > 0);
         assert!(report.delta_loc <= 10);
@@ -841,7 +1147,7 @@ mod tests {
         cfg.fuzz.max_execs = 200;
         let seeds = vec![vec![ArgValue::IntArray(vec![1, 2, 3, 4])]];
         let session = HeteroGen::builder().config(cfg).build();
-        let report = session.run(Job::fuzz(p, "kernel", seeds)).unwrap();
+        let report = session.run(JobSpec::fuzz(p, "kernel", seeds)).unwrap();
         assert!(dump_on_failure(&report));
     }
 
@@ -852,7 +1158,9 @@ mod tests {
         let cfg = PipelineConfig::quick();
         let tests = vec![vec![ArgValue::Int(5)], vec![ArgValue::Int(-1)]];
         let session = HeteroGen::builder().config(cfg).build();
-        let report = session.run(Job::with_tests(p, "kernel", tests)).unwrap();
+        let report = session
+            .run(JobSpec::with_tests(p, "kernel", tests))
+            .unwrap();
         assert!(dump_on_failure(&report));
         assert_eq!(report.testgen.tests, 2);
         assert!(report.profile.range_of("kernel", "r").is_some());
@@ -865,7 +1173,7 @@ mod tests {
         cfg.fuzz.idle_stop_min = 0.2;
         cfg.fuzz.max_execs = 100;
         let session = HeteroGen::builder().config(cfg).build();
-        let report = session.run(Job::fuzz(p, "kernel", vec![])).unwrap();
+        let report = session.run(JobSpec::fuzz(p, "kernel", vec![])).unwrap();
         assert!(report.speedup() > 0.0);
     }
 
@@ -881,14 +1189,16 @@ mod tests {
             .backend(SimBackend::embedded_profile())
             .build();
         assert!(format!("{session:?}").contains("hls_sim-embedded"));
-        let report = session.run(Job::fuzz(p.clone(), "kernel", vec![])).unwrap();
+        let report = session
+            .run(JobSpec::fuzz(p.clone(), "kernel", vec![]))
+            .unwrap();
         assert!(dump_on_failure(&report));
         // The embedded compile farm is slower, so the same repair consumes
         // more of the simulated budget than the datacenter profile does.
         let default_report = HeteroGen::builder()
             .config(cfg)
             .build()
-            .run(Job::fuzz(p, "kernel", vec![]))
+            .run(JobSpec::fuzz(p, "kernel", vec![]))
             .unwrap();
         assert!(report.repair.minutes > default_report.repair.minutes);
     }
@@ -905,7 +1215,7 @@ mod tests {
         cfg.budgets = PhaseBudgets::builder().with_repair_evals(1).build();
         let session = HeteroGen::builder().config(cfg).build();
         let report = session
-            .run(Job::fuzz(p, "kernel", vec![]))
+            .run(JobSpec::fuzz(p, "kernel", vec![]))
             .expect("budget exhaustion must not be an error");
         assert!(!report.success());
         assert!(report.degraded());
@@ -929,7 +1239,7 @@ mod tests {
         cfg.fuzz.max_execs = 100_000;
         cfg.budgets = PhaseBudgets::builder().with_fuzz_execs(40).build();
         let session = HeteroGen::builder().config(cfg).build();
-        let report = session.run(Job::fuzz(p, "kernel", vec![])).unwrap();
+        let report = session.run(JobSpec::fuzz(p, "kernel", vec![])).unwrap();
         assert!(report
             .degradations
             .iter()
@@ -952,7 +1262,7 @@ mod tests {
             .faults(Arc::new(plan))
             .build();
         let report = session
-            .run(Job::fuzz(p, "kernel", vec![]))
+            .run(JobSpec::fuzz(p, "kernel", vec![]))
             .expect("a permanent fault degrades, it does not error");
         assert!(report
             .degradations
@@ -967,11 +1277,174 @@ mod tests {
         cfg.fuzz.idle_stop_min = 0.2;
         cfg.fuzz.max_execs = 100;
         let session = HeteroGen::builder().config(cfg).build();
-        let report = session.run(Job::fuzz(p, "kernel", vec![])).unwrap();
+        let report = session.run(JobSpec::fuzz(p, "kernel", vec![])).unwrap();
         assert!(report.success());
         assert!(!report.degraded());
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains(r#""degradations":[]"#), "{json}");
+    }
+
+    #[test]
+    fn deprecated_job_shim_converts_to_jobspec() {
+        #[allow(deprecated)]
+        let job = Job::fuzz(
+            minic::parse("int kernel(int x) { return x; }").unwrap(),
+            "kernel",
+            vec![],
+        );
+        let spec: JobSpec = job.into();
+        assert_eq!(spec.kernel, "kernel");
+        assert!(matches!(&spec.tests, TestSource::Fuzz(s) if s.is_empty()));
+        assert_eq!(spec.backend, None);
+        assert_eq!(spec.seed, None);
+        assert_eq!(spec.budgets, None);
+        assert_eq!(spec.client, ANONYMOUS_CLIENT);
+    }
+
+    #[test]
+    fn spec_seed_override_matches_reconfigured_session() {
+        let p = minic::parse("int kernel(int x) { return x + 1; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.2;
+        cfg.fuzz.max_execs = 100;
+        let session = HeteroGen::builder().config(cfg).build();
+        let via_spec = session
+            .run(JobSpec::builder(p.clone(), "kernel").seed(42).build())
+            .unwrap();
+
+        let mut reconfigured = cfg;
+        reconfigured.fuzz.rng_seed = 42;
+        reconfigured.search.rng_seed = 42;
+        let direct = HeteroGen::builder()
+            .config(reconfigured)
+            .build()
+            .run(JobSpec::fuzz(p, "kernel", vec![]))
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&via_spec).unwrap(),
+            serde_json::to_string(&direct).unwrap(),
+            "a spec seed must behave exactly like configuring both RNGs"
+        );
+    }
+
+    #[test]
+    fn spec_backend_override_matches_session_backend() {
+        let p =
+            minic::parse("int kernel(int x) { long double y = x; y = y + 1; return y; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.5;
+        cfg.fuzz.max_execs = 200;
+        let via_spec = HeteroGen::builder()
+            .config(cfg)
+            .build()
+            .run(
+                JobSpec::builder(p.clone(), "kernel")
+                    .backend("embedded")
+                    .build(),
+            )
+            .unwrap();
+        let via_session = HeteroGen::builder()
+            .config(cfg)
+            .backend(SimBackend::embedded_profile())
+            .build()
+            .run(JobSpec::fuzz(p, "kernel", vec![]))
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&via_spec).unwrap(),
+            serde_json::to_string(&via_session).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_backend_is_a_spec_error() {
+        let p = minic::parse("int kernel(int x) { return x; }").unwrap();
+        let session = HeteroGen::builder().config(PipelineConfig::quick()).build();
+        let err = session
+            .run(JobSpec::builder(p, "kernel").backend("asic-9000").build())
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Spec(_)), "{err}");
+        assert!(err.to_string().contains("asic-9000"));
+    }
+
+    #[test]
+    fn spec_budgets_override_the_session_budgets() {
+        let p =
+            minic::parse("int kernel(int x) { long double y = x; y = y + 1; return y; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.2;
+        cfg.fuzz.max_execs = 100;
+        let session = HeteroGen::builder().config(cfg).build();
+        let spec = JobSpec::builder(p, "kernel")
+            .budgets(PhaseBudgets::builder().with_repair_evals(1).build())
+            .build();
+        let report = session.run(spec).unwrap();
+        assert!(report
+            .degradations
+            .iter()
+            .any(|d| d.phase == "repair" && d.reason == DegradationReason::EvalBudgetExhausted));
+    }
+
+    #[test]
+    fn report_json_is_versioned_and_round_trips() {
+        let p = minic::parse("int kernel(int x) { return x + 1; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.2;
+        cfg.fuzz.max_execs = 100;
+        let session = HeteroGen::builder().config(cfg).build();
+        let report = session.run(JobSpec::fuzz(p, "kernel", vec![])).unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let doc = wire::parse_versioned(&json).expect("current version parses");
+        assert_eq!(
+            doc.get("kernel").and_then(serde::Value::as_str),
+            Some("kernel")
+        );
+        assert_eq!(
+            doc.get("schema_version").and_then(serde::Value::as_i128),
+            Some(i128::from(heterogen_trace::SCHEMA_VERSION))
+        );
+    }
+
+    #[test]
+    fn wire_rejects_bumped_and_missing_versions() {
+        let bumped = format!(
+            "{{\"schema_version\": {}, \"kernel\": \"k\"}}",
+            heterogen_trace::SCHEMA_VERSION + 1
+        );
+        assert_eq!(
+            wire::parse_versioned(&bumped),
+            Err(wire::WireError::UnsupportedVersion {
+                found: i128::from(heterogen_trace::SCHEMA_VERSION + 1),
+                supported: heterogen_trace::SCHEMA_VERSION,
+            })
+        );
+        assert_eq!(
+            wire::parse_versioned("{\"kernel\": \"k\"}"),
+            Err(wire::WireError::MissingVersion)
+        );
+        assert!(matches!(
+            wire::parse_versioned("not json"),
+            Err(wire::WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wire_checks_trace_headers() {
+        let sink = heterogen_trace::JsonlSink::new();
+        wire::check_trace_header(&sink.contents()).expect("fresh stream carries the header");
+        assert_eq!(
+            wire::check_trace_header(
+                "{\"event\":\"schema\",\"schema_version\":999}\n{\"event\":\"phase_enter\"}\n"
+            ),
+            Err(wire::WireError::UnsupportedVersion {
+                found: 999,
+                supported: heterogen_trace::SCHEMA_VERSION,
+            })
+        );
+        assert_eq!(
+            wire::check_trace_header("{\"event\":\"phase_enter\",\"phase\":\"x\"}\n"),
+            Err(wire::WireError::MissingVersion)
+        );
+        assert!(wire::check_trace_header("").is_err());
     }
 
     #[test]
@@ -985,7 +1458,7 @@ mod tests {
             .config(cfg)
             .sink(metrics.clone())
             .build();
-        let report = session.run(Job::fuzz(p, "kernel", vec![])).unwrap();
+        let report = session.run(JobSpec::fuzz(p, "kernel", vec![])).unwrap();
         assert!(report.success());
         assert_eq!(metrics.counter("phase_enter"), 2);
         assert_eq!(metrics.counter("phase_exit"), 2);

@@ -520,9 +520,30 @@ where
     clock.advance(cost0);
     stats.full_compiles += 1;
     let fp0 = minic::fingerprint_program(&broken);
-    let eval0 = initial
-        .evaluate(&broken, fp0, false)
-        .expect("a disabled injector cannot fault");
+    // The injector is disabled for the initial compile, so the only way
+    // this fails is the backend itself being revoked (e.g. a server drain
+    // gate flipping before the first candidate). Degrade exactly like a
+    // mid-search permanent fault: hand back the untouched initial version
+    // with the stop reason recorded.
+    let eval0 = match initial.evaluate(&broken, fp0, false) {
+        Ok(eval) => eval,
+        Err(e) => {
+            resilience.permanent_faults += 1;
+            stats.elapsed_min = clock.elapsed_min();
+            return Ok(RepairOutcome {
+                program: broken,
+                success: false,
+                pass_ratio: 0.0,
+                fpga_latency_ms: f64::INFINITY,
+                cpu_latency_ms: tester.cpu_latency_ms(),
+                improved: false,
+                applied: Vec::new(),
+                stats,
+                stop: SearchStop::PermanentFault(e.to_string()),
+                resilience,
+            });
+        }
+    };
     if sink.enabled() {
         sink.emit(&Event::FullCompile {
             fingerprint: fp0,

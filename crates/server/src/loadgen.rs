@@ -1,0 +1,260 @@
+//! Load generation against a [`Server`]: replays many
+//! concurrent seeded jobs and summarizes latency, throughput, and rejection
+//! behaviour — the engine behind `reproduce loadgen` and the committed
+//! `BENCH_server.json`.
+//!
+//! Submission is open-loop with bounded retry: every job is offered as fast
+//! as the submitting thread can go; a refusal counts toward the rejection
+//! rate and the job retries after a short backoff until
+//! [`LoadgenConfig::max_retries`] is spent. Small runs under the queue
+//! capacity therefore see zero rejections (the CI smoke), while runs that
+//! overdrive the queue measure real admission control.
+
+use crate::{JobOutput, LatencyStats, Server, ServerConfig};
+use heterogen_core::JobSpec;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters.
+///
+/// `#[non_exhaustive]`: construct with [`LoadgenConfig::builder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct LoadgenConfig {
+    /// Total jobs to replay.
+    pub jobs: usize,
+    /// Distinct client identities the jobs are spread across (round-robin
+    /// by job index).
+    pub clients: usize,
+    /// Backoff between admission retries of one job.
+    pub retry_backoff: Duration,
+    /// Admission retries per job before it is dropped. Every refusal —
+    /// retried or not — counts toward the rejection rate.
+    pub max_retries: u32,
+    /// The server under load.
+    pub server: ServerConfig,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            jobs: 200,
+            clients: 8,
+            retry_backoff: Duration::from_millis(5),
+            max_retries: 10_000,
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> LoadgenConfigBuilder {
+        LoadgenConfigBuilder {
+            cfg: LoadgenConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`LoadgenConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfigBuilder {
+    cfg: LoadgenConfig,
+}
+
+impl LoadgenConfigBuilder {
+    /// Sets the total job count.
+    pub fn with_jobs(mut self, v: usize) -> Self {
+        self.cfg.jobs = v;
+        self
+    }
+
+    /// Sets the number of distinct clients.
+    pub fn with_clients(mut self, v: usize) -> Self {
+        self.cfg.clients = v.max(1);
+        self
+    }
+
+    /// Sets the backoff between admission retries.
+    pub fn with_retry_backoff(mut self, v: Duration) -> Self {
+        self.cfg.retry_backoff = v;
+        self
+    }
+
+    /// Sets the admission retries per job before it is dropped.
+    pub fn with_max_retries(mut self, v: u32) -> Self {
+        self.cfg.max_retries = v;
+        self
+    }
+
+    /// Sets the configuration of the server under load.
+    pub fn with_server(mut self, v: ServerConfig) -> Self {
+        self.cfg.server = v;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> LoadgenConfig {
+        self.cfg
+    }
+}
+
+/// The measured result of one load-generation run: the shape committed to
+/// `BENCH_server.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Wire-format version (see [`heterogen_trace::SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Jobs offered.
+    pub jobs: usize,
+    /// Distinct clients.
+    pub clients: usize,
+    /// Worker threads actually running.
+    pub workers: usize,
+    /// Server-wide queue capacity.
+    pub queue_capacity: usize,
+    /// Per-client queue cap.
+    pub per_client_queue: usize,
+    /// Jobs eventually admitted.
+    pub accepted: u64,
+    /// Admission refusals (each retry attempt that was refused counts).
+    pub rejections: u64,
+    /// `rejections / (accepted + rejections)`.
+    pub rejection_rate: f64,
+    /// Jobs dropped after exhausting their admission retries.
+    pub dropped: u64,
+    /// Jobs that produced an output.
+    pub completed: u64,
+    /// Completed jobs with a fully successful repair.
+    pub succeeded: u64,
+    /// Completed jobs that degraded.
+    pub degraded: u64,
+    /// Completed jobs whose report errored (includes isolated panics).
+    pub failed: u64,
+    /// End-to-end run duration in seconds (submission through drain).
+    pub wall_s: f64,
+    /// `completed / wall_s`.
+    pub throughput_jobs_per_sec: f64,
+    /// Distribution of per-job execution wall time (ms).
+    pub latency_ms: LatencyStats,
+    /// Distribution of per-job queue wait (ms).
+    pub queue_wait_ms: LatencyStats,
+    /// Repair-search edit attempts summed across jobs.
+    pub attempts: u64,
+    /// Full HLS compiles summed across jobs.
+    pub full_compiles: u64,
+}
+
+/// Replays `cfg.jobs` specs from `make_spec` against a fresh server and
+/// summarizes the run.
+///
+/// `make_spec(i)` builds the i-th job; the driver overwrites its client id
+/// to spread jobs round-robin across [`LoadgenConfig::clients`] identities.
+/// Specs should pin per-job seeds (and single-threaded phase configs) so a
+/// run is reproducible: parallelism comes from the worker pool, not from
+/// inside each job.
+pub fn run(cfg: &LoadgenConfig, make_spec: impl Fn(usize) -> JobSpec) -> LoadgenReport {
+    let server = Server::start(cfg.server);
+    let workers = server.worker_count();
+    let begun = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.jobs);
+    let mut rejections = 0u64;
+    let mut dropped = 0u64;
+    for i in 0..cfg.jobs {
+        let mut spec = make_spec(i);
+        spec.client = format!("client-{:02}", i % cfg.clients);
+        let mut retries_left = cfg.max_retries;
+        loop {
+            match server.submit(spec.clone()) {
+                Ok(handle) => {
+                    handles.push(handle);
+                    break;
+                }
+                Err(_) => {
+                    rejections += 1;
+                    if retries_left == 0 {
+                        dropped += 1;
+                        break;
+                    }
+                    retries_left -= 1;
+                    std::thread::sleep(cfg.retry_backoff);
+                }
+            }
+        }
+    }
+    let outputs: Vec<JobOutput> = handles.into_iter().map(|h| h.wait()).collect();
+    let stats = server.shutdown();
+    let wall_s = begun.elapsed().as_secs_f64();
+    let latency_ms =
+        LatencyStats::from_samples(&outputs.iter().map(|o| o.wall_ms).collect::<Vec<_>>());
+    let queue_wait_ms =
+        LatencyStats::from_samples(&outputs.iter().map(|o| o.queue_ms).collect::<Vec<_>>());
+    LoadgenReport {
+        schema_version: heterogen_trace::SCHEMA_VERSION,
+        jobs: cfg.jobs,
+        clients: cfg.clients,
+        workers,
+        queue_capacity: cfg.server.queue_capacity,
+        per_client_queue: cfg.server.per_client_queue,
+        accepted: stats.accepted,
+        rejections,
+        rejection_rate: if stats.accepted + rejections > 0 {
+            rejections as f64 / (stats.accepted + rejections) as f64
+        } else {
+            0.0
+        },
+        dropped,
+        completed: stats.completed,
+        succeeded: stats.succeeded,
+        degraded: stats.degraded,
+        failed: stats.failed,
+        wall_s,
+        throughput_jobs_per_sec: if wall_s > 0.0 {
+            stats.completed as f64 / wall_s
+        } else {
+            0.0
+        },
+        latency_ms,
+        queue_wait_ms,
+        attempts: stats.attempts,
+        full_compiles: stats.full_compiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterogen_core::PipelineConfig;
+
+    #[test]
+    fn smoke_run_completes_every_job() {
+        let mut pipeline = PipelineConfig::quick();
+        pipeline.fuzz.idle_stop_min = 0.2;
+        pipeline.fuzz.max_execs = 60;
+        pipeline.fuzz.threads = 1;
+        pipeline.search.threads = 1;
+        let cfg = LoadgenConfig::builder()
+            .with_jobs(6)
+            .with_clients(3)
+            .with_server(
+                ServerConfig::builder()
+                    .with_workers(2)
+                    .with_pipeline(pipeline)
+                    .build(),
+            )
+            .build();
+        let report = run(&cfg, |i| {
+            let p = minic::parse("int kernel(int x) { return x + 1; }").unwrap();
+            JobSpec::builder(p, "kernel").seed(i as u64).build()
+        });
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.rejections, 0, "6 jobs fit a 64-deep queue");
+        assert!(report.throughput_jobs_per_sec > 0.0);
+        assert_eq!(report.latency_ms.count, 6);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"schema_version\""));
+        assert!(json.contains("\"throughput_jobs_per_sec\""));
+    }
+}

@@ -64,10 +64,8 @@
 
 use heterogen_faults::{Fault, FaultInjector, FaultSite, RetryPolicy};
 use heterogen_trace::{Event, TraceSink};
-use hls_sim::{
-    check_program, check_style, CompileCostModel, ErrorCategory, FpgaSimulator, HlsDiagnostic,
-    ScheduleModel, SimResult, StyleViolation, ToolchainError,
-};
+use hls_sim::{check_program, check_style, ErrorCategory, FpgaSimulator, HlsDiagnostic};
+pub use hls_sim::{CompileCostModel, ScheduleModel, SimResult, StyleViolation, ToolchainError};
 use minic::Program;
 use minic_exec::ArgValue;
 use std::collections::HashMap;
@@ -791,6 +789,115 @@ impl<T: Toolchain, S: TraceSink> Toolchain for Traced<T, S> {
     }
 }
 
+/// A shared revocation flag for [`DrainGate`].
+///
+/// Cloning yields a handle to the *same* flag: a server hands one clone to
+/// every in-flight job's gate and keeps one to flip at shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct DrainSignal(Arc<std::sync::atomic::AtomicBool>);
+
+impl DrainSignal {
+    /// Creates a signal in the "not draining" state.
+    pub fn new() -> DrainSignal {
+        DrainSignal::default()
+    }
+
+    /// Flips the signal: every [`DrainGate`] sharing it starts refusing
+    /// invocations. Idempotent.
+    pub fn drain(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Whether [`DrainSignal::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+/// Middleware: revokes the toolchain when a [`DrainSignal`] flips.
+///
+/// Until the signal drains, every method delegates transparently. After,
+/// each fallible invocation returns a *permanent* [`ToolchainError`] at
+/// site `"drain"` — so a repair search in flight hits its existing
+/// permanent-fault degradation path and returns `Ok(PipelineReport)` with a
+/// `Degradation` record instead of being aborted mid-candidate. Placed
+/// *innermost* in the middleware stack (wrapping the raw backend), so
+/// [`Resilient`] propagates the revocation without retrying and `Memoized`
+/// never caches it.
+#[derive(Debug, Clone)]
+pub struct DrainGate<T> {
+    inner: T,
+    signal: DrainSignal,
+}
+
+impl<T: Toolchain> DrainGate<T> {
+    /// Wraps `inner`; invocations fail once `signal` drains.
+    pub fn new(inner: T, signal: DrainSignal) -> DrainGate<T> {
+        DrainGate { inner, signal }
+    }
+
+    fn revoked(&self) -> Result<(), ToolchainError> {
+        if self.signal.is_draining() {
+            Err(ToolchainError::permanent(
+                "drain",
+                "server drain revoked the evaluation budget",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<T: Toolchain> Toolchain for DrainGate<T> {
+    fn info(&self) -> BackendInfo {
+        self.inner.info()
+    }
+    fn cost_model(&self) -> CompileCostModel {
+        self.inner.cost_model()
+    }
+    fn style_check(&self, p: &Program) -> Vec<StyleViolation> {
+        self.inner.style_check(p)
+    }
+    fn can_simulate(&self, p: &Program) -> bool {
+        self.inner.can_simulate(p)
+    }
+    fn compile(&self, p: &Program, key: u64) -> Result<Compiled, ToolchainError> {
+        self.revoked()?;
+        self.inner.compile(p, key)
+    }
+    fn simulate(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        key: u64,
+    ) -> Result<Simulated, ToolchainError> {
+        self.revoked()?;
+        self.inner.simulate(p, args, key)
+    }
+    fn simulate_spiked(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        factor: u32,
+        attempt: u32,
+    ) -> Result<SimResult, ToolchainError> {
+        self.revoked()?;
+        self.inner.simulate_spiked(p, args, factor, attempt)
+    }
+    fn evaluate(
+        &self,
+        p: &Program,
+        fingerprint: u64,
+        style_gate: bool,
+    ) -> Result<EvalResult, ToolchainError> {
+        self.revoked()?;
+        self.inner.evaluate(p, fingerprint, style_gate)
+    }
+    fn diagnose(&self, p: &Program) -> Vec<HlsDiagnostic> {
+        self.inner.diagnose(p)
+    }
+}
+
 /// A scriptable in-memory backend for middleware tests: configurable
 /// diagnostics and style violations, atomic call counters, constant
 /// simulation results.
@@ -1086,5 +1193,30 @@ mod tests {
         assert_eq!(resilient.simulate(&p, &[], 1).unwrap().transients, 0);
         assert_eq!(mock.compile_calls(), 1);
         assert_eq!(mock.simulate_calls(), 1);
+    }
+
+    #[test]
+    fn drain_gate_is_transparent_until_the_signal_flips() {
+        let mock = MockToolchain::clean();
+        let signal = DrainSignal::new();
+        let gate = DrainGate::new(&mock, signal.clone());
+        let p = prog();
+        assert!(gate.compile(&p, 1).is_ok());
+        assert!(gate.evaluate(&p, fp(&p), true).is_ok());
+        assert!(!signal.is_draining());
+
+        signal.drain();
+        assert!(signal.is_draining());
+        let err = gate.compile(&p, 2).unwrap_err();
+        assert!(!err.is_transient(), "revocation must not be retried");
+        assert_eq!(err.site(), "drain");
+        assert!(gate.simulate(&p, &[], 2).is_err());
+        assert!(gate.evaluate(&p, fp(&p), true).is_err());
+        // Cloned signals share the flag: a second gate on the same signal is
+        // also revoked.
+        let other = DrainGate::new(&mock, signal.clone());
+        assert!(other.compile(&p, 3).is_err());
+        // Non-fallible queries still answer during drain.
+        assert!(gate.style_check(&p).is_empty());
     }
 }

@@ -638,11 +638,23 @@ impl TraceSink for MetricsSink {
     }
 }
 
+/// Version of the serialized wire format: the JSONL trace stream and the
+/// pipeline report JSON. Bump when an event or report field changes shape;
+/// consumers reject streams whose version they do not understand.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The header line prepended to every rendered JSONL stream.
+pub fn schema_header() -> String {
+    format!("{{\"event\":\"schema\",\"schema_version\":{SCHEMA_VERSION}}}")
+}
+
 /// Renders each event as one JSON object per line, in emission order.
 ///
 /// The buffer accumulates in memory; [`JsonlSink::contents`] returns the
 /// stream for writing to disk or byte-for-byte comparison (the determinism
-/// tests compare exactly these bytes across thread counts).
+/// tests compare exactly these bytes across thread counts). The rendered
+/// stream opens with a [`schema_header`] line carrying [`SCHEMA_VERSION`];
+/// [`JsonlSink::events`] counts only real events, never the header.
 #[derive(Debug, Default)]
 pub struct JsonlSink {
     buf: Mutex<String>,
@@ -654,12 +666,17 @@ impl JsonlSink {
         JsonlSink::default()
     }
 
-    /// The accumulated JSONL stream (one event per line).
+    /// The accumulated JSONL stream: a schema header line, then one event
+    /// per line.
     pub fn contents(&self) -> String {
-        self.buf.lock().unwrap().clone()
+        let buf = self.buf.lock().unwrap();
+        let mut out = schema_header();
+        out.push('\n');
+        out.push_str(&buf);
+        out
     }
 
-    /// Number of events captured so far.
+    /// Number of events captured so far (the schema header is not an event).
     pub fn events(&self) -> usize {
         self.buf.lock().unwrap().lines().count()
     }
@@ -806,14 +823,25 @@ mod tests {
         let out = s.contents();
         assert_eq!(s.events(), 2);
         let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], schema_header());
         assert_eq!(
-            lines[0],
+            lines[1],
             r#"{"event":"phase_enter","phase":"testgen","at_min":0.0}"#
         );
         assert_eq!(
-            lines[1],
+            lines[2],
             r#"{"event":"style_reject","fingerprint":"000000000000abcd","at_min":1.5}"#
         );
+    }
+
+    #[test]
+    fn jsonl_stream_opens_with_schema_header() {
+        let s = JsonlSink::new();
+        assert_eq!(
+            s.contents(),
+            format!("{{\"event\":\"schema\",\"schema_version\":{SCHEMA_VERSION}}}\n")
+        );
+        assert_eq!(s.events(), 0);
     }
 
     #[test]
@@ -862,19 +890,19 @@ mod tests {
         let out = s.contents();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(
-            lines[0],
+            lines[1],
             r#"{"event":"fault_injected","site":"hls_check","fault":"transient","fingerprint":"000000000000001f","attempt":0,"at_min":2.0}"#
         );
         assert_eq!(
-            lines[1],
+            lines[2],
             r#"{"event":"retry_scheduled","site":"hls_check","fingerprint":"000000000000001f","attempt":1,"delay_min":0.25,"at_min":2.0}"#
         );
         assert_eq!(
-            lines[2],
+            lines[3],
             r#"{"event":"candidate_crashed","kind":"resize","fingerprint":"000000000000002a","at_min":3.5}"#
         );
         assert_eq!(
-            lines[3],
+            lines[4],
             r#"{"event":"phase_degraded","phase":"repair","reason":"permanent_fault","at_min":4.0}"#
         );
     }
@@ -934,7 +962,7 @@ mod tests {
         let s = JsonlSink::new();
         s.emit(&ev);
         assert_eq!(
-            s.contents().lines().next().unwrap(),
+            s.contents().lines().nth(1).unwrap(),
             r#"{"event":"toolchain_invoked","backend":"hls_sim/xcvu9p","op":"compile","fingerprint":"000000000000feed"}"#
         );
         let m = MetricsSink::new();

@@ -12,7 +12,7 @@
 //! the stack-replacement edit (recursion → explicit stack), then explores
 //! sizes and pragmas — the exact sequence of Figure 2b/2c.
 
-use heterogen_core::{HeteroGen, Job, PipelineConfig};
+use heterogen_core::{HeteroGen, JobSpec, PipelineConfig};
 
 /// A BST build-and-sum kernel in the shape of the paper's Figure 2a.
 const BINARY_TREE: &str = r#"
@@ -91,7 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         minic_exec::ArgValue::Int(12),
     ]];
     let session = HeteroGen::builder().config(cfg).build();
-    let report = session.run(Job::fuzz(program.clone(), "kernel", seeds))?;
+    let report = session.run(JobSpec::fuzz(program.clone(), "kernel", seeds))?;
 
     println!("\n=== repair trace ===");
     println!("edits applied: {:?}", report.repair.applied);

@@ -10,7 +10,7 @@
 //! a non-static connecting stream — and leaves with all three repaired plus
 //! pipelined stage loops.
 
-use heterogen_core::{HeteroGen, Job};
+use heterogen_core::{HeteroGen, JobSpec};
 use heterogen_trace::MetricsSink;
 use std::sync::Arc;
 
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .config(cfg)
         .sink(metrics.clone())
         .build();
-    let report = session.run(Job::fuzz(program.clone(), subject.kernel, seeds))?;
+    let report = session.run(JobSpec::fuzz(program.clone(), subject.kernel, seeds))?;
 
     println!("\n=== pipeline report ===");
     println!("tests generated ..... {}", report.testgen.tests);

@@ -9,7 +9,7 @@
 //! types, repairs the incompatibility (`type_trans` to a custom float), and
 //! verifies behaviour preservation by differential testing.
 
-use heterogen_core::{HeteroGen, Job, PipelineConfig};
+use heterogen_core::{HeteroGen, JobSpec, PipelineConfig};
 
 const KERNEL: &str = r#"
 float kernel(float x0) {
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.fuzz.idle_stop_min = 1.0;
     cfg.fuzz.max_execs = 500;
     let session = HeteroGen::builder().config(cfg).build();
-    let report = session.run(Job::fuzz(program.clone(), "kernel", vec![]))?;
+    let report = session.run(JobSpec::fuzz(program.clone(), "kernel", vec![]))?;
 
     println!("\n=== HeteroGen report ===");
     println!("generated tests ........ {}", report.testgen.tests);

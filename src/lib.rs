@@ -22,6 +22,7 @@
 //! | [`heterogen_toolchain`] | backend-agnostic toolchain trait + cache/retry/trace middleware |
 //! | [`heterogen_trace`] | structured event tracing and metrics |
 //! | [`heterogen_faults`] | deterministic fault injection, retry policies, resilience stats |
+//! | [`heterogen_server`] | in-process job server: fair-share queue, worker pool, drain, loadgen |
 //!
 //! # Examples
 //!
@@ -35,7 +36,7 @@
 //! cfg.fuzz.idle_stop_min = 0.5;
 //! cfg.fuzz.max_execs = 200;
 //! let session = HeteroGen::builder().config(cfg).build();
-//! let report = session.run(Job::fuzz(program, "kernel", vec![]))?;
+//! let report = session.run(JobSpec::fuzz(program, "kernel", vec![]))?;
 //! assert!(report.success());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -53,14 +54,32 @@
 //! cfg.fuzz.max_execs = 100;
 //! let metrics = Arc::new(MetricsSink::new());
 //! let session = HeteroGen::builder().config(cfg).sink(metrics.clone()).build();
-//! session.run(Job::fuzz(program, "kernel", vec![]))?;
+//! session.run(JobSpec::fuzz(program, "kernel", vec![]))?;
 //! assert_eq!(metrics.counter("phase_enter"), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! To serve many concurrent jobs, start a [`heterogen_server::Server`]:
+//!
+//! ```
+//! use heterogen::prelude::*;
+//!
+//! let mut cfg = PipelineConfig::quick();
+//! cfg.fuzz.idle_stop_min = 0.2;
+//! cfg.fuzz.max_execs = 60;
+//! let server = Server::start(ServerConfig::builder().with_pipeline(cfg).build());
+//! let program = minic::parse("int kernel(int x) { return x + 1; }")?;
+//! let handle = server.submit(JobSpec::builder(program, "kernel").client("readme").build())
+//!     .expect("admission");
+//! assert!(handle.wait().report?.success());
+//! server.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub use benchsuite;
 pub use heterogen_core;
 pub use heterogen_faults;
+pub use heterogen_server;
 pub use heterogen_toolchain;
 pub use heterogen_trace;
 pub use heterorefactor;
@@ -72,17 +91,23 @@ pub use testgen;
 
 /// The most common imports for driving the pipeline.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use heterogen_core::Job;
     pub use heterogen_core::{
-        Degradation, DegradationReason, HeteroGen, Job, PhaseBudgets, PhaseBudgetsBuilder,
-        PipelineConfig, PipelineConfigBuilder, PipelineError, PipelineReport, Session,
-        SessionBuilder, TestSource,
+        Degradation, DegradationReason, HeteroGen, JobSpec, JobSpecBuilder, PhaseBudgets,
+        PhaseBudgetsBuilder, PipelineConfig, PipelineConfigBuilder, PipelineError, PipelineReport,
+        Session, SessionBuilder, TestSource,
     };
     pub use heterogen_faults::{
         FaultInjector, FaultPlan, FaultPlanBuilder, NoFaults, ResilienceStats, RetryPolicy,
     };
+    pub use heterogen_server::{
+        JobHandle, JobOutput, LatencyStats, RejectReason, Rejected, Server, ServerConfig,
+        ServerConfigBuilder, ServerStats,
+    };
     pub use heterogen_toolchain::{
-        BackendInfo, EvalCache, EvalResult, Memoized, MockToolchain, Resilient, SimBackend,
-        Toolchain, Traced,
+        BackendInfo, DrainGate, DrainSignal, EvalCache, EvalResult, Memoized, MockToolchain,
+        Resilient, SimBackend, Toolchain, Traced,
     };
     pub use heterogen_trace::{
         Event, JsonlSink, MetricsSink, NullSink, TeeSink, TraceSink, Verdict,

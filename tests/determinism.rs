@@ -250,7 +250,7 @@ fn alternative_backend_search_is_thread_count_invariant() {
 /// byte-identical event stream at every thread count.
 #[test]
 fn trace_stream_is_thread_count_invariant() {
-    use heterogen_core::{HeteroGen, Job};
+    use heterogen_core::{HeteroGen, JobSpec};
     use heterogen_trace::JsonlSink;
     use std::sync::Arc;
 
@@ -266,7 +266,7 @@ fn trace_stream_is_thread_count_invariant() {
         let sink = Arc::new(JsonlSink::new());
         let session = HeteroGen::builder().config(cfg).sink(sink.clone()).build();
         session
-            .run(Job::fuzz(p.clone(), s.kernel, seeds.clone()))
+            .run(JobSpec::fuzz(p.clone(), s.kernel, seeds.clone()))
             .unwrap();
         sink.contents()
     };

@@ -47,7 +47,7 @@ fn fig8_existing_tests_miss_the_stack_divergence() {
     // own terms…
     let session = heterogen_core::HeteroGen::builder().config(cfg).build();
     let existing_run = session
-        .run(heterogen_core::Job::with_tests(
+        .run(heterogen_core::JobSpec::with_tests(
             p.clone(),
             s.kernel,
             s.existing_tests.clone(),
@@ -59,7 +59,7 @@ fn fig8_existing_tests_miss_the_stack_divergence() {
     let mut seeds = s.seed_inputs.clone();
     seeds.extend(s.existing_tests.clone());
     let generated_run = session
-        .run(heterogen_core::Job::fuzz(p.clone(), s.kernel, seeds))
+        .run(heterogen_core::JobSpec::fuzz(p.clone(), s.kernel, seeds))
         .unwrap();
     assert!(generated_run.success());
 

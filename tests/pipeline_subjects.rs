@@ -1,6 +1,6 @@
 //! End-to-end pipeline runs on all ten paper subjects (Table 3 shape).
 
-use heterogen_core::{HeteroGen, Job, PipelineConfig, PipelineReport};
+use heterogen_core::{HeteroGen, JobSpec, PipelineConfig, PipelineReport};
 
 fn test_config() -> PipelineConfig {
     let mut cfg = PipelineConfig::quick();
@@ -19,7 +19,7 @@ fn run(id: &str) -> PipelineReport {
     HeteroGen::builder()
         .config(test_config())
         .build()
-        .run(Job::fuzz(p, s.kernel, seeds))
+        .run(JobSpec::fuzz(p, s.kernel, seeds))
         .unwrap_or_else(|e| panic!("{id}: {e}"))
 }
 

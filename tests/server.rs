@@ -1,0 +1,252 @@
+//! Integration tests for the job server: fair-share admission, graceful
+//! drain through the degradation path, and byte-identity between
+//! server-executed and directly-run jobs.
+
+use heterogen_core::{HeteroGen, JobSpec, PipelineConfig};
+use heterogen_server::{Server, ServerConfig};
+use heterogen_toolchain::{
+    BackendInfo, Compiled, DrainGate, DrainSignal, SimBackend, Simulated, Toolchain, ToolchainError,
+};
+use heterogen_trace::JsonlSink;
+use minic::Program;
+use minic_exec::ArgValue;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+fn tiny_pipeline() -> PipelineConfig {
+    let mut cfg = PipelineConfig::quick();
+    cfg.fuzz.idle_stop_min = 0.2;
+    cfg.fuzz.max_execs = 80;
+    cfg.fuzz.threads = 1;
+    cfg.search.threads = 1;
+    cfg
+}
+
+fn quick_spec(client: &str, seed: u64) -> JobSpec {
+    let p = minic::parse("int kernel(int x) { return x + 1; }").unwrap();
+    JobSpec::builder(p, "kernel")
+        .client(client)
+        .seed(seed)
+        .build()
+}
+
+/// A heavy client that floods the queue cannot lock a light client out: the
+/// round-robin scheduler serves the light client's single job right after
+/// the heavy client's first, not after its whole backlog.
+#[test]
+fn starved_client_is_served_round_robin() {
+    let server = Server::start(
+        ServerConfig::builder()
+            .with_workers(1)
+            .with_pipeline(tiny_pipeline())
+            .with_paused(true)
+            .build(),
+    );
+    let heavy: Vec<_> = (0..6)
+        .map(|i| server.submit(quick_spec("heavy", i)).unwrap())
+        .collect();
+    let light = server.submit(quick_spec("light", 99)).unwrap();
+    server.resume();
+
+    let light_out = light.wait();
+    assert_eq!(
+        light_out.seq, 2,
+        "the light client's job must complete right after heavy's first"
+    );
+    let heavy_seqs: Vec<u64> = heavy.into_iter().map(|h| h.wait().seq).collect();
+    assert_eq!(
+        heavy_seqs,
+        vec![1, 3, 4, 5, 6, 7],
+        "heavy fills the rest, in FIFO order"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 7);
+}
+
+/// Shutting down with jobs still queued drains them through the
+/// `PhaseBudgets` + revoked-toolchain degradation path: every accepted job
+/// still yields `Ok(PipelineReport)`, with a `Degradation` record instead
+/// of a full repair.
+#[test]
+fn shutdown_drains_queued_jobs_as_degraded_reports() {
+    let server = Server::start(
+        ServerConfig::builder()
+            .with_workers(1)
+            .with_pipeline(tiny_pipeline())
+            .with_paused(true)
+            .build(),
+    );
+    // A job that would normally repair successfully.
+    let p = minic::parse("int kernel(int x) { long double y = x; y = y + 1; return y; }").unwrap();
+    let handle = server
+        .submit(JobSpec::builder(p, "kernel").client("draining").build())
+        .unwrap();
+    // Shut down before the worker ever picks it up.
+    let stats_thread = std::thread::spawn(move || server.shutdown());
+    let out = handle.wait();
+    let report = out.report.expect("drain degrades, it does not error");
+    assert!(!report.success());
+    assert!(
+        report.degraded(),
+        "the drained job must carry a degradation"
+    );
+    assert!(report.degradations.iter().any(|d| {
+        d.phase == "repair"
+            && d.reason == heterogen_core::DegradationReason::PermanentFault
+            && d.detail.contains("drain")
+    }));
+    let stats = stats_thread.join().unwrap();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.failed, 0);
+}
+
+/// A backend that flips a [`DrainSignal`] after a fixed number of compiles
+/// — deterministic "the server began draining mid-search".
+struct FlipAfter {
+    inner: SimBackend,
+    signal: DrainSignal,
+    remaining: AtomicI64,
+}
+
+impl Toolchain for FlipAfter {
+    fn info(&self) -> BackendInfo {
+        self.inner.info()
+    }
+    fn cost_model(&self) -> heterogen_toolchain::CompileCostModel {
+        self.inner.cost_model()
+    }
+    fn style_check(&self, p: &Program) -> Vec<heterogen_toolchain::StyleViolation> {
+        self.inner.style_check(p)
+    }
+    fn compile(&self, p: &Program, key: u64) -> Result<Compiled, ToolchainError> {
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) <= 1 {
+            self.signal.drain();
+        }
+        self.inner.compile(p, key)
+    }
+    fn simulate(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        key: u64,
+    ) -> Result<Simulated, ToolchainError> {
+        self.inner.simulate(p, args, key)
+    }
+}
+
+/// The drain signal flipping *mid-search* (after the search has already
+/// evaluated candidates) revokes the remaining budget: the run still
+/// returns `Ok(PipelineReport)` with a permanent-fault `Degradation`, never
+/// an error or a panic.
+#[test]
+fn drain_mid_search_degrades_the_in_flight_job() {
+    // A subject whose repair search evaluates ~20 candidates under the tiny
+    // pipeline, so a flip after 4 compiles lands squarely mid-search.
+    let p = minic::parse(
+        "int kernel(int n) { int a[10]; for (int i = 0; i < 10; i++) { a[i] = i * n; } \
+         int s = 0; for (int i = 0; i < 10; i++) { s += a[i]; } return s; }",
+    )
+    .unwrap();
+    let signal = DrainSignal::new();
+    let backend = DrainGate::new(
+        FlipAfter {
+            inner: SimBackend::default_profile(),
+            signal: signal.clone(),
+            // 1 compile for the initial diagnosis, 1 for the search's
+            // initial candidate, then a few evaluated candidates before the
+            // signal flips mid-frontier.
+            remaining: AtomicI64::new(4),
+        },
+        signal.clone(),
+    );
+    let session = HeteroGen::builder()
+        .config(tiny_pipeline())
+        .backend(backend)
+        .build();
+    let report = session
+        .run(JobSpec::fuzz(p, "kernel", vec![]))
+        .expect("a mid-search drain degrades, it does not error");
+    assert!(signal.is_draining(), "the flip must have happened");
+    assert!(report.degraded());
+    assert!(report.degradations.iter().any(|d| {
+        d.phase == "repair"
+            && d.reason == heterogen_core::DegradationReason::PermanentFault
+            && d.detail.contains("drain")
+    }));
+    assert!(
+        report.repair.full_compiles >= 2,
+        "the search must have been genuinely in flight"
+    );
+}
+
+/// The acceptance bar for serving: a job executed by the server is
+/// byte-identical — report JSON and captured trace stream — to the same
+/// `JobSpec` run through a `Session` directly, at every worker count.
+#[test]
+fn server_execution_is_byte_identical_to_direct_session() {
+    let pipeline = tiny_pipeline();
+    let programs = [
+        "int kernel(int x) { return x + 1; }",
+        "int kernel(int x) { long double y = x; y = y + 1; return y; }",
+        "int kernel(int a[4]) { int s = 0; for (int i = 0; i < 4; i++) { s += a[i]; } return s; }",
+    ];
+    let specs: Vec<JobSpec> = programs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, src)| {
+            let p = minic::parse(src).unwrap();
+            let mk = |backend: Option<&str>, seed: u64| {
+                let mut b = JobSpec::builder(p.clone(), "kernel")
+                    .client(format!("client-{i}"))
+                    .seed(seed);
+                if let Some(name) = backend {
+                    b = b.backend(name);
+                }
+                b.build()
+            };
+            [mk(None, i as u64), mk(Some("embedded"), 100 + i as u64)]
+        })
+        .collect();
+
+    // The reference: each spec through a plain Session with a JSONL sink.
+    let direct: Vec<(String, String)> = specs
+        .iter()
+        .map(|spec| {
+            let sink = Arc::new(JsonlSink::new());
+            let session = HeteroGen::builder()
+                .config(pipeline)
+                .sink(sink.clone())
+                .build();
+            let report = session.run(spec.clone()).unwrap();
+            (serde_json::to_string(&report).unwrap(), sink.contents())
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4] {
+        let server = Server::start(
+            ServerConfig::builder()
+                .with_workers(workers)
+                .with_pipeline(pipeline)
+                .with_capture_traces(true)
+                .build(),
+        );
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| server.submit(spec.clone()).unwrap())
+            .collect();
+        for (handle, (want_report, want_trace)) in handles.into_iter().zip(&direct) {
+            let out = handle.wait();
+            let got_report = serde_json::to_string(&out.report.unwrap()).unwrap();
+            assert_eq!(&got_report, want_report, "report bytes @ {workers} workers");
+            assert_eq!(
+                out.trace.as_deref(),
+                Some(want_trace.as_str()),
+                "trace bytes @ {workers} workers"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed as usize, specs.len());
+        assert_eq!(stats.failed, 0);
+    }
+}

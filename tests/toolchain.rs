@@ -77,7 +77,7 @@ fn transpiled_sources_reparse() {
         let r = heterogen_core::HeteroGen::builder()
             .config(cfg)
             .build()
-            .run(heterogen_core::Job::fuzz(p, s.kernel, seeds))
+            .run(heterogen_core::JobSpec::fuzz(p, s.kernel, seeds))
             .unwrap();
         let printed = minic::print_program(&r.program);
         let reparsed = minic::parse(&printed)

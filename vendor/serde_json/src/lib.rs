@@ -1,6 +1,6 @@
 //! Offline stand-in for `serde_json`: renders the serde stub's [`Value`]
-//! as JSON text. Only the serializer half exists — nothing in the
-//! workspace deserializes.
+//! as JSON text, and parses JSON text back into a [`Value`] for the few
+//! places that need to inspect their own wire output.
 
 pub use serde::Value;
 
@@ -25,6 +25,179 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     let mut out = String::new();
     render(&value.to_json_value(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Parse a JSON document into a [`Value`]. Integers without a fraction or
+/// exponent become [`Value::Int`]; everything else numeric is a
+/// [`Value::Float`]. Trailing non-whitespace is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), Error> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{token}` at byte {pos}")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, "\"")?;
+    let mut out = String::new();
+    loop {
+        let rest = &bytes[*pos..];
+        let Some(&b) = rest.first() else {
+            return Err(Error("unterminated string".into()));
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                let esc = bytes
+                    .get(*pos + 1)
+                    .ok_or_else(|| Error("unterminated escape".into()))?;
+                *pos += 2;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error(format!("bad \\u escape `{hex}`")))?;
+                        *pos += 4;
+                        // Surrogates and other invalid scalars degrade to
+                        // U+FFFD; the workspace never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(Error(format!("bad escape `\\{}`", *other as char))),
+                }
+            }
+            _ => {
+                // Consume one UTF-8 scalar (the input is a &str, so the
+                // bytes are valid UTF-8).
+                let s = std::str::from_utf8(rest).map_err(|e| Error(e.to_string()))?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| Error(e.to_string()))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("expected a value at byte {start}")));
+    }
+    if float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("bad number `{text}`")))
+    } else {
+        text.parse::<i128>()
+            .map(Value::Int)
+            .map_err(|_| Error(format!("bad number `{text}`")))
+    }
 }
 
 fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
@@ -134,6 +307,38 @@ mod tests {
         assert!(s.contains("\\\"y\\n"));
         let flat = to_string(&v_wrap(&v)).unwrap();
         assert!(!flat.contains('\n'));
+    }
+
+    #[test]
+    fn parses_what_it_renders() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(-42)),
+            ("b".into(), Value::Float(1.5)),
+            ("c".into(), Value::Array(vec![Value::Bool(false), Value::Null])),
+            ("d".into(), Value::Str("x\"y\nß\u{1}".into())),
+            ("e".into(), Value::Object(vec![])),
+        ]);
+        let flat = to_string(&v_wrap(&v)).unwrap();
+        assert_eq!(from_str(&flat).unwrap(), v);
+        let pretty = to_string_pretty(&v_wrap(&v)).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{\"a\":1,}").is_err());
+        assert!(from_str("[1 2]").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("{} trailing").is_err());
+    }
+
+    #[test]
+    fn value_accessors_navigate_objects() {
+        let v = from_str("{\"schema_version\": 3, \"name\": \"x\"}").unwrap();
+        assert_eq!(v.get("schema_version").and_then(Value::as_i128), Some(3));
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("x"));
+        assert!(v.get("missing").is_none());
     }
 
     /// Wrap a raw Value so it goes through the Serialize trait like a
