@@ -6,6 +6,8 @@
 //! cargo run --release -p bench --bin reproduce -- table3
 //! cargo run --release -p bench --bin reproduce -- fig9 --json out.json
 //! cargo run --release -p bench --bin reproduce -- run P3 --json
+//! cargo run --release -p bench --bin reproduce -- run P3 --engine treewalk
+//! cargo run --release -p bench --bin reproduce -- bench-repair --engine bytecode
 //! cargo run --release -p bench --bin reproduce -- trace P3 --json p3.jsonl
 //! cargo run --release -p bench --bin reproduce -- toolchain P3 --backend embedded
 //! cargo run --release -p bench --bin reproduce -- bench-guard
@@ -19,17 +21,20 @@ use heterogen_core::{HeteroGen, JobSpec, PipelineConfig};
 use heterogen_server::{loadgen, Server, ServerConfig};
 use heterogen_toolchain::{EvalCache, Memoized, Resilient, SimBackend, Toolchain, Traced};
 use heterogen_trace::{JsonlSink, MetricsSink, NullSink, TeeSink, TraceSink};
+use minic_exec::ExecEngine;
 use std::sync::Arc;
 
 /// The flags every subject-driving subcommand shares, parsed once:
 /// `<subject>` (first non-flag positional after the subcommand),
-/// `--backend <name>`, `--threads <n>`, and `--json [path]`.
+/// `--backend <name>`, `--threads <n>`, `--engine <name>`, and
+/// `--json [path]`.
 #[derive(Debug, Clone, Default)]
 struct CommonOpts {
     subcommand: String,
     subject: Option<String>,
     backend: Option<String>,
     threads: Option<usize>,
+    engine: Option<ExecEngine>,
     wants_json: bool,
     json_path: Option<String>,
 }
@@ -41,6 +46,12 @@ impl CommonOpts {
             subject: args.get(1).filter(|a| !a.starts_with("--")).cloned(),
             backend: flag_value(args, "--backend"),
             threads: flag_value(args, "--threads").and_then(|v| v.parse().ok()),
+            engine: flag_value(args, "--engine").map(|v| {
+                v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }),
             wants_json: args.iter().any(|a| a == "--json"),
             json_path: flag_value(args, "--json"),
         }
@@ -50,20 +61,24 @@ impl CommonOpts {
     fn require_subject(&self) -> String {
         self.subject.clone().unwrap_or_else(|| {
             eprintln!(
-                "usage: reproduce -- {} <subject> [--backend <name>] [--threads <n>] [--json [path]]",
+                "usage: reproduce -- {} <subject> [--backend <name>] [--threads <n>] [--engine <bytecode|treewalk>] [--json [path]]",
                 self.subcommand
             );
             std::process::exit(2);
         })
     }
 
-    /// The standard pipeline configuration with the `--threads` override
-    /// applied to both the fuzzing and search phases.
+    /// The standard pipeline configuration with the `--threads` and
+    /// `--engine` overrides applied to both the fuzzing and search phases.
     fn config(&self) -> PipelineConfig {
         let mut cfg = standard_config();
         if let Some(t) = self.threads {
             cfg.fuzz.threads = t;
             cfg.search.threads = t;
+        }
+        if let Some(e) = self.engine {
+            cfg.fuzz.engine = e;
+            cfg.search.engine = e;
         }
         cfg
     }
@@ -145,7 +160,7 @@ fn main() {
         ),
         "ablation-seed" => run_ablation_seed(),
         "ablation-bitwidth" => run_ablation_bitwidth(),
-        "bench-repair" => run_bench_repair(),
+        "bench-repair" => run_bench_repair(&opts),
         "summary" | "all" => {
             run_fig3(&mut bundle);
             run_table1();
@@ -157,7 +172,7 @@ fn main() {
             run_fig9(&mut bundle, None);
             run_ablation_seed();
             run_ablation_bitwidth();
-            run_bench_repair();
+            run_bench_repair(&opts);
             run_summary(&bundle);
         }
         other => {
@@ -396,6 +411,10 @@ fn run_toolchain(opts: &CommonOpts) {
 /// every layer off (fresh cache, `NoFaults`, `NullSink`), one
 /// `Memoized(Resilient(Traced(SimBackend)))` evaluation must cost no more
 /// than the direct style-check + compile + LOC sequence it replaced.
+///
+/// A third guard pins the bytecode VM's advantage: on the candidate-heavy
+/// subjects P3 and P5 it must process at least `ENGINE_GUARD_X` (default
+/// 3x) as many candidates per second as the tree-walking reference.
 fn run_bench_guard() {
     let s = load_subject("P3");
     let p = s.parse();
@@ -530,6 +549,48 @@ fn run_bench_guard() {
     if stack_overhead > stack_threshold {
         eprintln!("FAIL: the all-layers-off middleware stack must not tax the evaluation path");
         std::process::exit(1);
+    }
+    println!("OK");
+
+    // The engine guard: the bytecode VM must beat the tree-walker by a wide
+    // margin on the candidate-heavy subjects (interpreter-bound searches,
+    // where lowering once and running many times pays off most).
+    let engine_floor: f64 = std::env::var("ENGINE_GUARD_X")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    println!("\n== bench-guard: bytecode vs treewalk candidates/sec ==");
+    for id in ["P3", "P5"] {
+        let s = load_subject(id);
+        let p = s.parse();
+        let mut seeds = s.seed_inputs.clone();
+        seeds.extend(s.existing_tests.clone());
+        let fr =
+            testgen::fuzz(&p, s.kernel, seeds, &fuzz_cfg).unwrap_or_else(|e| panic!("{id}: {e}"));
+        let broken = heterogen_core::initial_version(&p, &fr.profile);
+        let time_engine = |engine: ExecEngine| -> f64 {
+            let ec = sc.to_builder().with_engine(engine).build();
+            let mut best = f64::MAX;
+            for _ in 0..3 {
+                let t0 = std::time::Instant::now();
+                let out =
+                    repair::repair(&p, broken.clone(), s.kernel, &fr.corpus, &fr.profile, &ec)
+                        .unwrap_or_else(|e| panic!("{id}: {e}"));
+                let secs = t0.elapsed().as_secs_f64().max(1e-9);
+                best = best.min(secs / out.stats.attempts.max(1) as f64);
+            }
+            1.0 / best
+        };
+        let tree = time_engine(ExecEngine::TreeWalk);
+        let byte = time_engine(ExecEngine::Bytecode);
+        let speedup = byte / tree.max(f64::MIN_POSITIVE);
+        println!(
+            "{id}: treewalk {tree:.0} cand/s, bytecode {byte:.0} cand/s ({speedup:.2}x, floor {engine_floor:.1}x)"
+        );
+        if speedup < engine_floor {
+            eprintln!("FAIL: bytecode must be at least {engine_floor:.1}x treewalk on {id}");
+            std::process::exit(1);
+        }
     }
     println!("OK");
 }
@@ -1192,12 +1253,21 @@ fn run_ablation_bitwidth() {
     );
 }
 
-fn run_bench_repair() {
+/// `reproduce -- bench-repair [--engine <name>] [--threads <n>]`: the
+/// repair-loop wall-clock table. Without `--engine` both engines run on
+/// every subject, so the committed `BENCH_repair.json` records the
+/// bytecode-vs-treewalk speedup side by side.
+fn run_bench_repair(opts: &CommonOpts) {
     println!("\n== Repair-loop wall-clock benchmark (BENCH_repair.json) ==");
-    let bench = bench_repair(0);
+    let engines: Vec<ExecEngine> = match opts.engine {
+        Some(e) => vec![e],
+        None => vec![ExecEngine::Bytecode, ExecEngine::TreeWalk],
+    };
+    let bench = bench_repair(opts.threads.unwrap_or(0), &engines);
     print_table(
         &[
             "ID",
+            "Engine",
             "Wall (ms)",
             "Attempts",
             "Compiles",
@@ -1210,6 +1280,7 @@ fn run_bench_repair() {
             .map(|r| {
                 vec![
                     r.id.clone(),
+                    r.engine.clone(),
                     format!("{:.1}", r.wall_ms),
                     r.attempts.to_string(),
                     r.full_compiles.to_string(),
@@ -1219,6 +1290,21 @@ fn run_bench_repair() {
             })
             .collect::<Vec<_>>(),
     );
+    for row in &bench.rows {
+        if let Some(tw) = bench
+            .rows
+            .iter()
+            .find(|r| r.id == row.id && r.engine == ExecEngine::TreeWalk.name())
+        {
+            if row.engine == ExecEngine::Bytecode.name() && tw.candidates_per_sec > 0.0 {
+                println!(
+                    "{}: bytecode {:.2}x treewalk",
+                    row.id,
+                    row.candidates_per_sec / tw.candidates_per_sec
+                );
+            }
+        }
+    }
     println!(
         "threads: {} (effective {}, hardware {}); total wall: {:.1} ms",
         bench.threads, bench.effective_threads, bench.available_parallelism, bench.total_wall_ms

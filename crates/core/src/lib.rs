@@ -28,7 +28,7 @@ use heterogen_toolchain::{SimBackend, Toolchain};
 use heterogen_trace::{Event, NullSink, TraceSink};
 use minic::types::Type;
 use minic::Program;
-use minic_exec::Profile;
+use minic_exec::{ExecEngine, Profile};
 use repair::{RepairOutcome, SearchConfig, SearchStop};
 use serde::Serialize;
 use std::sync::Arc;
@@ -184,6 +184,15 @@ impl PipelineConfigBuilder {
     /// Enables or disables profile-guided bitwidth finitization.
     pub fn with_bitwidth_finitization(mut self, v: bool) -> Self {
         self.cfg.bitwidth_finitization = v;
+        self
+    }
+
+    /// Sets the execution engine for *every* phase (fuzzing and repair
+    /// alike). Equivalent to setting [`FuzzConfig::engine`] and
+    /// [`SearchConfig::engine`] individually.
+    pub fn with_engine(mut self, v: ExecEngine) -> Self {
+        self.cfg.fuzz.engine = v;
+        self.cfg.search.engine = v;
         self
     }
 
@@ -447,9 +456,9 @@ pub enum TestSource {
 ///
 /// `#[non_exhaustive]`: construct one with [`JobSpec::fuzz`] /
 /// [`JobSpec::with_tests`] or the full [`JobSpec::builder`], so new knobs
-/// (backend, seed, budgets, client) are not semver breaks. All override
-/// fields default to "inherit from the session": a bare spec behaves
-/// exactly like the old [`Job`].
+/// (backend, seed, budgets, engine, client) are not semver breaks. All
+/// override fields default to "inherit from the session": a bare spec
+/// behaves exactly as the session is configured.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct JobSpec {
@@ -467,6 +476,11 @@ pub struct JobSpec {
     pub seed: Option<u64>,
     /// Per-phase budget override; `None` inherits the session's budgets.
     pub budgets: Option<PhaseBudgets>,
+    /// Execution-engine override for every phase; `None` inherits the
+    /// configured engines. Both engines produce identical reports — this
+    /// knob trades wall-clock speed (bytecode) against the reference
+    /// implementation (tree-walk, for differential testing).
+    pub engine: Option<ExecEngine>,
     /// Client identity for the server's fair-share admission. The library
     /// path ignores it.
     pub client: String,
@@ -504,6 +518,7 @@ impl JobSpec {
                 backend: None,
                 seed: None,
                 budgets: None,
+                engine: None,
                 client: ANONYMOUS_CLIENT.to_string(),
             },
         }
@@ -561,6 +576,12 @@ impl JobSpecBuilder {
         self
     }
 
+    /// Overrides the execution engine for every phase.
+    pub fn engine(mut self, engine: ExecEngine) -> Self {
+        self.spec.engine = Some(engine);
+        self
+    }
+
     /// Names the submitting client (for the server's fair-share admission).
     pub fn client(mut self, client: impl Into<String>) -> Self {
         self.spec.client = client.into();
@@ -570,48 +591,6 @@ impl JobSpecBuilder {
     /// Finalizes the spec.
     pub fn build(self) -> JobSpec {
         self.spec
-    }
-}
-
-/// One unit of transpilation work for [`Session::run`].
-#[deprecated(note = "use `JobSpec` (builder-backed, shared with the job server) instead")]
-#[derive(Debug, Clone)]
-pub struct Job {
-    /// The original C program.
-    pub program: Program,
-    /// The kernel (top function) name.
-    pub kernel: String,
-    /// Where the differential test suite comes from.
-    pub tests: TestSource,
-}
-
-#[allow(deprecated)]
-impl Job {
-    /// A job whose test suite is fuzzed from `seeds` (which may be empty).
-    pub fn fuzz(program: Program, kernel: impl Into<String>, seeds: Vec<TestCase>) -> Job {
-        Job {
-            program,
-            kernel: kernel.into(),
-            tests: TestSource::Fuzz(seeds),
-        }
-    }
-
-    /// A job that runs against an externally supplied test suite.
-    pub fn with_tests(program: Program, kernel: impl Into<String>, tests: Vec<TestCase>) -> Job {
-        Job {
-            program,
-            kernel: kernel.into(),
-            tests: TestSource::Existing(tests),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<Job> for JobSpec {
-    fn from(job: Job) -> JobSpec {
-        let mut b = JobSpec::builder(job.program, job.kernel);
-        b.spec.tests = job.tests;
-        b.build()
     }
 }
 
@@ -701,18 +680,17 @@ impl Session {
         &self.config
     }
 
-    /// Runs the full pipeline on one job.
+    /// Runs the full pipeline on one [`JobSpec`].
     ///
-    /// Accepts anything convertible into a [`JobSpec`] (including the
-    /// deprecated [`Job`]). Spec-level overrides — backend name, RNG seed,
-    /// budgets — take precedence over the session's configuration; a spec
-    /// with no overrides behaves exactly as the session is configured.
+    /// Spec-level overrides — backend name, RNG seed, budgets, engine —
+    /// take precedence over the session's configuration; a spec with no
+    /// overrides behaves exactly as the session is configured.
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError`] when the spec is invalid, the kernel
     /// cannot be fuzzed, or the reference execution fails outright.
-    pub fn run(&self, job: impl Into<JobSpec>) -> Result<PipelineReport, PipelineError> {
+    pub fn run(&self, job: JobSpec) -> Result<PipelineReport, PipelineError> {
         let sink = self.sink.as_ref();
         let JobSpec {
             program: original,
@@ -721,8 +699,9 @@ impl Session {
             backend,
             seed,
             budgets,
+            engine,
             client: _,
-        } = job.into();
+        } = job;
         let backend: Arc<dyn Toolchain> = match backend {
             None => self.backend.clone(),
             Some(name) => resolve_backend(&name)?,
@@ -741,6 +720,9 @@ impl Session {
         if let Some(seed) = seed {
             fuzz_cfg.rng_seed = seed;
         }
+        if let Some(engine) = engine {
+            fuzz_cfg.engine = engine;
+        }
         let fuzz_cap = budgets.fuzz_execs.filter(|cap| *cap < fuzz_cfg.max_execs);
         if let Some(cap) = fuzz_cap {
             fuzz_cfg.max_execs = cap;
@@ -757,12 +739,11 @@ impl Session {
             }
             TestSource::Existing(tests) => {
                 let mut profile = Profile::new();
+                let prepared = minic_exec::Prepared::new(fuzz_cfg.engine, &original);
                 for t in &tests {
-                    if let Ok(mut m) =
-                        minic_exec::Machine::new(&original, minic_exec::MachineConfig::cpu())
-                    {
+                    if let Ok(mut m) = prepared.runner(minic_exec::MachineConfig::cpu()) {
                         let _ = m.run_kernel(&kernel, t);
-                        profile.merge(&m.profile);
+                        profile.merge(&m.profile());
                     }
                 }
                 (tests, profile, None)
@@ -816,6 +797,9 @@ impl Session {
         let mut search_cfg = self.config.search;
         if let Some(seed) = seed {
             search_cfg.rng_seed = seed;
+        }
+        if let Some(engine) = engine {
+            search_cfg.engine = engine;
         }
         search_cfg.max_evals = match (search_cfg.max_evals, budgets.repair_evals) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -1285,20 +1269,48 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_job_shim_converts_to_jobspec() {
-        #[allow(deprecated)]
-        let job = Job::fuzz(
+    fn bare_spec_inherits_every_session_setting() {
+        let spec = JobSpec::fuzz(
             minic::parse("int kernel(int x) { return x; }").unwrap(),
             "kernel",
             vec![],
         );
-        let spec: JobSpec = job.into();
         assert_eq!(spec.kernel, "kernel");
         assert!(matches!(&spec.tests, TestSource::Fuzz(s) if s.is_empty()));
         assert_eq!(spec.backend, None);
         assert_eq!(spec.seed, None);
         assert_eq!(spec.budgets, None);
+        assert_eq!(spec.engine, None);
         assert_eq!(spec.client, ANONYMOUS_CLIENT);
+    }
+
+    #[test]
+    fn engine_override_produces_identical_reports() {
+        let p =
+            minic::parse("int kernel(int x) { long double y = x; y = y + 1; return y; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.3;
+        cfg.fuzz.max_execs = 150;
+        let session = HeteroGen::builder().config(cfg).build();
+        let bytecode = session
+            .run(
+                JobSpec::builder(p.clone(), "kernel")
+                    .engine(ExecEngine::Bytecode)
+                    .build(),
+            )
+            .unwrap();
+        let treewalk = session
+            .run(
+                JobSpec::builder(p, "kernel")
+                    .engine(ExecEngine::TreeWalk)
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&bytecode).unwrap(),
+            serde_json::to_string(&treewalk).unwrap(),
+            "the two engines must produce byte-identical reports"
+        );
     }
 
     #[test]

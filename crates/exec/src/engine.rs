@@ -1,0 +1,218 @@
+//! Engine selection and the compile-once/run-many cache.
+//!
+//! The repair loop executes every test input against every candidate, so a
+//! candidate's `Program` is lowered to bytecode **once** (keyed by its
+//! structural fingerprint, shared process-wide) and then executed many
+//! times by cheap per-run [`Vm`] instances. The tree-walking
+//! [`Machine`] stays available behind [`ExecEngine::TreeWalk`] as the
+//! reference engine for differential testing.
+//!
+//! Programs outside the bytecode subset (goto, struct methods, VLAs, …)
+//! transparently fall back to the tree-walker — the `None` verdict is
+//! cached too, so the subset check is also paid once per candidate.
+
+use crate::bytecode::{compile, CompiledProgram};
+use crate::error::ExecError;
+use crate::interp::{Machine, MachineConfig};
+use crate::value::{ArgValue, Outcome, Value};
+use crate::vm::Vm;
+use crate::{CoverageMap, Profile};
+use minic::ast::{NodeId, Program};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which interpreter executes candidate programs.
+///
+/// Both engines are observably identical (values, traps and their message
+/// strings, fuel accounting, coverage, profiles); `Bytecode` is the fast
+/// default, `TreeWalk` the reference implementation kept for differential
+/// testing and as the fallback for programs outside the bytecode subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecEngine {
+    /// The original AST-walking reference interpreter.
+    TreeWalk,
+    /// Compile-once/run-many bytecode VM (falls back per-program to the
+    /// tree-walker when the program is outside the supported subset).
+    #[default]
+    Bytecode,
+}
+
+impl ExecEngine {
+    /// Stable lowercase name (CLI / JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecEngine::TreeWalk => "treewalk",
+            ExecEngine::Bytecode => "bytecode",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ExecEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ExecEngine, String> {
+        match s {
+            "treewalk" | "tree-walk" | "tree" => Ok(ExecEngine::TreeWalk),
+            "bytecode" | "vm" => Ok(ExecEngine::Bytecode),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `bytecode` or `treewalk`)"
+            )),
+        }
+    }
+}
+
+impl serde::Serialize for ExecEngine {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+/// Process-wide fingerprint → compiled-program cache. `None` records a
+/// program outside the bytecode subset so the check is paid once.
+static COMPILE_CACHE: OnceLock<Mutex<HashMap<u64, Option<Arc<CompiledProgram>>>>> = OnceLock::new();
+
+/// Capacity bound for the compile cache; reaching it clears the map (the
+/// search working set is far smaller, this only guards unbounded growth).
+const COMPILE_CACHE_CAP: usize = 4096;
+
+/// Returns the shared compiled form of `p`, compiling on first sight.
+/// `None` means the program is outside the bytecode subset.
+pub fn compiled_for(p: &Program) -> Option<Arc<CompiledProgram>> {
+    let key = minic::fingerprint_program(p);
+    let cache = COMPILE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("compile cache poisoned").get(&key) {
+        return hit.clone();
+    }
+    // Compile outside the lock: lowering is the expensive part.
+    let compiled = compile(p).map(Arc::new);
+    let mut guard = cache.lock().expect("compile cache poisoned");
+    if guard.len() >= COMPILE_CACHE_CAP {
+        guard.clear();
+    }
+    guard.entry(key).or_insert_with(|| compiled.clone()).clone()
+}
+
+/// A program prepared for repeated execution under a chosen engine.
+///
+/// Construction performs (or fetches from the shared cache) the one-time
+/// bytecode lowering; [`Prepared::runner`] then mints cheap per-run
+/// interpreters.
+#[derive(Debug)]
+pub struct Prepared<'p> {
+    program: &'p Program,
+    compiled: Option<Arc<CompiledProgram>>,
+}
+
+impl<'p> Prepared<'p> {
+    pub fn new(engine: ExecEngine, program: &'p Program) -> Prepared<'p> {
+        let compiled = match engine {
+            ExecEngine::TreeWalk => None,
+            ExecEngine::Bytecode => compiled_for(program),
+        };
+        Prepared { program, compiled }
+    }
+
+    /// Whether runs will actually use the bytecode VM (false for the
+    /// tree-walk engine *and* for bytecode-engine programs that fell back).
+    pub fn uses_bytecode(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Creates a fresh interpreter (runs global initializers, mirroring
+    /// `Machine::new`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a global initializer traps — identically under both
+    /// engines.
+    pub fn runner(&self, config: MachineConfig) -> Result<Runner<'p>, ExecError> {
+        match &self.compiled {
+            Some(cp) => Ok(Runner::Vm(Box::new(Vm::new(Arc::clone(cp), config)?))),
+            None => Ok(Runner::Tree(Box::new(Machine::new(self.program, config)?))),
+        }
+    }
+}
+
+/// A unified interpreter handle over the two engines.
+pub enum Runner<'p> {
+    Tree(Box<Machine<'p>>),
+    Vm(Box<Vm>),
+}
+
+impl Runner<'_> {
+    /// See [`Machine::run_kernel`].
+    pub fn run_kernel(&mut self, name: &str, args: &[ArgValue]) -> Outcome {
+        match self {
+            Runner::Tree(m) => m.run_kernel(name, args),
+            Runner::Vm(vm) => vm.run_kernel(name, args),
+        }
+    }
+
+    /// See [`Machine::run_function`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps and setup errors from the callee.
+    pub fn run_function(&mut self, name: &str, args: Vec<Value>) -> Result<Value, ExecError> {
+        match self {
+            Runner::Tree(m) => m.run_function(name, args),
+            Runner::Vm(vm) => vm.run_function(name, args),
+        }
+    }
+
+    /// Abstract operations executed so far.
+    pub fn ops(&self) -> u64 {
+        match self {
+            Runner::Tree(m) => m.ops(),
+            Runner::Vm(vm) => vm.ops(),
+        }
+    }
+
+    /// Branch coverage accumulated so far.
+    pub fn coverage(&self) -> CoverageMap {
+        match self {
+            Runner::Tree(m) => m.coverage.clone(),
+            Runner::Vm(vm) => vm.coverage(),
+        }
+    }
+
+    /// Value-range/depth/heap profile accumulated so far.
+    pub fn profile(&self) -> Profile {
+        match self {
+            Runner::Tree(m) => m.profile.clone(),
+            Runner::Vm(vm) => vm.profile(),
+        }
+    }
+
+    /// Per-loop iteration counts.
+    pub fn loop_stats(&self) -> BTreeMap<NodeId, u64> {
+        match self {
+            Runner::Tree(m) => m.loop_stats.clone(),
+            Runner::Vm(vm) => vm.loop_stats(),
+        }
+    }
+
+    /// Peak heap cells allocated so far (feeds array finitization).
+    pub fn peak_heap_cells(&self) -> usize {
+        match self {
+            Runner::Tree(m) => m.mem.peak_cells(),
+            Runner::Vm(vm) => vm.mem.peak_cells(),
+        }
+    }
+
+    /// Per-function call counts.
+    pub fn call_counts(&self) -> BTreeMap<String, u64> {
+        match self {
+            Runner::Tree(m) => m.call_counts.clone(),
+            Runner::Vm(vm) => vm.call_counts(),
+        }
+    }
+}

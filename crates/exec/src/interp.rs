@@ -1262,95 +1262,7 @@ impl<'p> Machine<'p> {
 
     fn binop(&mut self, op: BinOp, lhs: Value, rhs: Value) -> Result<Value, ExecError> {
         self.charge(1)?;
-        // Pointer arithmetic.
-        if let (Value::Ptr { addr, stride }, false) = (&lhs, rhs_is_ptr(&rhs)) {
-            if matches!(op, BinOp::Add | BinOp::Sub) {
-                let delta = rhs.as_int() * (*stride).max(1) as i128;
-                let na = if matches!(op, BinOp::Add) {
-                    *addr as i128 + delta
-                } else {
-                    *addr as i128 - delta
-                };
-                return Ok(Value::Ptr {
-                    addr: na.max(0) as usize,
-                    stride: *stride,
-                });
-            }
-        }
-        if op.is_comparison() {
-            let result = match (&lhs, &rhs) {
-                (Value::Float { .. }, _) | (_, Value::Float { .. }) => {
-                    let a = lhs.as_f64();
-                    let b = rhs.as_f64();
-                    match op {
-                        BinOp::Lt => a < b,
-                        BinOp::Gt => a > b,
-                        BinOp::Le => a <= b,
-                        BinOp::Ge => a >= b,
-                        BinOp::Eq => a == b,
-                        BinOp::Ne => a != b,
-                        _ => unreachable!(),
-                    }
-                }
-                _ => {
-                    let a = lhs.as_int();
-                    let b = rhs.as_int();
-                    match op {
-                        BinOp::Lt => a < b,
-                        BinOp::Gt => a > b,
-                        BinOp::Le => a <= b,
-                        BinOp::Ge => a >= b,
-                        BinOp::Eq => a == b,
-                        BinOp::Ne => a != b,
-                        _ => unreachable!(),
-                    }
-                }
-            };
-            return Ok(Value::Bool(result));
-        }
-        let float_math = matches!(&lhs, Value::Float { .. }) || matches!(&rhs, Value::Float { .. });
-        if float_math && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div) {
-            let a = lhs.as_f64();
-            let b = rhs.as_f64();
-            let v = match op {
-                BinOp::Add => a + b,
-                BinOp::Sub => a - b,
-                BinOp::Mul => a * b,
-                BinOp::Div => a / b,
-                _ => unreachable!(),
-            };
-            return Ok(Value::double(v));
-        }
-        let a = lhs.as_int();
-        let b = rhs.as_int();
-        let v = match op {
-            BinOp::Add => a.wrapping_add(b),
-            BinOp::Sub => a.wrapping_sub(b),
-            BinOp::Mul => a.wrapping_mul(b),
-            BinOp::Div => {
-                if b == 0 {
-                    return Err(ExecError::trap(Trap::DivisionByZero));
-                }
-                a.wrapping_div(b)
-            }
-            BinOp::Rem => {
-                if b == 0 {
-                    return Err(ExecError::trap(Trap::DivisionByZero));
-                }
-                a.wrapping_rem(b)
-            }
-            BinOp::BitAnd => a & b,
-            BinOp::BitOr => a | b,
-            BinOp::BitXor => a ^ b,
-            BinOp::Shl => a.wrapping_shl(b.clamp(0, 127) as u32),
-            BinOp::Shr => a.wrapping_shr(b.clamp(0, 127) as u32),
-            _ => unreachable!(),
-        };
-        Ok(Value::Int {
-            v,
-            bits: 64,
-            signed: true,
-        })
+        binop_value(op, lhs, rhs)
     }
 
     fn eval_call(&mut self, name: &str, args: &[Expr]) -> Result<Value, ExecError> {
@@ -1565,6 +1477,100 @@ impl<'p> Machine<'p> {
 
 fn rhs_is_ptr(v: &Value) -> bool {
     matches!(v, Value::Ptr { .. })
+}
+
+/// Binary-operator semantics shared by the tree-walker and the bytecode VM.
+/// The caller is responsible for charging the one fuel unit first.
+pub(crate) fn binop_value(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, ExecError> {
+    // Pointer arithmetic.
+    if let (Value::Ptr { addr, stride }, false) = (&lhs, rhs_is_ptr(&rhs)) {
+        if matches!(op, BinOp::Add | BinOp::Sub) {
+            let delta = rhs.as_int() * (*stride).max(1) as i128;
+            let na = if matches!(op, BinOp::Add) {
+                *addr as i128 + delta
+            } else {
+                *addr as i128 - delta
+            };
+            return Ok(Value::Ptr {
+                addr: na.max(0) as usize,
+                stride: *stride,
+            });
+        }
+    }
+    if op.is_comparison() {
+        let result = match (&lhs, &rhs) {
+            (Value::Float { .. }, _) | (_, Value::Float { .. }) => {
+                let a = lhs.as_f64();
+                let b = rhs.as_f64();
+                match op {
+                    BinOp::Lt => a < b,
+                    BinOp::Gt => a > b,
+                    BinOp::Le => a <= b,
+                    BinOp::Ge => a >= b,
+                    BinOp::Eq => a == b,
+                    BinOp::Ne => a != b,
+                    _ => unreachable!(),
+                }
+            }
+            _ => {
+                let a = lhs.as_int();
+                let b = rhs.as_int();
+                match op {
+                    BinOp::Lt => a < b,
+                    BinOp::Gt => a > b,
+                    BinOp::Le => a <= b,
+                    BinOp::Ge => a >= b,
+                    BinOp::Eq => a == b,
+                    BinOp::Ne => a != b,
+                    _ => unreachable!(),
+                }
+            }
+        };
+        return Ok(Value::Bool(result));
+    }
+    let float_math = matches!(&lhs, Value::Float { .. }) || matches!(&rhs, Value::Float { .. });
+    if float_math && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div) {
+        let a = lhs.as_f64();
+        let b = rhs.as_f64();
+        let v = match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            _ => unreachable!(),
+        };
+        return Ok(Value::double(v));
+    }
+    let a = lhs.as_int();
+    let b = rhs.as_int();
+    let v = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(ExecError::trap(Trap::DivisionByZero));
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(ExecError::trap(Trap::DivisionByZero));
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b.clamp(0, 127) as u32),
+        BinOp::Shr => a.wrapping_shr(b.clamp(0, 127) as u32),
+        _ => unreachable!(),
+    };
+    Ok(Value::Int {
+        v,
+        bits: 64,
+        signed: true,
+    })
 }
 
 /// A `size_of` closure decoupled from `&mut self` borrows, for [`coerce`].

@@ -17,18 +17,24 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod bytecode;
 pub mod cost;
 pub mod coverage;
+pub mod engine;
 pub mod error;
 pub mod interp;
 pub mod memory;
 pub mod profile;
 pub mod value;
+pub mod vm;
 
+pub use bytecode::{compile, CompiledProgram};
 pub use cost::CpuCostModel;
 pub use coverage::CoverageMap;
+pub use engine::{compiled_for, ExecEngine, Prepared, Runner};
 pub use error::{ExecError, Trap};
 pub use interp::{Machine, MachineConfig, OobPolicy};
 pub use memory::Memory;
 pub use profile::{Profile, Range};
 pub use value::{ArgValue, Outcome, ScalarOut, Value};
+pub use vm::Vm;

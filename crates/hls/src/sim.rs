@@ -9,7 +9,7 @@ use crate::errors::ToolchainError;
 use crate::schedule::{estimate_latency, FpgaEstimate, ScheduleModel};
 use heterogen_faults::{Fault, FaultInjector, FaultSite};
 use minic::Program;
-use minic_exec::{ArgValue, ExecError, Machine, MachineConfig, Outcome, Trap};
+use minic_exec::{ArgValue, ExecEngine, ExecError, MachineConfig, Outcome, Prepared, Trap};
 
 /// Result of simulating one test input on the FPGA side.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,15 +21,21 @@ pub struct SimResult {
 }
 
 /// FPGA simulator for one program.
+///
+/// Construction performs the one-time bytecode lowering (shared through the
+/// process-wide compile cache), so each simulated test only pays for a cheap
+/// per-run interpreter.
 #[derive(Debug)]
 pub struct FpgaSimulator<'p> {
     program: &'p Program,
+    prepared: Prepared<'p>,
     model: ScheduleModel,
     kernel: String,
 }
 
 impl<'p> FpgaSimulator<'p> {
-    /// Creates a simulator for the program's top function.
+    /// Creates a simulator for the program's top function, using the default
+    /// execution engine.
     ///
     /// # Errors
     ///
@@ -41,6 +47,7 @@ impl<'p> FpgaSimulator<'p> {
             .to_string();
         Ok(FpgaSimulator {
             program,
+            prepared: Prepared::new(ExecEngine::default(), program),
             model: ScheduleModel::default(),
             kernel,
         })
@@ -49,6 +56,13 @@ impl<'p> FpgaSimulator<'p> {
     /// Overrides the schedule model.
     pub fn with_model(mut self, model: ScheduleModel) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Overrides the execution engine (both engines are observably
+    /// identical; `TreeWalk` is the reference for differential testing).
+    pub fn with_engine(mut self, engine: ExecEngine) -> Self {
+        self.prepared = Prepared::new(engine, self.program);
         self
     }
 
@@ -140,8 +154,8 @@ impl<'p> FpgaSimulator<'p> {
     }
 
     fn run_with_config(&self, args: &[ArgValue], config: MachineConfig) -> SimResult {
-        let mut machine = match Machine::new(self.program, config) {
-            Ok(m) => m,
+        let mut runner = match self.prepared.runner(config) {
+            Ok(r) => r,
             Err(e) => {
                 return SimResult {
                     outcome: Outcome {
@@ -157,12 +171,12 @@ impl<'p> FpgaSimulator<'p> {
                 }
             }
         };
-        let outcome = machine.run_kernel(&self.kernel, args);
+        let outcome = runner.run_kernel(&self.kernel, args);
         let estimate = estimate_latency(
             &self.model,
             self.program,
-            machine.ops(),
-            &machine.loop_stats,
+            runner.ops(),
+            &runner.loop_stats(),
             self.program.config.clock_mhz,
         );
         SimResult { outcome, estimate }

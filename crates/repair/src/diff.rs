@@ -9,7 +9,7 @@ use heterogen_faults::{FaultInjector, ResilienceStats, RetryPolicy};
 use heterogen_toolchain::{Resilient, SimBackend, Toolchain};
 use heterogen_trace::{Event, NullSink, TraceSink};
 use minic::Program;
-use minic_exec::{CpuCostModel, Machine, MachineConfig, Outcome};
+use minic_exec::{CpuCostModel, ExecEngine, MachineConfig, Outcome, Prepared};
 use testgen::TestCase;
 
 /// Result of differentially testing one candidate.
@@ -28,6 +28,7 @@ pub struct DifferentialTester {
     reference: Vec<Outcome>,
     cpu_latency_ms: f64,
     threads: usize,
+    engine: ExecEngine,
 }
 
 impl DifferentialTester {
@@ -59,14 +60,43 @@ impl DifferentialTester {
         max_tests: usize,
         threads: usize,
     ) -> Result<DifferentialTester, String> {
+        DifferentialTester::with_engine(
+            original,
+            kernel,
+            tests,
+            max_tests,
+            threads,
+            ExecEngine::default(),
+        )
+    }
+
+    /// Like [`DifferentialTester::with_threads`], selecting the execution
+    /// engine used for the reference runs and for every default-backend
+    /// candidate simulation. The candidate program is compiled once per
+    /// fingerprint (shared process-wide); both engines produce identical
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the original program cannot be executed at all.
+    pub fn with_engine(
+        original: &Program,
+        kernel: &str,
+        tests: &[TestCase],
+        max_tests: usize,
+        threads: usize,
+        engine: ExecEngine,
+    ) -> Result<DifferentialTester, String> {
         let tests: Vec<TestCase> = tests.iter().take(max_tests.max(1)).cloned().collect();
         if tests.is_empty() {
             return Err("differential testing needs at least one test".to_string());
         }
         let cost = CpuCostModel::new();
+        let prepared = Prepared::new(engine, original);
         let runs: Vec<Result<(Outcome, f64), String>> =
             parallel::parallel_map(threads, &tests, |_, t| {
-                let mut m = Machine::new(original, MachineConfig::cpu())
+                let mut m = prepared
+                    .runner(MachineConfig::cpu())
                     .map_err(|e| format!("reference machine: {e}"))?;
                 let before = m.ops();
                 let out = m.run_kernel(kernel, t);
@@ -84,6 +114,7 @@ impl DifferentialTester {
             tests,
             reference,
             threads,
+            engine,
         })
     }
 
@@ -116,7 +147,11 @@ impl DifferentialTester {
         candidate: &Program,
         sink: &S,
     ) -> DiffReport {
-        self.evaluate_with(&SimBackend::default_profile(), candidate, sink)
+        self.evaluate_with(
+            &SimBackend::default_profile().with_engine(self.engine),
+            candidate,
+            sink,
+        )
     }
 
     /// Like [`DifferentialTester::evaluate_traced`], simulating on an
@@ -171,7 +206,7 @@ impl DifferentialTester {
         I: FaultInjector + ?Sized,
     {
         self.evaluate_resilient_with(
-            &SimBackend::default_profile(),
+            &SimBackend::default_profile().with_engine(self.engine),
             candidate,
             sink,
             injector,

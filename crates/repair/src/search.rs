@@ -41,7 +41,7 @@ use heterogen_trace::{Event, NullSink, TraceSink, Verdict};
 use hls_sim::{CompileCostModel, HlsDiagnostic, SimClock, ToolchainError};
 use minic::ast::PragmaKind;
 use minic::Program;
-use minic_exec::Profile;
+use minic_exec::{ExecEngine, Profile};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -91,6 +91,10 @@ pub struct SearchConfig {
     /// `None` = unbounded. Exhausting the cap stops the search with
     /// [`SearchStop::EvalBudgetExhausted`] and the best candidate so far.
     pub max_evals: Option<u64>,
+    /// Execution engine used for every candidate run (CPU reference and
+    /// FPGA simulation alike). Both engines produce identical verdicts,
+    /// stats, and traces; only wall-clock time changes.
+    pub engine: ExecEngine,
 }
 
 impl Default for SearchConfig {
@@ -107,6 +111,7 @@ impl Default for SearchConfig {
             threads: 0,
             retry: RetryPolicy::default(),
             max_evals: None,
+            engine: ExecEngine::default(),
         }
     }
 }
@@ -207,6 +212,12 @@ impl SearchConfigBuilder {
     /// Sets the cap on toolchain evaluations (`None` = unbounded).
     pub fn with_max_evals(mut self, v: Option<u64>) -> Self {
         self.cfg.max_evals = v;
+        self
+    }
+
+    /// Sets the execution engine for candidate runs.
+    pub fn with_engine(mut self, v: ExecEngine) -> Self {
+        self.cfg.engine = v;
         self
     }
 
@@ -449,7 +460,7 @@ where
         cfg,
         sink,
         injector,
-        &SimBackend::default_profile(),
+        &SimBackend::default_profile().with_engine(cfg.engine),
     )
 }
 
@@ -495,8 +506,14 @@ where
     let mut stop: Option<SearchStop> = None;
     let mut rng = SmallRng::seed_from_u64(cfg.rng_seed);
 
-    let tester =
-        DifferentialTester::with_threads(original, kernel, tests, cfg.max_diff_tests, cfg.threads)?;
+    let tester = DifferentialTester::with_engine(
+        original,
+        kernel,
+        tests,
+        cfg.max_diff_tests,
+        cfg.threads,
+        cfg.engine,
+    )?;
     clock.advance(costs.cpu_tests(tester.test_count()));
 
     // The middleware stack the whole search evaluates through: memoization

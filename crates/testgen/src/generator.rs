@@ -20,7 +20,9 @@ use crate::mutate::{mutate_case, random_value};
 use crate::spec::{kernel_specs, ArgSpec};
 use heterogen_trace::{Event, NullSink, TraceSink};
 use minic::Program;
-use minic_exec::{coverage, ArgValue, CoverageMap, Machine, MachineConfig, Profile};
+use minic_exec::{
+    coverage, ArgValue, CoverageMap, ExecEngine, Machine, MachineConfig, Prepared, Profile,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -59,6 +61,9 @@ pub struct FuzzConfig {
     /// parallelism". Any value produces the same corpus, counters, and
     /// profile — only wall-clock time changes.
     pub threads: usize,
+    /// Execution engine for mutant runs. Both engines produce identical
+    /// corpora, coverage, and profiles; only wall-clock time changes.
+    pub engine: ExecEngine,
 }
 
 impl Default for FuzzConfig {
@@ -70,6 +75,7 @@ impl Default for FuzzConfig {
             max_execs: 20_000,
             mutants_per_seed: 16,
             threads: 0,
+            engine: ExecEngine::default(),
         }
     }
 }
@@ -138,6 +144,12 @@ impl FuzzConfigBuilder {
     /// Sets the worker-thread count (`0` = available parallelism).
     pub fn with_threads(mut self, v: usize) -> Self {
         self.cfg.threads = v;
+        self
+    }
+
+    /// Sets the execution engine for mutant runs.
+    pub fn with_engine(mut self, v: ExecEngine) -> Self {
+        self.cfg.engine = v;
         self
     }
 
@@ -241,16 +253,17 @@ pub fn fuzz_traced<S: TraceSink + ?Sized>(
             .collect::<Vec<_>>(),
     );
 
-    // Worker-side execution: runs a case on a fresh machine and returns
-    // its raw observations without touching any campaign state.
+    // Worker-side execution: runs a case on a fresh per-run interpreter
+    // (the program is lowered once, up front) and returns its raw
+    // observations without touching any campaign state.
+    let prepared = Prepared::new(config.engine, p);
     let exec_case = |case: &TestCase| -> Option<RunResult> {
-        let mut m = Machine::new(p, MachineConfig::cpu()).ok()?;
+        let mut m = prepared.runner(MachineConfig::cpu()).ok()?;
         let outcome = m.run_kernel(kernel, case);
-        let peak_cells = m.mem.peak_cells();
         Some(RunResult {
-            coverage: m.coverage,
-            profile: m.profile,
-            peak_cells,
+            coverage: m.coverage(),
+            profile: m.profile(),
+            peak_cells: m.peak_heap_cells(),
             trapped: outcome.trapped,
         })
     };

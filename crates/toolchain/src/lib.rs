@@ -67,7 +67,7 @@ use heterogen_trace::{Event, TraceSink};
 use hls_sim::{check_program, check_style, ErrorCategory, FpgaSimulator, HlsDiagnostic};
 pub use hls_sim::{CompileCostModel, ScheduleModel, SimResult, StyleViolation, ToolchainError};
 use minic::Program;
-use minic_exec::ArgValue;
+use minic_exec::{ArgValue, ExecEngine};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -340,6 +340,7 @@ pub struct SimBackend {
     description: &'static str,
     schedule: ScheduleModel,
     costs: CompileCostModel,
+    engine: ExecEngine,
 }
 
 impl SimBackend {
@@ -353,6 +354,7 @@ impl SimBackend {
                           datacenter compile farm.",
             schedule: ScheduleModel::default(),
             costs: CompileCostModel::default(),
+            engine: ExecEngine::default(),
         }
     }
 
@@ -379,7 +381,21 @@ impl SimBackend {
                 sim_per_test_min: 0.004,
                 cpu_per_test_min: 0.0002,
             },
+            engine: ExecEngine::default(),
         }
+    }
+
+    /// Overrides the execution engine used for co-simulation (both engines
+    /// are observably identical; `TreeWalk` is the reference path kept for
+    /// differential testing).
+    pub fn with_engine(mut self, engine: ExecEngine) -> SimBackend {
+        self.engine = engine;
+        self
+    }
+
+    /// The execution engine this backend simulates with.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
     }
 
     /// Resolves a backend by CLI name. `"default"` (aliases `"hls_sim"`,
@@ -400,7 +416,7 @@ impl SimBackend {
 
     fn simulator<'p>(&self, p: &'p Program) -> Result<FpgaSimulator<'p>, ToolchainError> {
         FpgaSimulator::new(p)
-            .map(|s| s.with_model(self.schedule))
+            .map(|s| s.with_model(self.schedule).with_engine(self.engine))
             .map_err(|e| ToolchainError::permanent("hls_sim", e.to_string()))
     }
 }

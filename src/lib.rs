@@ -91,8 +91,6 @@ pub use testgen;
 
 /// The most common imports for driving the pipeline.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use heterogen_core::Job;
     pub use heterogen_core::{
         Degradation, DegradationReason, HeteroGen, JobSpec, JobSpecBuilder, PhaseBudgets,
         PhaseBudgetsBuilder, PipelineConfig, PipelineConfigBuilder, PipelineError, PipelineReport,

@@ -3,7 +3,7 @@
 
 use minic::ast::{BinOp, Expr};
 use minic::types::Type;
-use minic_exec::{ArgValue, Machine, MachineConfig};
+use minic_exec::{ArgValue, ExecEngine, Machine, MachineConfig, Prepared};
 use proptest::prelude::*;
 
 // ------------------------------------------------------------ expressions
@@ -111,6 +111,110 @@ proptest! {
         let mut m1 = Machine::new(&p1, MachineConfig::cpu()).unwrap();
         let mut m2 = Machine::new(&p2, MachineConfig::cpu()).unwrap();
         prop_assert!(m1.run_kernel("kernel", &args).behaviour_eq(&m2.run_kernel("kernel", &args)));
+    }
+}
+
+// ---------------------------------------------------------- engine parity
+
+/// Runs `kernel(args)` under both execution engines and asserts every
+/// observable the pipeline consumes matches: the outcome (return value,
+/// trap flag, `ExecError` variant *and* message), fuel (`ops`), branch
+/// coverage, the value-range/depth/heap profile, and loop/call statistics
+/// — under both the CPU and FPGA configurations.
+fn assert_engines_agree(p: &minic::Program, kernel: &str, args: &[ArgValue]) {
+    let tree = Prepared::new(ExecEngine::TreeWalk, p);
+    let byte = Prepared::new(ExecEngine::Bytecode, p);
+    for config in [MachineConfig::cpu(), MachineConfig::fpga()] {
+        match (tree.runner(config), byte.runner(config)) {
+            (Err(e1), Err(e2)) => assert_eq!(e1, e2, "constructor error mismatch"),
+            (Ok(mut t), Ok(mut b)) => {
+                let o1 = t.run_kernel(kernel, args);
+                let o2 = b.run_kernel(kernel, args);
+                assert_eq!(o1, o2, "outcome mismatch");
+                assert_eq!(t.ops(), b.ops(), "fuel mismatch");
+                assert_eq!(t.coverage(), b.coverage(), "coverage mismatch");
+                assert_eq!(t.profile(), b.profile(), "profile mismatch");
+                assert_eq!(t.loop_stats(), b.loop_stats(), "loop stats mismatch");
+                assert_eq!(t.call_counts(), b.call_counts(), "call counts mismatch");
+            }
+            (t, b) => panic!(
+                "constructor outcome diverged: tree={:?} vm={:?}",
+                t.err(),
+                b.err()
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bytecode VM agrees with the tree-walking reference on generated
+    /// expression kernels (and the generated programs stay inside the
+    /// bytecode subset — no silent fallback).
+    #[test]
+    fn engines_agree_on_generated_expressions(
+        e in arb_expr(),
+        a in -100i128..100,
+        b in -100i128..100,
+        c in -100i128..100,
+    ) {
+        let p = minic::parse(&expr_program(&e)).unwrap();
+        prop_assert!(Prepared::new(ExecEngine::Bytecode, &p).uses_bytecode());
+        assert_engines_agree(
+            &p,
+            "kernel",
+            &[ArgValue::Int(a), ArgValue::Int(b), ArgValue::Int(c)],
+        );
+    }
+
+    /// …and on generated loop/branch/division kernels, where traps
+    /// (division by zero), coverage edges and fuel accounting diverge
+    /// first if the engines drift.
+    #[test]
+    fn engines_agree_on_generated_control_flow(
+        e1 in arb_expr(),
+        e2 in arb_expr(),
+        n in 0i128..24,
+        a in -100i128..100,
+        b in -100i128..100,
+        c in -8i128..8,
+    ) {
+        let src = format!(
+            "int kernel(int a, int b, int c) {{\n    int s = 0;\n    for (int i = 0; i < {n}; i++) {{\n        if (({}) < s) {{ s += ({}) / (c - i); }} else {{ s -= i; }}\n    }}\n    return s;\n}}",
+            minic::printer::print_expr(&e1),
+            minic::printer::print_expr(&e2),
+        );
+        let p = minic::parse(&src).unwrap();
+        prop_assert!(Prepared::new(ExecEngine::Bytecode, &p).uses_bytecode());
+        assert_engines_agree(
+            &p,
+            "kernel",
+            &[ArgValue::Int(a), ArgValue::Int(b), ArgValue::Int(c)],
+        );
+    }
+}
+
+/// Fixed-corpus regression: both engines replay every paper subject's
+/// seed and existing test inputs identically, and the candidate-heavy
+/// subjects P3 and P5 must actually compile to bytecode (no fallback —
+/// the BENCH_repair speedup depends on it).
+#[test]
+fn engines_agree_on_paper_subjects_fixed_corpus() {
+    for s in benchsuite::subjects() {
+        let p = s.parse();
+        if matches!(s.id, "P3" | "P5") {
+            assert!(
+                Prepared::new(ExecEngine::Bytecode, &p).uses_bytecode(),
+                "{} fell back to the tree-walker",
+                s.id
+            );
+        }
+        let mut corpus = s.seed_inputs.clone();
+        corpus.extend(s.existing_tests.clone());
+        for case in &corpus {
+            assert_engines_agree(&p, s.kernel, case);
+        }
     }
 }
 
