@@ -75,18 +75,34 @@ impl serde::Serialize for ExecEngine {
     }
 }
 
-/// Process-wide fingerprint → compiled-program cache. `None` records a
-/// program outside the bytecode subset so the check is paid once.
-static COMPILE_CACHE: OnceLock<Mutex<HashMap<u64, Option<Arc<CompiledProgram>>>>> = OnceLock::new();
+/// Compile-cache key: the structural fingerprint **plus** the node-id
+/// fingerprint. The structural fingerprint deliberately ignores `NodeId`s,
+/// but a [`CompiledProgram`] bakes them into its branch/loop sites — two
+/// print-identical programs with different id labelings (reparses,
+/// candidates derived along different edit paths) must not share a
+/// compiled form, or `coverage()`/`loop_stats()` would be keyed to the
+/// other AST's ids and silently diverge from the tree-walker.
+type CompileKey = (u64, u64);
 
-/// Capacity bound for the compile cache; reaching it clears the map (the
-/// search working set is far smaller, this only guards unbounded growth).
+/// Process-wide key → compiled-program cache. `None` records a program
+/// outside the bytecode subset so the check is paid once.
+static COMPILE_CACHE: OnceLock<Mutex<HashMap<CompileKey, Option<Arc<CompiledProgram>>>>> =
+    OnceLock::new();
+
+/// Capacity bound for the compile cache (the search working set is far
+/// smaller; this only guards unbounded growth across long server runs).
+/// At capacity one arbitrary entry is evicted per insert — clearing the
+/// whole map would discard every hot entry at once and trigger a
+/// recompile storm across threads.
 const COMPILE_CACHE_CAP: usize = 4096;
 
 /// Returns the shared compiled form of `p`, compiling on first sight.
 /// `None` means the program is outside the bytecode subset.
 pub fn compiled_for(p: &Program) -> Option<Arc<CompiledProgram>> {
-    let key = minic::fingerprint_program(p);
+    let key = (
+        minic::fingerprint_program(p),
+        minic::fingerprint_node_ids(p),
+    );
     let cache = COMPILE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = cache.lock().expect("compile cache poisoned").get(&key) {
         return hit.clone();
@@ -94,8 +110,9 @@ pub fn compiled_for(p: &Program) -> Option<Arc<CompiledProgram>> {
     // Compile outside the lock: lowering is the expensive part.
     let compiled = compile(p).map(Arc::new);
     let mut guard = cache.lock().expect("compile cache poisoned");
-    if guard.len() >= COMPILE_CACHE_CAP {
-        guard.clear();
+    if guard.len() >= COMPILE_CACHE_CAP && !guard.contains_key(&key) {
+        let victim = *guard.keys().next().expect("cap > 0, map non-empty");
+        guard.remove(&victim);
     }
     guard.entry(key).or_insert_with(|| compiled.clone()).clone()
 }

@@ -433,6 +433,56 @@ fn runner_parity_through_engine_api() {
 }
 
 #[test]
+fn fingerprint_equal_programs_with_different_ids_do_not_share_sites() {
+    let src = "
+        int kernel(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 0) s += i; else s -= 1;
+            }
+            while (s > 40) s -= 7;
+            return s;
+        }
+    ";
+    let p1 = minic::parse(src).expect("parse");
+    // A padding global consumes node ids; dropping it afterwards yields a
+    // program that prints identically to `p1` (equal structural
+    // fingerprint) but whose every NodeId is shifted — exactly what
+    // print-identical candidates derived along different edit paths look
+    // like after `renumber_synthesized`.
+    let mut p2 = minic::parse(&format!("int __pad = 1;\n{src}")).expect("parse");
+    p2.items.remove(0);
+    assert_eq!(
+        minic::fingerprint_program(&p1),
+        minic::fingerprint_program(&p2),
+        "setup: programs must be fingerprint-equal"
+    );
+    assert_ne!(
+        minic::fingerprint_node_ids(&p1),
+        minic::fingerprint_node_ids(&p2),
+        "setup: programs must be labeled differently"
+    );
+    // Warm the process-wide compile cache with p1, then prepare p2: the
+    // compiled form must not be shared across labelings, or p2's coverage
+    // and loop statistics would be keyed to p1's NodeIds and diverge from
+    // the tree-walker (breaking engine parity and every downstream
+    // consumer of loop stats, e.g. FPGA latency estimation).
+    for p in [&p1, &p2] {
+        let fast = Prepared::new(ExecEngine::Bytecode, p);
+        let slow = Prepared::new(ExecEngine::TreeWalk, p);
+        assert!(fast.uses_bytecode());
+        let mut rf = fast.runner(MachineConfig::cpu()).unwrap();
+        let mut rs = slow.runner(MachineConfig::cpu()).unwrap();
+        assert_eq!(
+            rf.run_kernel("kernel", &[ArgValue::Int(9)]),
+            rs.run_kernel("kernel", &[ArgValue::Int(9)])
+        );
+        assert_eq!(rf.coverage(), rs.coverage(), "coverage keyed to wrong ids");
+        assert_eq!(rf.loop_stats(), rs.loop_stats(), "loop stats keyed to wrong ids");
+    }
+}
+
+#[test]
 fn run_function_value_parity() {
     let src = "int sq(int x) { return x * x; }";
     let p = minic::parse(src).expect("parse");

@@ -89,6 +89,25 @@ pub fn fingerprint_program(p: &Program) -> u64 {
     h.0
 }
 
+/// Fingerprint of a program's *node-id labeling*: an FNV-1a hash over every
+/// statement and expression [`NodeId`](crate::ast::NodeId) in deterministic
+/// traversal order. Programs with equal [`fingerprint_program`] can still
+/// differ here — reparses and print-identical candidates derived along
+/// different edit paths renumber their nodes from different counters.
+/// Consumers that bake `NodeId`s into derived artifacts (e.g. compiled
+/// bytecode whose coverage and loop sites address the source AST) must key
+/// caches by the *pair* of fingerprints, or a structural hit would hand
+/// back sites labeled with another AST's ids.
+pub fn fingerprint_node_ids(p: &Program) -> u64 {
+    let mut h = Fnv::new();
+    crate::visit::visit_stmts(p, &mut |s| h.u64(s.id.0 as u64));
+    // Domain separator so a stmt-id suffix cannot collide with an
+    // expr-id prefix.
+    h.tag(0xEF);
+    crate::visit::visit_exprs(p, &mut |e| h.u64(e.id.0 as u64));
+    h.0
+}
+
 fn hash_config(h: &mut Fnv, c: &DesignConfig) {
     h.tag(0x01);
     h.opt(&c.top, |h, t| h.str(t));
@@ -511,6 +530,21 @@ mod tests {
         // does reparsing with a different id baseline (p2's ids are fresh).
         p2.renumber_synthesized();
         assert_eq!(fingerprint_program(&p1), fingerprint_program(&p2));
+    }
+
+    #[test]
+    fn node_id_fingerprint_tracks_labeling_not_structure() {
+        let p1 = parse(SRC).unwrap();
+        let p2 = parse(SRC).unwrap();
+        // Same source, same parse → same labeling.
+        assert_eq!(fingerprint_node_ids(&p1), fingerprint_node_ids(&p2));
+        // A padding global consumes ids, so dropping it afterwards yields a
+        // program that prints identically (equal structural fingerprint)
+        // but is labeled differently — the node-id fingerprint must differ.
+        let mut shifted = parse(&format!("int __pad = 1;\n{SRC}")).unwrap();
+        shifted.items.remove(0);
+        assert_eq!(fingerprint_program(&p1), fingerprint_program(&shifted));
+        assert_ne!(fingerprint_node_ids(&p1), fingerprint_node_ids(&shifted));
     }
 
     #[test]
