@@ -19,15 +19,17 @@
 use bench::*;
 use heterogen_core::{HeteroGen, JobSpec, PipelineConfig};
 use heterogen_server::{loadgen, Server, ServerConfig};
+use heterogen_store::Store;
 use heterogen_toolchain::{EvalCache, Memoized, Resilient, SimBackend, Toolchain, Traced};
 use heterogen_trace::{JsonlSink, MetricsSink, NullSink, TeeSink, TraceSink};
 use minic_exec::ExecEngine;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// The flags every subject-driving subcommand shares, parsed once:
 /// `<subject>` (first non-flag positional after the subcommand),
-/// `--backend <name>`, `--threads <n>`, `--engine <name>`, and
-/// `--json [path]`.
+/// `--backend <name>`, `--threads <n>`, `--engine <name>`, `--store <dir>`,
+/// and `--json [path]`.
 #[derive(Debug, Clone, Default)]
 struct CommonOpts {
     subcommand: String,
@@ -35,6 +37,8 @@ struct CommonOpts {
     backend: Option<String>,
     threads: Option<usize>,
     engine: Option<ExecEngine>,
+    store_dir: Option<String>,
+    wants_store: bool,
     wants_json: bool,
     json_path: Option<String>,
 }
@@ -52,9 +56,18 @@ impl CommonOpts {
                     std::process::exit(2);
                 })
             }),
+            store_dir: flag_value(args, "--store"),
+            wants_store: args.iter().any(|a| a == "--store"),
             wants_json: args.iter().any(|a| a == "--json"),
             json_path: flag_value(args, "--json"),
         }
+    }
+
+    /// Opens the crash-safe evaluation store named by `--store`, if any,
+    /// reporting (but tolerating) a recovered torn tail and exiting on
+    /// irrecoverable files (wrong magic, schema version skew).
+    fn open_store(&self) -> Option<Arc<Store>> {
+        self.store_dir.as_deref().map(open_store_at)
     }
 
     /// The subject positional, or a usage error naming the subcommand.
@@ -104,6 +117,34 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Opens (creating if absent) the store at `dir`, printing the recovery
+/// summary when the open had to repair a torn or corrupt tail.
+fn open_store_at(dir: impl AsRef<Path>) -> Arc<Store> {
+    let dir = dir.as_ref();
+    match Store::open(dir) {
+        Ok(s) => {
+            let r = s.recovery();
+            if !r.clean() {
+                eprintln!(
+                    "store: recovered {} records ({} verdicts, {} corpora, {} diffs), \
+                     quarantined {} bytes: {}",
+                    r.records,
+                    r.verdicts,
+                    r.corpora,
+                    r.diffs,
+                    r.quarantined_bytes,
+                    r.corruption.as_deref().unwrap_or("-"),
+                );
+            }
+            Arc::new(s)
+        }
+        Err(e) => {
+            eprintln!("store: cannot open `{}`: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = CommonOpts::parse(&args);
@@ -129,7 +170,15 @@ fn main() {
             return;
         }
         "chaos" => {
-            run_chaos(&opts);
+            if opts.wants_store {
+                run_chaos_store(&opts);
+            } else {
+                run_chaos(&opts);
+            }
+            return;
+        }
+        "store" => {
+            run_store(&opts, &args);
             return;
         }
         "serve" => {
@@ -176,7 +225,7 @@ fn main() {
             run_summary(&bundle);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair run trace toolchain bench-guard chaos serve loadgen summary all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair run trace toolchain bench-guard chaos serve loadgen store summary all");
             std::process::exit(2);
         }
     }
@@ -206,8 +255,11 @@ fn load_subject(id: &str) -> benchsuite::Subject {
 /// serializes whole (program as HLS-C source).
 fn run_one(opts: &CommonOpts) {
     let s = load_subject(&opts.require_subject());
-    let report = HeteroGen::builder()
-        .config(opts.config())
+    let mut builder = HeteroGen::builder().config(opts.config());
+    if let Some(store) = opts.open_store() {
+        builder = builder.store(store);
+    }
+    let report = builder
         .build()
         .run(opts.spec_for(&s))
         .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", s.id));
@@ -260,9 +312,11 @@ fn run_trace(opts: &CommonOpts) {
         metrics.clone() as Arc<dyn TraceSink>,
         jsonl.clone() as Arc<dyn TraceSink>,
     ]));
-    let report = HeteroGen::builder()
-        .config(opts.config())
-        .sink(tee)
+    let mut builder = HeteroGen::builder().config(opts.config()).sink(tee);
+    if let Some(store) = opts.open_store() {
+        builder = builder.store(store);
+    }
+    let report = builder
         .build()
         .run(opts.spec_for(&s))
         .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", s.id));
@@ -333,14 +387,19 @@ fn run_toolchain(opts: &CommonOpts) {
     });
     let s = load_subject(&opts.require_subject());
     let cfg = opts.config();
+    // The verdict key carries the backend profile, so both runs can share
+    // one store without aliasing.
+    let store = opts.open_store();
     let run_with = |backend: SimBackend| {
         let p = s.parse();
         let mut seeds = s.seed_inputs.clone();
         seeds.extend(s.existing_tests.clone());
         let info = backend.info();
-        let report = HeteroGen::builder()
-            .config(cfg)
-            .backend(backend)
+        let mut builder = HeteroGen::builder().config(cfg).backend(backend);
+        if let Some(store) = &store {
+            builder = builder.store(store.clone());
+        }
+        let report = builder
             .build()
             .run(JobSpec::fuzz(p, s.kernel, seeds))
             .unwrap_or_else(|e| panic!("{}: pipeline failed on `{}`: {e}", s.id, info.name));
@@ -593,6 +652,53 @@ fn run_bench_guard() {
         }
     }
     println!("OK");
+
+    // The durability guard: a warm persistent store must pay for itself.
+    // The second identical full-pipeline run over the same store directory
+    // (verdict memos + corpus warm start) has to beat the cold run that
+    // populated it by at least WARM_GUARD_X.
+    let warm_floor: f64 = std::env::var("WARM_GUARD_X")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    println!("\n== bench-guard: warm-store speedup on the full pipeline ==");
+    for id in ["P3", "P5"] {
+        let s = load_subject(id);
+        let dir =
+            std::env::temp_dir().join(format!("heterogen-guard-warm-{}-{id}", std::process::id()));
+        let time_pipeline = || -> f64 {
+            let store = open_store_at(&dir);
+            let mut seeds = s.seed_inputs.clone();
+            seeds.extend(s.existing_tests.clone());
+            let session = HeteroGen::builder()
+                .config(standard_config())
+                .store(store)
+                .build();
+            let t0 = std::time::Instant::now();
+            session
+                .run(JobSpec::fuzz(s.parse(), s.kernel, seeds))
+                .unwrap_or_else(|e| panic!("{id}: {e}"));
+            t0.elapsed().as_secs_f64() * 1e3
+        };
+        const WARM_ROUNDS: usize = 3;
+        let mut cold = f64::MAX;
+        let mut warm = f64::MAX;
+        for _ in 0..WARM_ROUNDS {
+            let _ = std::fs::remove_dir_all(&dir);
+            cold = cold.min(time_pipeline());
+            warm = warm.min(time_pipeline());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let speedup = cold / warm.max(1e-9);
+        println!(
+            "{id}: cold {cold:.1} ms, warm {warm:.1} ms ({speedup:.2}x, floor {warm_floor:.1}x)"
+        );
+        if speedup < warm_floor {
+            eprintln!("FAIL: a warm store must be at least {warm_floor:.1}x a cold run on {id}");
+            std::process::exit(1);
+        }
+    }
+    println!("OK");
 }
 
 /// `reproduce -- chaos [subject]`: runs one repair search fault-free, then
@@ -729,6 +835,286 @@ fn run_chaos(opts: &CommonOpts) {
     println!("OK: fault-free and chaos runs agree on every observable output");
 }
 
+/// `reproduce -- chaos --store [dir] [subject] [--threads <n>]`: the
+/// storage-chaos flow. For each thread count (1/2/4, or just `--threads`),
+/// the full pipeline runs five ways — without a store (the reference),
+/// against a fresh store, against the warm store, against the store after
+/// its log is truncated mid-record (torn-write recovery), and against a
+/// store whose I/O layer injects seeded faults (short writes, ENOSPC,
+/// bit flips on read). Every run must produce a report and JSONL trace
+/// byte-identical to the reference: durability buys wall time, nothing
+/// else.
+fn run_chaos_store(opts: &CommonOpts) {
+    use heterogen_faults::IoFaultPlan;
+    use heterogen_store::{log_path, sidecar_path, FaultyIo, RealIo, StoreIo};
+
+    let id = opts.subject.as_deref().unwrap_or("P3");
+    let s = load_subject(id);
+    let thread_counts: Vec<usize> = match opts.threads {
+        Some(t) => vec![t],
+        None => vec![1, 2, 4],
+    };
+    let base = match &opts.store_dir {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("heterogen-chaos-store-{}", std::process::id())),
+    };
+    let _ = std::fs::remove_dir_all(&base);
+
+    println!("== chaos --store: {} ({}) ==", s.id, s.name);
+    let failed = std::cell::Cell::new(false);
+    for &threads in &thread_counts {
+        let dir = base.join(format!("t{threads}"));
+        let mut o = opts.clone();
+        o.threads = Some(threads);
+        let cfg = o.config();
+
+        // One pipeline execution: report JSON plus the full JSONL trace.
+        let run_with = |store: Option<Arc<Store>>| -> (String, String) {
+            let jsonl = Arc::new(JsonlSink::new());
+            let mut builder = HeteroGen::builder()
+                .config(cfg)
+                .sink(jsonl.clone() as Arc<dyn TraceSink>);
+            if let Some(store) = store {
+                builder = builder.store(store);
+            }
+            let report = builder.build().run(o.spec_for(&s)).unwrap_or_else(|e| {
+                eprintln!("{id}: pipeline failed: {e}");
+                std::process::exit(1);
+            });
+            let json = serde_json::to_string_pretty(&report).expect("serializable report");
+            (json, jsonl.contents())
+        };
+        let reference = run_with(None);
+        let check = |stage: &str, got: &(String, String)| {
+            let ok = *got == reference;
+            println!(
+                "  t{threads} {stage:<18} report {} trace {}",
+                tick(got.0 == reference.0),
+                tick(got.1 == reference.1),
+            );
+            if !ok {
+                eprintln!("FAIL: t{threads} {stage}: bytes diverged from the store-less run");
+                failed.set(true);
+            }
+        };
+
+        check("cold", &run_with(Some(open_store_at(&dir))));
+        check("warm", &run_with(Some(open_store_at(&dir))));
+
+        // Torn write: chop the log mid-record and re-run. The open must
+        // quarantine the tail and the rest of the records still warm the
+        // run; the missing tail is simply re-executed and re-appended.
+        let log = log_path(&dir);
+        let len = std::fs::metadata(&log).map(|m| m.len()).unwrap_or(0);
+        if len > 19 {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&log)
+                .and_then(|f| f.set_len(len - 7))
+                .expect("truncating the log mid-record");
+        }
+        check("torn-tail warm", &run_with(Some(open_store_at(&dir))));
+        if !sidecar_path(&dir).exists() {
+            eprintln!("FAIL: t{threads}: torn tail left no quarantine sidecar");
+            failed.set(true);
+        }
+
+        // Seeded write faults: short writes and ENOSPC drop memo appends
+        // but can never corrupt the log or perturb the run. Chop the log
+        // down first so the run has plenty of records to re-append through
+        // the faulty layer.
+        let len = std::fs::metadata(&log).map(|m| m.len()).unwrap_or(0);
+        if len > 40 {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&log)
+                .and_then(|f| f.set_len(len / 3))
+                .expect("truncating the log for the write-fault stage");
+        }
+        let write_plan = IoFaultPlan::builder(0xD15C + threads as u64)
+            .with_short_write_rate(0.25)
+            .with_enospc_rate(0.15)
+            .build();
+        let faulty = Arc::new(FaultyIo::new(RealIo, write_plan));
+        let store = Arc::new(
+            Store::open_with(&dir, faulty.clone() as Arc<dyn StoreIo>).unwrap_or_else(|e| {
+                eprintln!("{id}: faulted open failed: {e}");
+                std::process::exit(1);
+            }),
+        );
+        check("write-faulted", &run_with(Some(store.clone())));
+        println!(
+            "  t{threads} injected {} write faults ({} appends dropped)",
+            faulty.injected(),
+            store.stats().write_errors
+        );
+
+        // Seeded bit rot on the read path: the open sees a flipped byte,
+        // recovers the prefix before it, and the run stays byte-identical.
+        // A flip landing in the file header makes the open refuse the
+        // file instead — equally acceptable, and the log is untouched.
+        let read_plan = IoFaultPlan::builder(0xB17 + threads as u64)
+            .with_bit_flip_rate(1.0)
+            .build();
+        match Store::open_with(&dir, Arc::new(FaultyIo::new(RealIo, read_plan))) {
+            Ok(store) => {
+                let r = store.recovery();
+                println!(
+                    "  t{threads} bit-rot open recovered {} records, quarantined {} bytes",
+                    r.records, r.quarantined_bytes
+                );
+                check("bit-rot warm", &run_with(Some(Arc::new(store))));
+            }
+            Err(e) => println!("  t{threads} bit-rot open refused: {e}"),
+        }
+
+        // After all that abuse a clean open must succeed: every surviving
+        // byte on disk is a valid prefix of a valid log.
+        let final_store = open_store_at(&dir);
+        let st = final_store.stats();
+        println!(
+            "  t{threads} final store: {} verdicts, {} corpora, {} diffs, {} bytes",
+            st.verdicts, st.corpora, st.diffs, st.log_bytes
+        );
+    }
+    if opts.store_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&base);
+    }
+    if failed.get() {
+        std::process::exit(1);
+    }
+    println!("OK: every store condition reproduced the store-less run byte for byte");
+}
+
+/// `reproduce -- store <verify|stats|compact|truncate|corrupt> --store <dir>
+/// [--at <byte>]`: store maintenance and crash-simulation utilities.
+/// `verify` opens the log, reporting (and completing) any recovery;
+/// `truncate`/`corrupt` deliberately damage the log at a byte offset so CI
+/// and operators can rehearse torn-write and bit-rot recovery.
+fn run_store(opts: &CommonOpts, args: &[String]) {
+    use heterogen_store::log_path;
+
+    let usage = || -> ! {
+        eprintln!(
+            "usage: reproduce -- store <verify|stats|compact|truncate|corrupt> --store <dir> [--at <byte>]"
+        );
+        std::process::exit(2);
+    };
+    let action = opts.subject.clone().unwrap_or_else(|| "verify".to_string());
+    let Some(dir) = opts.store_dir.clone() else {
+        usage();
+    };
+    let dir = PathBuf::from(dir);
+    let at = || -> u64 {
+        flag_value(args, "--at")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("store {action}: --at <byte offset> is required");
+                std::process::exit(2);
+            })
+    };
+    match action.as_str() {
+        "verify" => {
+            let store = match Store::open(&dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("store: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let r = store.recovery();
+            println!("log ............ {}", store.log_file().display());
+            println!("created ........ {}", r.created);
+            println!(
+                "records ........ {} ({} verdicts, {} corpora, {} diffs)",
+                r.records, r.verdicts, r.corpora, r.diffs
+            );
+            if r.quarantined_bytes > 0 {
+                println!(
+                    "quarantined .... {} bytes -> {}",
+                    r.quarantined_bytes,
+                    store.sidecar_file().display()
+                );
+            } else {
+                println!("quarantined .... 0 bytes");
+            }
+            println!(
+                "corruption ..... {}",
+                r.corruption.as_deref().unwrap_or("none")
+            );
+            println!(
+                "{}",
+                if r.clean() {
+                    "OK: clean"
+                } else {
+                    "OK: recovered"
+                }
+            );
+        }
+        "stats" => {
+            let store = open_store_at(&dir);
+            let st = store.stats();
+            print_table(
+                &["Metric", "Value"],
+                &[
+                    vec!["verdicts".into(), st.verdicts.to_string()],
+                    vec!["corpora".into(), st.corpora.to_string()],
+                    vec!["diffs".into(), st.diffs.to_string()],
+                    vec!["log bytes".into(), st.log_bytes.to_string()],
+                    vec!["write errors".into(), st.write_errors.to_string()],
+                    vec!["wedged".into(), st.wedged.to_string()],
+                ],
+            );
+        }
+        "compact" => {
+            let store = open_store_at(&dir);
+            let before = store.stats().log_bytes;
+            match store.compact() {
+                Ok(after) => println!("compacted {before} -> {after} bytes"),
+                Err(e) => {
+                    eprintln!("store: compaction failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "truncate" => {
+            let at = at();
+            let log = log_path(&dir);
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&log)
+                .and_then(|f| f.set_len(at))
+                .unwrap_or_else(|e| {
+                    eprintln!("store: truncate {}: {e}", log.display());
+                    std::process::exit(2);
+                });
+            println!("truncated {} to {at} bytes", log.display());
+        }
+        "corrupt" => {
+            let at = at() as usize;
+            let log = log_path(&dir);
+            let mut bytes = std::fs::read(&log).unwrap_or_else(|e| {
+                eprintln!("store: read {}: {e}", log.display());
+                std::process::exit(2);
+            });
+            if at >= bytes.len() {
+                eprintln!(
+                    "store: offset {at} is beyond the log ({} bytes)",
+                    bytes.len()
+                );
+                std::process::exit(2);
+            }
+            bytes[at] ^= 0x40;
+            std::fs::write(&log, &bytes).unwrap_or_else(|e| {
+                eprintln!("store: write {}: {e}", log.display());
+                std::process::exit(2);
+            });
+            println!("flipped a bit at byte {at} of {}", log.display());
+        }
+        _ => usage(),
+    }
+}
+
 /// `reproduce -- serve [subject] [--backend <name>] [--threads <n>]
 /// [--json [path]]`: runs the benchmark subjects through the in-process job
 /// server — every subject is submitted up front under its own client id, the
@@ -739,11 +1125,12 @@ fn run_serve(opts: &CommonOpts) {
         Some(id) => vec![load_subject(id)],
         None => benchsuite::subjects(),
     };
-    let server = Server::start(
+    let server = Server::start_with_store(
         ServerConfig::builder()
             .with_workers(opts.threads.unwrap_or(0))
             .with_pipeline(opts.config())
             .build(),
+        opts.open_store(),
     );
     println!(
         "== serve: {} subjects on {} workers ==",
@@ -1305,6 +1692,23 @@ fn run_bench_repair(opts: &CommonOpts) {
             }
         }
     }
+    println!("\n-- cold vs warm persistent store (full pipeline) --");
+    print_table(
+        &["ID", "Cold (ms)", "Warm (ms)", "Speedup", "Byte-identical"],
+        &bench
+            .warm
+            .iter()
+            .map(|r| {
+                vec![
+                    r.id.clone(),
+                    format!("{:.1}", r.cold_wall_ms),
+                    format!("{:.1}", r.warm_wall_ms),
+                    format!("{:.2}x", r.warm_speedup),
+                    tick(r.byte_identical),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
     println!(
         "threads: {} (effective {}, hardware {}); total wall: {:.1} ms",
         bench.threads, bench.effective_threads, bench.available_parallelism, bench.total_wall_ms

@@ -534,6 +534,25 @@ pub struct RepairBenchRow {
     pub success: bool,
 }
 
+/// One cold-vs-warm persistent-store row: the identical full pipeline run
+/// twice over one store directory. The cold run populates the verdict
+/// memos and the fuzz corpus; the warm run replays them, so the delta is
+/// exactly what durability buys — and `byte_identical` pins that it buys
+/// wall-clock only, never a different report.
+#[derive(Debug, Clone, Serialize)]
+pub struct WarmBenchRow {
+    /// Paper id.
+    pub id: String,
+    /// Wall-clock milliseconds for the run that populated the fresh store.
+    pub cold_wall_ms: f64,
+    /// Wall-clock milliseconds for the second run over the warm store.
+    pub warm_wall_ms: f64,
+    /// `cold_wall_ms / warm_wall_ms`.
+    pub warm_speedup: f64,
+    /// Whether the two reports serialized to identical JSON.
+    pub byte_identical: bool,
+}
+
 /// The `BENCH_repair.json` payload.
 #[derive(Debug, Clone, Serialize)]
 pub struct RepairBench {
@@ -547,6 +566,8 @@ pub struct RepairBench {
     pub total_wall_ms: f64,
     /// Per-subject measurements.
     pub rows: Vec<RepairBenchRow>,
+    /// Cold-vs-warm persistent-store measurements, one per subject.
+    pub warm: Vec<WarmBenchRow>,
 }
 
 /// Benchmarks the repair-search hot loop per subject with real wall-clock
@@ -614,7 +635,56 @@ pub fn bench_repair(threads: usize, engines: &[ExecEngine]) -> RepairBench {
         available_parallelism: parallel::effective_threads(0),
         total_wall_ms: rows.iter().map(|r| r.wall_ms).sum(),
         rows,
+        warm: bench_repair_warm(threads),
     }
+}
+
+/// Cold-vs-warm store timing per subject: the full pipeline (fuzzing and
+/// repair) against a fresh store directory, then again against the store
+/// the first run populated. Serialized reports are compared to pin that
+/// the warm start changes wall time and nothing else.
+fn bench_repair_warm(threads: usize) -> Vec<WarmBenchRow> {
+    use heterogen_core::{HeteroGen, JobSpec};
+    use heterogen_store::Store;
+    use std::sync::Arc;
+
+    let mut cfg = standard_config();
+    cfg.fuzz.threads = threads;
+    cfg.search.threads = threads;
+    benchsuite::subjects()
+        .iter()
+        .map(|s| {
+            let dir = std::env::temp_dir().join(format!(
+                "heterogen-bench-warm-{}-{}",
+                std::process::id(),
+                s.id
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let run = || -> (f64, String) {
+                let store = Arc::new(Store::open(&dir).unwrap_or_else(|e| panic!("{}: {e}", s.id)));
+                let mut seeds = s.seed_inputs.clone();
+                seeds.extend(s.existing_tests.clone());
+                let session = HeteroGen::builder().config(cfg).store(store).build();
+                let started = std::time::Instant::now();
+                let report = session
+                    .run(JobSpec::fuzz(s.parse(), s.kernel, seeds))
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let json = serde_json::to_string(&report).expect("serializable report");
+                (wall_ms, json)
+            };
+            let (cold_wall_ms, cold_json) = run();
+            let (warm_wall_ms, warm_json) = run();
+            let _ = std::fs::remove_dir_all(&dir);
+            WarmBenchRow {
+                id: s.id.to_string(),
+                cold_wall_ms,
+                warm_wall_ms,
+                warm_speedup: cold_wall_ms / warm_wall_ms.max(1e-9),
+                byte_identical: cold_json == warm_json,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -24,15 +24,17 @@
 //! ```
 
 use heterogen_faults::{FaultInjector, NoFaults};
-use heterogen_toolchain::{SimBackend, Toolchain};
+use heterogen_store::{CorpusRecord, FuzzRound, Store};
+use heterogen_toolchain::{SimBackend, Toolchain, VerdictStore};
 use heterogen_trace::{Event, NullSink, TraceSink};
 use minic::types::Type;
 use minic::Program;
 use minic_exec::{ExecEngine, Profile};
 use repair::{RepairOutcome, SearchConfig, SearchStop};
 use serde::Serialize;
-use std::sync::Arc;
-use testgen::{FuzzConfig, TestCase};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use testgen::{FuzzConfig, FuzzReport, TestCase};
 
 /// Pipeline configuration.
 ///
@@ -484,6 +486,11 @@ pub struct JobSpec {
     /// Client identity for the server's fair-share admission. The library
     /// path ignores it.
     pub client: String,
+    /// Persistent-store directory override: the job opens (creating if
+    /// absent) a crash-safe [`Store`] there for verdict memos and fuzz
+    /// warm start. `None` inherits the session's store (usually none). A
+    /// warm store never changes the report or trace — only wall time.
+    pub store_dir: Option<PathBuf>,
 }
 
 /// The client id a [`JobSpec`] carries unless [`JobSpecBuilder::client`]
@@ -520,6 +527,7 @@ impl JobSpec {
                 budgets: None,
                 engine: None,
                 client: ANONYMOUS_CLIENT.to_string(),
+                store_dir: None,
             },
         }
     }
@@ -588,6 +596,13 @@ impl JobSpecBuilder {
         self
     }
 
+    /// Points the job at a persistent-store directory (see
+    /// [`JobSpec::store_dir`]).
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spec.store_dir = Some(dir.into());
+        self
+    }
+
     /// Finalizes the spec.
     pub fn build(self) -> JobSpec {
         self.spec
@@ -608,6 +623,7 @@ pub struct Session {
     sink: Arc<dyn TraceSink>,
     faults: Arc<dyn FaultInjector>,
     backend: Arc<dyn Toolchain>,
+    store: Option<Arc<Store>>,
 }
 
 impl std::fmt::Debug for Session {
@@ -617,6 +633,7 @@ impl std::fmt::Debug for Session {
             .field("sink_enabled", &self.sink.enabled())
             .field("faults_enabled", &self.faults.enabled())
             .field("backend", &self.backend.info().name)
+            .field("store_enabled", &self.store.is_some())
             .finish()
     }
 }
@@ -628,6 +645,7 @@ pub struct SessionBuilder {
     sink: Arc<dyn TraceSink>,
     faults: Arc<dyn FaultInjector>,
     backend: Arc<dyn Toolchain>,
+    store: Option<Arc<Store>>,
 }
 
 impl SessionBuilder {
@@ -663,6 +681,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a persistent evaluation store (default: none). Verdicts
+    /// and fuzz campaigns are memoized across process runs; because every
+    /// phase bills simulated cost independently of how an evaluation was
+    /// satisfied, a warm store changes wall-clock time only — reports and
+    /// traces stay byte-identical to a cold run.
+    pub fn store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> Session {
         Session {
@@ -670,6 +698,40 @@ impl SessionBuilder {
             sink: self.sink,
             faults: self.faults,
             backend: self.backend,
+            store: self.store,
+        }
+    }
+}
+
+/// [`TraceSink`] shim that captures `FuzzRoundEnd` tuples for the
+/// persistent store while forwarding everything to the real sink. Always
+/// enabled so the generator constructs the events; forwarding still honors
+/// the inner sink's gate, so the observable trace is unchanged.
+struct RoundRecorder<'a> {
+    inner: &'a dyn TraceSink,
+    rounds: Mutex<Vec<FuzzRound>>,
+}
+
+impl TraceSink for RoundRecorder<'_> {
+    fn emit(&self, event: &Event) {
+        if let Event::FuzzRoundEnd {
+            round,
+            executed,
+            corpus,
+            new_coverage,
+            at_min,
+        } = event
+        {
+            self.rounds.lock().unwrap().push(FuzzRound {
+                round: *round,
+                executed: *executed,
+                corpus: *corpus,
+                new_coverage: *new_coverage,
+                at_min: *at_min,
+            });
+        }
+        if self.inner.enabled() {
+            self.inner.emit(event);
         }
     }
 }
@@ -678,6 +740,74 @@ impl Session {
     /// The active configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// Test generation with persistent-corpus warm start: a recorded
+    /// campaign for the same `(program, kernel, seeds, config)` key is
+    /// replayed — corpus, profile, counters, and the exact `FuzzRoundEnd`
+    /// event stream — without executing a single input; a cold campaign
+    /// runs normally and is then recorded.
+    fn fuzz_with_warm_start(
+        &self,
+        original: &Program,
+        kernel: &str,
+        seeds: Vec<TestCase>,
+        fuzz_cfg: &FuzzConfig,
+        sink: &dyn TraceSink,
+        store: &Option<Arc<Store>>,
+    ) -> Result<FuzzReport, PipelineError> {
+        let Some(store) = store else {
+            return testgen::fuzz_traced(original, kernel, seeds, fuzz_cfg, sink)
+                .map_err(PipelineError::TestGen);
+        };
+        let key = heterogen_store::fuzz_campaign_key(
+            minic::fingerprint_program(original),
+            kernel,
+            &seeds,
+            fuzz_cfg,
+        );
+        if let Some(rec) = store.get_corpus(&key) {
+            if sink.enabled() {
+                for r in &rec.rounds {
+                    sink.emit(&Event::FuzzRoundEnd {
+                        round: r.round,
+                        executed: r.executed,
+                        corpus: r.corpus,
+                        new_coverage: r.new_coverage,
+                        at_min: r.at_min,
+                    });
+                }
+            }
+            return Ok(FuzzReport {
+                corpus: rec.corpus,
+                executed: rec.executed,
+                sim_minutes: rec.sim_minutes,
+                coverage: rec.coverage,
+                profile: rec.profile,
+                peak_heap_cells: rec.peak_heap_cells,
+                failing: rec.failing,
+            });
+        }
+        let recorder = RoundRecorder {
+            inner: sink,
+            rounds: Mutex::new(Vec::new()),
+        };
+        let report = testgen::fuzz_traced(original, kernel, seeds, fuzz_cfg, &recorder)
+            .map_err(PipelineError::TestGen)?;
+        store.put_corpus(
+            &key,
+            &CorpusRecord {
+                corpus: report.corpus.clone(),
+                executed: report.executed,
+                sim_minutes: report.sim_minutes,
+                coverage: report.coverage,
+                profile: report.profile.clone(),
+                peak_heap_cells: report.peak_heap_cells,
+                failing: report.failing.clone(),
+                rounds: recorder.rounds.into_inner().unwrap(),
+            },
+        );
+        Ok(report)
     }
 
     /// Runs the full pipeline on one [`JobSpec`].
@@ -701,10 +831,17 @@ impl Session {
             budgets,
             engine,
             client: _,
+            store_dir,
         } = job;
         let backend: Arc<dyn Toolchain> = match backend {
             None => self.backend.clone(),
             Some(name) => resolve_backend(&name)?,
+        };
+        let store: Option<Arc<Store>> = match store_dir {
+            Some(dir) => Some(Arc::new(Store::open(&dir).map_err(|e| {
+                PipelineError::Spec(format!("persistent store at {}: {e}", dir.display()))
+            })?)),
+            None => self.store.clone(),
         };
         let budgets = budgets.unwrap_or(self.config.budgets);
         if sink.enabled() {
@@ -729,8 +866,8 @@ impl Session {
         }
         let (tests, profile, fuzz_report) = match tests {
             TestSource::Fuzz(seeds) => {
-                let fuzz_report = testgen::fuzz_traced(&original, &kernel, seeds, &fuzz_cfg, sink)
-                    .map_err(PipelineError::TestGen)?;
+                let fuzz_report =
+                    self.fuzz_with_warm_start(&original, &kernel, seeds, &fuzz_cfg, sink, &store)?;
                 (
                     fuzz_report.corpus.clone(),
                     fuzz_report.profile.clone(),
@@ -805,7 +942,7 @@ impl Session {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
-        let outcome: RepairOutcome = repair::repair_with_backend(
+        let outcome: RepairOutcome = repair::repair_persistent(
             &original,
             broken,
             &kernel,
@@ -815,6 +952,7 @@ impl Session {
             sink,
             self.faults.as_ref(),
             backend.as_ref(),
+            store.map(|s| s as Arc<dyn VerdictStore>),
         )
         .map_err(PipelineError::Repair)?;
         let repair_end_min = testgen_min + outcome.stats.elapsed_min;
@@ -923,6 +1061,7 @@ impl HeteroGen {
             sink: Arc::new(NullSink),
             faults: Arc::new(NoFaults),
             backend: Arc::new(SimBackend::default_profile()),
+            store: None,
         }
     }
 

@@ -19,7 +19,8 @@ use crate::vm::Vm;
 use crate::{CoverageMap, Profile};
 use minic::ast::{NodeId, Program};
 use std::collections::BTreeMap;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::str::FromStr;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -86,15 +87,82 @@ type CompileKey = (u64, u64);
 
 /// Process-wide key → compiled-program cache. `None` records a program
 /// outside the bytecode subset so the check is paid once.
-static COMPILE_CACHE: OnceLock<Mutex<HashMap<CompileKey, Option<Arc<CompiledProgram>>>>> =
+static COMPILE_CACHE: OnceLock<Mutex<SecondChanceCache<CompileKey, Option<Arc<CompiledProgram>>>>> =
     OnceLock::new();
 
 /// Capacity bound for the compile cache (the search working set is far
 /// smaller; this only guards unbounded growth across long server runs).
-/// At capacity one arbitrary entry is evicted per insert — clearing the
-/// whole map would discard every hot entry at once and trigger a
-/// recompile storm across threads.
+/// At capacity the second-chance ring evicts the coldest entry — hot
+/// entries survive arbitrarily many inserts, so a scan of one-shot
+/// candidates cannot flush the working set and trigger a recompile storm.
 const COMPILE_CACHE_CAP: usize = 4096;
+
+/// A second-chance (clock) cache: a `HashMap` for lookups plus an
+/// insertion-order ring of keys with one referenced bit each. A hit sets
+/// the entry's bit; eviction sweeps from the ring's front, granting each
+/// referenced entry a second chance (bit cleared, re-queued at the back)
+/// and removing the first unreferenced one. This approximates LRU with
+/// O(1) hits and amortized O(1) eviction, and — unlike evicting an
+/// arbitrary `HashMap` key — never discards an entry that was touched
+/// since the last sweep while cold entries remain.
+#[derive(Debug)]
+struct SecondChanceCache<K, V> {
+    map: HashMap<K, (V, bool)>,
+    ring: VecDeque<K>,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> SecondChanceCache<K, V> {
+    fn new(cap: usize) -> SecondChanceCache<K, V> {
+        assert!(cap > 0, "cache capacity must be positive");
+        SecondChanceCache {
+            map: HashMap::with_capacity(cap.min(1024)),
+            ring: VecDeque::with_capacity(cap.min(1024)),
+            cap,
+        }
+    }
+
+    /// Looks up `k`, marking the entry referenced on a hit.
+    fn get(&mut self, k: &K) -> Option<V> {
+        let (v, referenced) = self.map.get_mut(k)?;
+        *referenced = true;
+        Some(v.clone())
+    }
+
+    /// Inserts `k → v` unless `k` is already present (first writer wins,
+    /// mirroring `entry().or_insert`), evicting the coldest entry when at
+    /// capacity. Returns the value now cached under `k`.
+    fn insert(&mut self, k: K, v: V) -> V {
+        if let Some((existing, referenced)) = self.map.get_mut(&k) {
+            *referenced = true;
+            return existing.clone();
+        }
+        while self.map.len() >= self.cap {
+            let victim = self
+                .ring
+                .pop_front()
+                .expect("ring and map hold the same keys");
+            match self.map.get_mut(&victim) {
+                Some((_, referenced)) if *referenced => {
+                    *referenced = false;
+                    self.ring.push_back(victim);
+                }
+                _ => {
+                    self.map.remove(&victim);
+                    break;
+                }
+            }
+        }
+        self.ring.push_back(k);
+        self.map.insert(k, (v.clone(), false));
+        v
+    }
+
+    #[cfg(test)]
+    fn contains(&self, k: &K) -> bool {
+        self.map.contains_key(k)
+    }
+}
 
 /// Returns the shared compiled form of `p`, compiling on first sight.
 /// `None` means the program is outside the bytecode subset.
@@ -103,18 +171,16 @@ pub fn compiled_for(p: &Program) -> Option<Arc<CompiledProgram>> {
         minic::fingerprint_program(p),
         minic::fingerprint_node_ids(p),
     );
-    let cache = COMPILE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = COMPILE_CACHE.get_or_init(|| Mutex::new(SecondChanceCache::new(COMPILE_CACHE_CAP)));
     if let Some(hit) = cache.lock().expect("compile cache poisoned").get(&key) {
-        return hit.clone();
+        return hit;
     }
     // Compile outside the lock: lowering is the expensive part.
     let compiled = compile(p).map(Arc::new);
-    let mut guard = cache.lock().expect("compile cache poisoned");
-    if guard.len() >= COMPILE_CACHE_CAP && !guard.contains_key(&key) {
-        let victim = *guard.keys().next().expect("cap > 0, map non-empty");
-        guard.remove(&victim);
-    }
-    guard.entry(key).or_insert_with(|| compiled.clone()).clone()
+    cache
+        .lock()
+        .expect("compile cache poisoned")
+        .insert(key, compiled)
 }
 
 /// A program prepared for repeated execution under a chosen engine.
@@ -231,5 +297,63 @@ impl Runner<'_> {
             Runner::Tree(m) => m.call_counts.clone(),
             Runner::Vm(vm) => vm.call_counts(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SecondChanceCache;
+
+    #[test]
+    fn second_chance_pins_eviction_order_under_repeated_hits() {
+        let mut c: SecondChanceCache<u32, u32> = SecondChanceCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        // Repeated hits on 1 and 3 set their referenced bits; 2 stays cold.
+        for _ in 0..4 {
+            assert_eq!(c.get(&1), Some(10));
+            assert_eq!(c.get(&3), Some(30));
+        }
+        // At capacity the sweep grants 1 a second chance (it was hit) and
+        // evicts 2, the first unreferenced entry — not an arbitrary key.
+        c.insert(4, 40);
+        assert!(c.contains(&1), "hot entry 1 must survive");
+        assert!(!c.contains(&2), "cold entry 2 is the eviction victim");
+        assert!(c.contains(&3), "hot entry 3 must survive");
+        assert!(c.contains(&4));
+
+        // State after that sweep: ring is [3, 1, 4]; 1's bit was cleared
+        // when it was granted its second chance, 3's bit is still set (the
+        // sweep stopped at 2 before reaching it), 4 is fresh/unreferenced.
+        // The next insert therefore re-queues 3 and evicts 1.
+        c.insert(5, 50);
+        assert!(!c.contains(&1), "1's second chance was spent");
+        assert!(c.contains(&3) && c.contains(&4) && c.contains(&5));
+
+        // A hit between inserts re-protects an entry about to be swept:
+        // ring is [4, 3, 5] with all bits clear; hitting 4 saves it and
+        // the sweep falls through to 3.
+        assert_eq!(c.get(&4), Some(40));
+        c.insert(6, 60);
+        assert!(c.contains(&4), "freshly hit entry survives");
+        assert!(!c.contains(&3), "unreferenced 3 is evicted");
+        assert!(c.contains(&5) && c.contains(&6));
+
+        // Re-inserting an existing key is a no-op hit (first writer wins).
+        assert_eq!(c.insert(4, 999), 40);
+        assert_eq!(c.get(&4), Some(40));
+    }
+
+    #[test]
+    fn second_chance_evicts_in_insertion_order_when_nothing_is_hit() {
+        let mut c: SecondChanceCache<u32, &'static str> = SecondChanceCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(3, "c");
+        assert!(!c.contains(&1));
+        c.insert(4, "d");
+        assert!(!c.contains(&2));
+        assert!(c.contains(&3) && c.contains(&4));
     }
 }

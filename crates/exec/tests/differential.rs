@@ -478,7 +478,11 @@ fn fingerprint_equal_programs_with_different_ids_do_not_share_sites() {
             rs.run_kernel("kernel", &[ArgValue::Int(9)])
         );
         assert_eq!(rf.coverage(), rs.coverage(), "coverage keyed to wrong ids");
-        assert_eq!(rf.loop_stats(), rs.loop_stats(), "loop stats keyed to wrong ids");
+        assert_eq!(
+            rf.loop_stats(),
+            rs.loop_stats(),
+            "loop stats keyed to wrong ids"
+        );
     }
 }
 

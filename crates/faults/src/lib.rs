@@ -317,6 +317,143 @@ impl FaultPlanBuilder {
     }
 }
 
+/// One injected storage-I/O fault, as decided by an [`IoFaultPlan`].
+///
+/// These model the failure vocabulary of an append-only log on real disks:
+/// a crash mid-append leaves a *short write* (torn record), silent media
+/// corruption surfaces as a *bit flip* on read, and a full device fails the
+/// append cleanly. The persistent store drives them through its abstract
+/// `StoreIo` seam so chaos tests can prove recovery is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Only a prefix of the buffer reaches the device: `keep_permille`/1000
+    /// of the bytes (rounded down, clamped to at least one byte short).
+    ShortWrite {
+        /// Fraction of the buffer that survives, in permille (0..=999).
+        keep_permille: u16,
+    },
+    /// Bit `bit_index` (taken modulo the buffer's bit length) reads back
+    /// flipped.
+    BitFlip {
+        /// Absolute bit position before the modulo.
+        bit_index: u64,
+    },
+    /// The device is full: the write fails cleanly with no bytes written
+    /// (`ENOSPC`).
+    Enospc,
+}
+
+impl IoFault {
+    /// Stable lowercase name, used in chaos summaries.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            IoFault::ShortWrite { .. } => "short_write",
+            IoFault::BitFlip { .. } => "bit_flip",
+            IoFault::Enospc => "enospc",
+        }
+    }
+}
+
+/// A seeded, deterministic storage-fault plan.
+///
+/// Decisions are pure functions of `(seed, op_index)` where `op_index`
+/// counts a store's write (for [`IoFaultPlan::write_fault`]) or read (for
+/// [`IoFaultPlan::read_fault`]) operations from 0 — the store serializes
+/// its I/O behind a lock, so the counter is deterministic and the whole
+/// fault schedule replays exactly from the seed alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IoFaultPlan {
+    seed: u64,
+    short_write_ppm: u64,
+    enospc_ppm: u64,
+    bit_flip_ppm: u64,
+}
+
+impl IoFaultPlan {
+    /// Starts a builder for a plan with the given seed and no faults.
+    pub fn builder(seed: u64) -> IoFaultPlanBuilder {
+        IoFaultPlanBuilder {
+            plan: IoFaultPlan {
+                seed,
+                short_write_ppm: 0,
+                enospc_ppm: 0,
+                bit_flip_ppm: 0,
+            },
+        }
+    }
+
+    fn draw(&self, domain: u64, op: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(op ^ domain.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// The fault (if any) striking the `op`-th write operation. Short
+    /// writes and `ENOSPC` are mutually exclusive per op; the short-write
+    /// surviving fraction is itself drawn deterministically from the op.
+    pub fn write_fault(&self, op: u64) -> Option<IoFault> {
+        if self.enospc_ppm > 0 && self.draw(1, op) % PPM < self.enospc_ppm {
+            return Some(IoFault::Enospc);
+        }
+        if self.short_write_ppm > 0 {
+            let h = self.draw(2, op);
+            if h % PPM < self.short_write_ppm {
+                return Some(IoFault::ShortWrite {
+                    keep_permille: (splitmix64(h) % 1000) as u16,
+                });
+            }
+        }
+        None
+    }
+
+    /// The fault (if any) striking the `op`-th read operation.
+    pub fn read_fault(&self, op: u64) -> Option<IoFault> {
+        if self.bit_flip_ppm > 0 {
+            let h = self.draw(3, op);
+            if h % PPM < self.bit_flip_ppm {
+                return Some(IoFault::BitFlip {
+                    bit_index: splitmix64(h.wrapping_add(1)),
+                });
+            }
+        }
+        None
+    }
+
+    /// Whether any fault can ever be injected.
+    pub fn enabled(&self) -> bool {
+        self.short_write_ppm > 0 || self.enospc_ppm > 0 || self.bit_flip_ppm > 0
+    }
+}
+
+/// Builder for [`IoFaultPlan`].
+#[derive(Debug, Clone, Copy)]
+pub struct IoFaultPlanBuilder {
+    plan: IoFaultPlan,
+}
+
+impl IoFaultPlanBuilder {
+    /// Probability (0..=1) that a write lands short (torn record).
+    pub fn with_short_write_rate(mut self, rate: f64) -> Self {
+        self.plan.short_write_ppm = rate_to_ppm(rate);
+        self
+    }
+
+    /// Probability (0..=1) that a write fails with `ENOSPC`.
+    pub fn with_enospc_rate(mut self, rate: f64) -> Self {
+        self.plan.enospc_ppm = rate_to_ppm(rate);
+        self
+    }
+
+    /// Probability (0..=1) that a read comes back with one bit flipped.
+    pub fn with_bit_flip_rate(mut self, rate: f64) -> Self {
+        self.plan.bit_flip_ppm = rate_to_ppm(rate);
+        self
+    }
+
+    /// Finalizes the plan.
+    pub fn build(self) -> IoFaultPlan {
+        self.plan
+    }
+}
+
 /// Bounded exponential backoff in simulated minutes.
 ///
 /// Retry `k` (1-based) waits `min(base_delay_min · backoff_factor^(k-1),
@@ -550,6 +687,37 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, mix_key(0xfeed, 0));
+    }
+
+    #[test]
+    fn io_fault_plan_is_deterministic_and_rate_bounded() {
+        let plan = IoFaultPlan::builder(0xD15C)
+            .with_short_write_rate(0.3)
+            .with_enospc_rate(0.1)
+            .with_bit_flip_rate(0.2)
+            .build();
+        assert!(plan.enabled());
+        for op in 0..500u64 {
+            assert_eq!(plan.write_fault(op), plan.write_fault(op), "op {op}");
+            assert_eq!(plan.read_fault(op), plan.read_fault(op), "op {op}");
+            if let Some(IoFault::ShortWrite { keep_permille }) = plan.write_fault(op) {
+                assert!(keep_permille < 1000);
+            }
+        }
+        let writes = (0..2000u64)
+            .filter(|&o| plan.write_fault(o).is_some())
+            .count();
+        let ratio = writes as f64 / 2000.0;
+        assert!((0.25..0.5).contains(&ratio), "write fault ratio {ratio}");
+        assert!(!IoFaultPlan::default().enabled());
+        assert_eq!(IoFaultPlan::default().write_fault(0), None);
+        assert_eq!(IoFaultPlan::default().read_fault(0), None);
+        assert_eq!(IoFault::Enospc.as_str(), "enospc");
+        assert_eq!(
+            IoFault::ShortWrite { keep_permille: 1 }.as_str(),
+            "short_write"
+        );
+        assert_eq!(IoFault::BitFlip { bit_index: 9 }.as_str(), "bit_flip");
     }
 
     #[test]

@@ -123,6 +123,13 @@ impl DifferentialTester {
         self.tests.len()
     }
 
+    /// The capped test suite the tester evaluates against, in order —
+    /// exactly the inputs a persisted verdict for this tester must be
+    /// keyed on.
+    pub fn tests(&self) -> &[TestCase] {
+        &self.tests
+    }
+
     /// Mean CPU latency of the original program over the tests (ms).
     pub fn cpu_latency_ms(&self) -> f64 {
         self.cpu_latency_ms

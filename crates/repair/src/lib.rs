@@ -28,7 +28,7 @@ pub use classify::classify_message;
 pub use diff::{DiffReport, DifferentialTester};
 pub use localize::candidate_edits;
 pub use search::{
-    performance_edits, repair, repair_resilient, repair_traced, repair_with_backend, RepairOutcome,
-    SearchConfig, SearchConfigBuilder, SearchStats, SearchStop,
+    performance_edits, repair, repair_persistent, repair_resilient, repair_traced,
+    repair_with_backend, RepairOutcome, SearchConfig, SearchConfigBuilder, SearchStats, SearchStop,
 };
 pub use templates::{RepairEdit, ResizeTarget};

@@ -48,6 +48,7 @@
 //! ```
 
 use heterogen_core::{HeteroGen, JobSpec, PhaseBudgets, PipelineConfig, PipelineError};
+use heterogen_store::Store;
 use heterogen_toolchain::{DrainGate, DrainSignal, SimBackend, Toolchain};
 use heterogen_trace::JsonlSink;
 use serde::Serialize;
@@ -406,6 +407,7 @@ struct Inner {
     completion_seq: AtomicU64,
     started: AtomicU64,
     default_backend: Arc<dyn Toolchain>,
+    store: Option<Arc<Store>>,
 }
 
 impl Inner {
@@ -431,6 +433,9 @@ impl Inner {
                     .backend(DrainGate::new(backend, self.drain.clone()));
                 if let Some(s) = &sink {
                     builder = builder.sink(s.clone());
+                }
+                if let Some(store) = &self.store {
+                    builder = builder.store(store.clone());
                 }
                 let session = builder.build();
                 let report = parallel::isolate(move || session.run(spec)).unwrap_or_else(|panic| {
@@ -510,6 +515,16 @@ pub struct Server {
 impl Server {
     /// Starts the worker pool and returns the running server.
     pub fn start(cfg: ServerConfig) -> Server {
+        Server::start_with_store(cfg, None)
+    }
+
+    /// Starts the worker pool with a shared persistent evaluation store.
+    ///
+    /// Every job session the workers build attaches the store, so verdict
+    /// memos and fuzz corpora survive across jobs (and across server
+    /// restarts, since the store is crash-safe). A job whose spec carries
+    /// its own `store_dir` still opens that directory instead.
+    pub fn start_with_store(cfg: ServerConfig, store: Option<Arc<Store>>) -> Server {
         let worker_count = parallel::effective_threads(cfg.workers);
         let inner = Arc::new(Inner {
             cfg,
@@ -524,6 +539,7 @@ impl Server {
             completion_seq: AtomicU64::new(0),
             started: AtomicU64::new(0),
             default_backend: Arc::new(SimBackend::default_profile()),
+            store,
         });
         let workers = (0..worker_count)
             .map(|i| {

@@ -1,0 +1,268 @@
+//! The store's I/O seam: every byte the log touches goes through
+//! [`StoreIo`], so tests (and `reproduce chaos --store`) can substitute an
+//! in-memory filesystem or a fault-injecting wrapper and prove that
+//! recovery from torn writes, bit rot, and full devices is deterministic.
+
+use heterogen_faults::{IoFault, IoFaultPlan};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Abstract filesystem operations of the append-only log.
+///
+/// The store serializes calls behind its own lock, so implementations need
+/// not be internally ordered — but they must be `Send + Sync`.
+pub trait StoreIo: Send + Sync {
+    /// Reads the entire file, or `Ok(None)` when it does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O failure other than the file being absent.
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>>;
+
+    /// Appends `bytes`, returning how many actually reached the device —
+    /// a short count models a torn write (crash mid-append). An `Err`
+    /// means *nothing* was written (e.g. `ENOSPC` refused the append).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the device refuses the write outright.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize>;
+
+    /// Truncates the file to `len` bytes (creating it empty if absent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Writes a whole file in one shot (compaction generations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` over `to`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        f.flush()?;
+        Ok(bytes.len())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(path)?;
+        f.set_len(len)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+}
+
+/// An in-memory filesystem: path → bytes behind one lock. Used by unit and
+/// chaos tests so recovery scenarios run hermetically and deterministically.
+#[derive(Debug, Default)]
+pub struct MemIo {
+    files: Mutex<HashMap<PathBuf, Vec<u8>>>,
+}
+
+impl MemIo {
+    /// An empty in-memory filesystem.
+    pub fn new() -> MemIo {
+        MemIo::default()
+    }
+
+    /// Direct snapshot of a file's bytes (test inspection).
+    pub fn snapshot(&self, path: &Path) -> Option<Vec<u8>> {
+        self.files.lock().unwrap().get(path).cloned()
+    }
+
+    /// Directly overwrites a file's bytes (test corruption harness).
+    pub fn set(&self, path: &Path, bytes: Vec<u8>) {
+        self.files.lock().unwrap().insert(path.to_path_buf(), bytes);
+    }
+}
+
+impl StoreIo for MemIo {
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.files.lock().unwrap().get(path).cloned())
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        let mut files = self.files.lock().unwrap();
+        files
+            .entry(path.to_path_buf())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(bytes.len())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        let f = files.entry(path.to_path_buf()).or_default();
+        f.truncate(len as usize);
+        Ok(())
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .unwrap()
+            .insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        match files.remove(from) {
+            Some(bytes) => {
+                files.insert(to.to_path_buf(), bytes);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "rename source")),
+        }
+    }
+}
+
+/// Fault-injecting wrapper: consults a seeded [`IoFaultPlan`] before each
+/// append (short write, `ENOSPC`) and after each read (bit flip), indexed
+/// by per-kind operation counters. Same plan + same operation sequence →
+/// same fault schedule, so chaos runs replay exactly.
+///
+/// Compaction writes and renames pass through unfaulted — the crash model
+/// under test is the append path and the read-back path; compaction's
+/// atomicity comes from `rename`, which either happens or does not.
+#[derive(Debug)]
+pub struct FaultyIo<I> {
+    inner: I,
+    plan: IoFaultPlan,
+    writes: AtomicU64,
+    reads: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl<I: StoreIo> FaultyIo<I> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: I, plan: IoFaultPlan) -> FaultyIo<I> {
+        FaultyIo {
+            inner,
+            plan,
+            writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Faults injected so far (chaos summaries).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// The wrapped I/O layer.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+}
+
+impl<I: StoreIo> StoreIo for FaultyIo<I> {
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        let op = self.reads.fetch_add(1, Ordering::SeqCst);
+        let mut bytes = self.inner.read(path)?;
+        if let Some(IoFault::BitFlip { bit_index }) = self.plan.read_fault(op) {
+            if let Some(buf) = bytes.as_mut() {
+                if !buf.is_empty() {
+                    let bit = bit_index % (buf.len() as u64 * 8);
+                    buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+                    self.injected.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        let op = self.writes.fetch_add(1, Ordering::SeqCst);
+        match self.plan.write_fault(op) {
+            Some(IoFault::Enospc) => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                Err(io::Error::other("injected ENOSPC: device full"))
+            }
+            Some(IoFault::ShortWrite { keep_permille }) if !bytes.is_empty() => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                // Keep a strict prefix: at least one byte must be lost for
+                // the write to be torn.
+                let keep = ((bytes.len() as u64 * keep_permille as u64) / 1000) as usize;
+                let keep = keep.min(bytes.len() - 1);
+                self.inner.append(path, &bytes[..keep])?;
+                Ok(keep)
+            }
+            _ => self.inner.append(path, bytes),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write_file(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+}
+
+impl<I: StoreIo + ?Sized> StoreIo for Arc<I> {
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        (**self).read(path)
+    }
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        (**self).append(path, bytes)
+    }
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        (**self).truncate(path, len)
+    }
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        (**self).write_file(path, bytes)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        (**self).rename(from, to)
+    }
+}

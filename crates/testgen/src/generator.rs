@@ -176,7 +176,15 @@ pub struct FuzzReport {
     pub profile: Profile,
     /// Peak heap cells observed (feeds array finitization).
     pub peak_heap_cells: usize,
+    /// Minimized trapping inputs (at most [`MAX_FAILING`]), in discovery
+    /// order. Minimization runs after the campaign on the same prepared
+    /// program and is deterministic; its executions are not billed to
+    /// [`FuzzReport::executed`] or [`FuzzReport::sim_minutes`].
+    pub failing: Vec<TestCase>,
 }
+
+/// Cap on trapping inputs captured (and minimized) per campaign.
+pub const MAX_FAILING: usize = 8;
 
 /// Captures seed inputs by running a host function and snapshotting the
 /// kernel's entry arguments (paper Alg. 1 `getKernelSeed`).
@@ -281,6 +289,7 @@ pub fn fuzz_traced<S: TraceSink + ?Sized>(
     };
 
     // Seed round: execute everything in the queue once.
+    let mut failing: Vec<TestCase> = Vec::new();
     let initial: Vec<TestCase> = queue.drain(..).collect();
     let runs = parallel::parallel_map(config.threads, &initial, |_, c| exec_case(c));
     let mut round: u64 = 0;
@@ -288,6 +297,9 @@ pub fn fuzz_traced<S: TraceSink + ?Sized>(
     for (case, run) in initial.into_iter().zip(runs) {
         executed += 1;
         sim_minutes += config.exec_cost_min;
+        if run.as_ref().is_some_and(|r| r.trapped) && failing.len() < MAX_FAILING {
+            failing.push(case.clone());
+        }
         if admit(run) {
             since_new_cov = 0.0;
             corpus.push(case.clone());
@@ -345,6 +357,9 @@ pub fn fuzz_traced<S: TraceSink + ?Sized>(
                 executed += 1;
                 sim_minutes += config.exec_cost_min;
                 since_new_cov += config.exec_cost_min;
+                if run.as_ref().is_some_and(|r| r.trapped) && failing.len() < MAX_FAILING {
+                    failing.push(child.clone());
+                }
                 if admit(run) {
                     since_new_cov = 0.0;
                     corpus.push(child.clone());
@@ -376,7 +391,77 @@ pub fn fuzz_traced<S: TraceSink + ?Sized>(
         sim_minutes,
         profile,
         peak_heap_cells: peak_heap,
+        failing: minimize_failing(&prepared, kernel, failing),
     })
+}
+
+/// Deterministically shrinks each trapping input while it keeps trapping:
+/// scalar components step toward zero, array elements are halved in place
+/// (lengths are preserved — the kernel signature fixes them). Bounded by a
+/// fixed per-case attempt budget; duplicates after minimization collapse.
+fn minimize_failing(prepared: &Prepared, kernel: &str, raw: Vec<TestCase>) -> Vec<TestCase> {
+    let traps = |case: &TestCase| -> bool {
+        prepared
+            .runner(MachineConfig::cpu())
+            .map(|mut m| m.run_kernel(kernel, case).trapped)
+            .unwrap_or(false)
+    };
+    let mut out: Vec<TestCase> = Vec::new();
+    for case in raw {
+        let mut best = case;
+        let mut budget = 64usize;
+        let mut progress = true;
+        while progress && budget > 0 {
+            progress = false;
+            for i in 0..best.len() {
+                for shrunk in shrink_arg(&best[i]) {
+                    if budget == 0 {
+                        break;
+                    }
+                    budget -= 1;
+                    if shrunk == best[i] {
+                        continue;
+                    }
+                    let mut cand = best.clone();
+                    cand[i] = shrunk;
+                    if traps(&cand) {
+                        best = cand;
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !out.contains(&best) {
+            out.push(best);
+        }
+    }
+    out
+}
+
+/// Candidate simplifications of one argument, most aggressive first.
+fn shrink_arg(a: &ArgValue) -> Vec<ArgValue> {
+    match a {
+        ArgValue::Int(0) => Vec::new(),
+        ArgValue::Int(v) => vec![ArgValue::Int(0), ArgValue::Int(v / 2)],
+        ArgValue::Float(f) if *f == 0.0 => Vec::new(),
+        ArgValue::Float(f) => vec![ArgValue::Float(0.0), ArgValue::Float(f / 2.0)],
+        ArgValue::IntArray(xs) if xs.iter().all(|&x| x == 0) => Vec::new(),
+        ArgValue::IntArray(xs) => vec![
+            ArgValue::IntArray(vec![0; xs.len()]),
+            ArgValue::IntArray(xs.iter().map(|&x| x / 2).collect()),
+        ],
+        ArgValue::FloatArray(xs) if xs.iter().all(|&x| x == 0.0) => Vec::new(),
+        ArgValue::FloatArray(xs) => vec![
+            ArgValue::FloatArray(vec![0.0; xs.len()]),
+            ArgValue::FloatArray(xs.iter().map(|&x| x / 2.0).collect()),
+        ],
+        ArgValue::IntStream(xs) if xs.iter().all(|&x| x == 0) => Vec::new(),
+        ArgValue::IntStream(xs) => vec![
+            ArgValue::IntStream(vec![0; xs.len()]),
+            ArgValue::IntStream(xs.iter().map(|&x| x / 2).collect()),
+        ],
+    }
 }
 
 /// Convenience: specs for a kernel (re-exported for callers that need to

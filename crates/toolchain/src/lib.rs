@@ -194,6 +194,13 @@ pub trait Toolchain: Send + Sync {
         key: u64,
     ) -> Result<Simulated, ToolchainError>;
 
+    /// The execution engine this backend evaluates candidates with. Part of
+    /// every memoization key: TreeWalk and Bytecode runs sharing a process
+    /// (or a persistent store) must never alias each other's verdicts.
+    fn engine(&self) -> ExecEngine {
+        ExecEngine::default()
+    }
+
     /// Co-simulates one test input under a resource allowance slashed by
     /// `factor` (an injected fuel spike). Backends that cannot model spikes
     /// report the invocation as transient so the retry layer reruns it
@@ -301,6 +308,9 @@ macro_rules! delegate_toolchain {
             attempt: u32,
         ) -> Result<SimResult, ToolchainError> {
             (**self).simulate_spiked(p, args, factor, attempt)
+        }
+        fn engine(&self) -> ExecEngine {
+            (**self).engine()
         }
         fn evaluate(
             &self,
@@ -443,6 +453,10 @@ impl Toolchain for SimBackend {
         check_style(p)
     }
 
+    fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
     fn compile(&self, p: &Program, _key: u64) -> Result<Compiled, ToolchainError> {
         Ok(Compiled {
             diags: check_program(p),
@@ -473,13 +487,17 @@ impl Toolchain for SimBackend {
     }
 }
 
-/// Fingerprint-keyed evaluation cache, cloneable so several middleware
-/// stacks (e.g. a fault-injected one and a fault-free one for the initial
-/// compile) can share one memo table. It caches *computation* only —
-/// simulated-clock billing is still charged per sequential-accounting rules
-/// by the search's merge phase.
+/// Evaluation cache keyed by `(fingerprint, engine)`, cloneable so several
+/// middleware stacks (e.g. a fault-injected one and a fault-free one for the
+/// initial compile) can share one memo table. The engine joins the key
+/// because two stacks over differently-engined backends may share one cache
+/// in one process — a TreeWalk run must never inherit a Bytecode verdict (or
+/// vice versa), even though today's backends produce identical diagnostics,
+/// or an engine-differential regression would be silently masked. The cache
+/// holds *computation* only — simulated-clock billing is still charged per
+/// sequential-accounting rules by the search's merge phase.
 #[derive(Debug, Clone, Default)]
-pub struct EvalCache(Arc<Mutex<HashMap<u64, EvalResult>>>);
+pub struct EvalCache(Arc<Mutex<HashMap<(u64, ExecEngine), EvalResult>>>);
 
 impl EvalCache {
     /// Creates an empty cache.
@@ -487,14 +505,14 @@ impl EvalCache {
         EvalCache::default()
     }
 
-    /// Looks up a fingerprint.
-    pub fn get(&self, fp: u64) -> Option<EvalResult> {
-        self.0.lock().unwrap().get(&fp).cloned()
+    /// Looks up a fingerprint evaluated under `engine`.
+    pub fn get(&self, fp: u64, engine: ExecEngine) -> Option<EvalResult> {
+        self.0.lock().unwrap().get(&(fp, engine)).cloned()
     }
 
-    /// Stores one evaluation.
-    pub fn insert(&self, fp: u64, r: EvalResult) {
-        self.0.lock().unwrap().insert(fp, r);
+    /// Stores one evaluation computed under `engine`.
+    pub fn insert(&self, fp: u64, engine: ExecEngine, r: EvalResult) {
+        self.0.lock().unwrap().insert((fp, engine), r);
     }
 
     /// Entries cached.
@@ -572,17 +590,260 @@ impl<T: Toolchain> Toolchain for Memoized<T> {
     ) -> Result<SimResult, ToolchainError> {
         self.inner.simulate_spiked(p, args, factor, attempt)
     }
+    fn engine(&self) -> ExecEngine {
+        self.inner.engine()
+    }
     fn evaluate(
         &self,
         p: &Program,
         fingerprint: u64,
         style_gate: bool,
     ) -> Result<EvalResult, ToolchainError> {
-        if let Some(hit) = self.cache.get(fingerprint) {
+        let engine = self.inner.engine();
+        if let Some(hit) = self.cache.get(fingerprint, engine) {
             return Ok(hit);
         }
         let r = self.inner.evaluate(p, fingerprint, style_gate)?;
-        self.cache.insert(fingerprint, r.clone());
+        self.cache.insert(fingerprint, engine, r.clone());
+        Ok(r)
+    }
+    fn diagnose(&self, p: &Program) -> Vec<HlsDiagnostic> {
+        self.inner.diagnose(p)
+    }
+}
+
+/// Key identifying one persisted evaluation verdict across processes: the
+/// candidate's structural fingerprint, its node-id labeling fingerprint
+/// (diagnostics carry `NodeId`s, and print-identical programs with
+/// different labelings must not share a verdict — the same contract as the
+/// exec compile cache), the backend profile that produced it, the engine it
+/// ran under, and whether the style gate was on (the gate changes what
+/// [`Toolchain::evaluate`] returns for the same program).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VerdictKey {
+    /// `minic::fingerprint_program` of the candidate.
+    pub program_fp: u64,
+    /// `minic::fingerprint_node_ids` of the candidate.
+    pub node_fp: u64,
+    /// Backend profile name ([`BackendInfo::name`]).
+    pub backend: String,
+    /// Execution engine the verdict was computed under.
+    pub engine: ExecEngine,
+    /// Whether the cheap style gate was enabled for this evaluation.
+    pub style_gate: bool,
+}
+
+/// Key identifying one persisted fault-free differential-test verdict:
+/// the candidate's structural fingerprint, the reference program it was
+/// compared against, the kernel entry point, the (capped) test suite, and
+/// the backend that simulated it.
+///
+/// Deliberately excludes the execution engine and thread count — both are
+/// documented to produce bit-identical differential reports — so a verdict
+/// recorded under one engine or thread count warms a run under any other,
+/// matching the fuzz-corpus key's contract.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DiffKey {
+    /// `minic::fingerprint_program` of the candidate.
+    pub program_fp: u64,
+    /// `minic::fingerprint_program` of the reference (original) program.
+    pub reference_fp: u64,
+    /// Kernel (entry function) under differential test.
+    pub kernel: String,
+    /// [`diff_tests_fingerprint`] of the capped test suite.
+    pub tests_fp: u64,
+    /// Backend profile name ([`BackendInfo::name`]).
+    pub backend: String,
+}
+
+/// A persisted differential-test result. The two floats are the *only*
+/// observables of a fault-free differential evaluation (the one trace
+/// event it emits is derived from them), so replaying a `DiffVerdict`
+/// reproduces the evaluation bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffVerdict {
+    /// Fraction of tests with identical observable behaviour.
+    pub pass_ratio: f64,
+    /// Mean FPGA latency over the tests (ms).
+    pub fpga_latency_ms: f64,
+}
+
+/// Stable cross-process fingerprint of a differential test suite (FNV-1a
+/// over a tagged little-endian byte encoding; floats hash by bit pattern,
+/// so two suites differing by one ULP get different keys).
+pub fn diff_tests_fingerprint(tests: &[Vec<ArgValue>]) -> u64 {
+    fn eat(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h = (*h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn eat_ints(h: &mut u64, xs: &[i128]) {
+        eat(h, &(xs.len() as u64).to_le_bytes());
+        for x in xs {
+            eat(h, &x.to_le_bytes());
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    eat(&mut h, &(tests.len() as u64).to_le_bytes());
+    for case in tests {
+        eat(&mut h, &(case.len() as u64).to_le_bytes());
+        for arg in case {
+            match arg {
+                ArgValue::Int(v) => {
+                    eat(&mut h, &[1]);
+                    eat(&mut h, &v.to_le_bytes());
+                }
+                ArgValue::Float(f) => {
+                    eat(&mut h, &[2]);
+                    eat(&mut h, &f.to_bits().to_le_bytes());
+                }
+                ArgValue::IntArray(xs) => {
+                    eat(&mut h, &[3]);
+                    eat_ints(&mut h, xs);
+                }
+                ArgValue::FloatArray(xs) => {
+                    eat(&mut h, &[4]);
+                    eat(&mut h, &(xs.len() as u64).to_le_bytes());
+                    for f in xs {
+                        eat(&mut h, &f.to_bits().to_le_bytes());
+                    }
+                }
+                ArgValue::IntStream(xs) => {
+                    eat(&mut h, &[5]);
+                    eat_ints(&mut h, xs);
+                }
+            }
+        }
+    }
+    h
+}
+
+/// A durable verdict memo — the seam [`Persisted`] stores through.
+///
+/// Implemented by `heterogen-store`'s crash-safe log; the trait lives here
+/// so the repair engine can stack [`Persisted`] middleware without
+/// depending on the storage crate. Implementations must be infallible at
+/// this interface: a broken store degrades to misses (`get_verdict` returns
+/// `None`) and dropped writes, never errors — persistence is an
+/// optimization, not a correctness dependency.
+///
+/// The differential-verdict methods default to a disabled cache (always
+/// miss, drop every put) so minimal implementations — and the compile
+/// memos' own tests — keep working unchanged.
+pub trait VerdictStore: Send + Sync {
+    /// Looks up a verdict persisted by an earlier run (or this one).
+    fn get_verdict(&self, key: &VerdictKey) -> Option<EvalResult>;
+
+    /// Durably records one verdict.
+    fn put_verdict(&self, key: &VerdictKey, r: &EvalResult);
+
+    /// Looks up a persisted fault-free differential-test verdict.
+    fn get_diff(&self, _key: &DiffKey) -> Option<DiffVerdict> {
+        None
+    }
+
+    /// Durably records one fault-free differential-test verdict.
+    fn put_diff(&self, _key: &DiffKey, _v: &DiffVerdict) {}
+}
+
+/// Middleware: checks a durable [`VerdictStore`] before the in-memory
+/// layers and records every freshly computed verdict, stacked outermost as
+/// `Persisted(Memoized(Resilient(Traced(backend))))`.
+///
+/// With no store attached every method delegates straight inward — the
+/// disabled layer costs one branch per evaluation. A store hit returns
+/// before [`Memoized`] (and therefore before any fault injection, retry or
+/// trace event), exactly like an in-memory cache hit; because the search's
+/// merge phase bills simulated-clock cost *independently* of how
+/// `evaluate` was satisfied, a warm store changes wall-clock time only —
+/// never the search trajectory, stats, or trace bytes.
+#[derive(Clone)]
+pub struct Persisted<T> {
+    inner: T,
+    store: Option<Arc<dyn VerdictStore>>,
+    backend: String,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Persisted<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Persisted")
+            .field("inner", &self.inner)
+            .field("backend", &self.backend)
+            .field("enabled", &self.store.is_some())
+            .finish()
+    }
+}
+
+impl<T: Toolchain> Persisted<T> {
+    /// Wraps `inner`, persisting through `store` (`None` disables the
+    /// layer).
+    pub fn new(inner: T, store: Option<Arc<dyn VerdictStore>>) -> Persisted<T> {
+        let backend = inner.info().name;
+        Persisted {
+            inner,
+            store,
+            backend,
+        }
+    }
+}
+
+impl<T: Toolchain> Toolchain for Persisted<T> {
+    fn info(&self) -> BackendInfo {
+        self.inner.info()
+    }
+    fn cost_model(&self) -> CompileCostModel {
+        self.inner.cost_model()
+    }
+    fn style_check(&self, p: &Program) -> Vec<StyleViolation> {
+        self.inner.style_check(p)
+    }
+    fn compile(&self, p: &Program, key: u64) -> Result<Compiled, ToolchainError> {
+        self.inner.compile(p, key)
+    }
+    fn can_simulate(&self, p: &Program) -> bool {
+        self.inner.can_simulate(p)
+    }
+    fn simulate(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        key: u64,
+    ) -> Result<Simulated, ToolchainError> {
+        self.inner.simulate(p, args, key)
+    }
+    fn simulate_spiked(
+        &self,
+        p: &Program,
+        args: &[ArgValue],
+        factor: u32,
+        attempt: u32,
+    ) -> Result<SimResult, ToolchainError> {
+        self.inner.simulate_spiked(p, args, factor, attempt)
+    }
+    fn engine(&self) -> ExecEngine {
+        self.inner.engine()
+    }
+    fn evaluate(
+        &self,
+        p: &Program,
+        fingerprint: u64,
+        style_gate: bool,
+    ) -> Result<EvalResult, ToolchainError> {
+        let Some(store) = &self.store else {
+            return self.inner.evaluate(p, fingerprint, style_gate);
+        };
+        let key = VerdictKey {
+            program_fp: fingerprint,
+            node_fp: minic::fingerprint_node_ids(p),
+            backend: self.backend.clone(),
+            engine: self.inner.engine(),
+            style_gate,
+        };
+        if let Some(hit) = store.get_verdict(&key) {
+            return Ok(hit);
+        }
+        let r = self.inner.evaluate(p, fingerprint, style_gate)?;
+        store.put_verdict(&key, &r);
         Ok(r)
     }
     fn diagnose(&self, p: &Program) -> Vec<HlsDiagnostic> {
@@ -633,6 +894,9 @@ impl<T: Toolchain, I: FaultInjector> Toolchain for Resilient<T, I> {
     }
     fn can_simulate(&self, p: &Program) -> bool {
         self.inner.can_simulate(p)
+    }
+    fn engine(&self) -> ExecEngine {
+        self.inner.engine()
     }
     fn simulate_spiked(
         &self,
@@ -769,6 +1033,9 @@ impl<T: Toolchain, S: TraceSink> Toolchain for Traced<T, S> {
     fn can_simulate(&self, p: &Program) -> bool {
         self.inner.can_simulate(p)
     }
+    fn engine(&self) -> ExecEngine {
+        self.inner.engine()
+    }
     fn compile(&self, p: &Program, key: u64) -> Result<Compiled, ToolchainError> {
         if self.sink.enabled() {
             self.sink.emit(&Event::ToolchainInvoked {
@@ -877,6 +1144,9 @@ impl<T: Toolchain> Toolchain for DrainGate<T> {
     fn can_simulate(&self, p: &Program) -> bool {
         self.inner.can_simulate(p)
     }
+    fn engine(&self) -> ExecEngine {
+        self.inner.engine()
+    }
     fn compile(&self, p: &Program, key: u64) -> Result<Compiled, ToolchainError> {
         self.revoked()?;
         self.inner.compile(p, key)
@@ -923,6 +1193,8 @@ pub struct MockToolchain {
     pub diags: Vec<HlsDiagnostic>,
     /// Violations every [`Toolchain::style_check`] reports.
     pub style: Vec<StyleViolation>,
+    /// Engine reported by [`Toolchain::engine`] (keys memoization).
+    pub engine: ExecEngine,
     compiles: std::sync::atomic::AtomicU32,
     simulates: std::sync::atomic::AtomicU32,
     style_checks: std::sync::atomic::AtomicU32,
@@ -972,6 +1244,10 @@ impl Toolchain for MockToolchain {
         self.style_checks
             .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         self.style.clone()
+    }
+
+    fn engine(&self) -> ExecEngine {
+        self.engine
     }
 
     fn compile(&self, _p: &Program, _key: u64) -> Result<Compiled, ToolchainError> {
@@ -1054,6 +1330,125 @@ mod tests {
         assert_eq!(injector.calls(), 1, "cache hit never consults the injector");
         assert_eq!(a.loc, b.loc);
         assert!(a.style_clean && b.style_clean);
+    }
+
+    #[test]
+    fn memoized_cache_keys_on_engine_not_just_fingerprint() {
+        // Regression companion to the exec compile-cache NodeId-aliasing
+        // pin: two stacks sharing one process-wide cache but driving
+        // different engines must not serve each other's verdicts.
+        let tree = MockToolchain {
+            engine: ExecEngine::TreeWalk,
+            ..MockToolchain::default()
+        };
+        let vm = MockToolchain {
+            engine: ExecEngine::Bytecode,
+            ..MockToolchain::default()
+        };
+        let cache = EvalCache::new();
+        let tree_stack = Memoized::sharing(cache.clone(), &tree);
+        let vm_stack = Memoized::sharing(cache.clone(), &vm);
+        let p = prog();
+        tree_stack.evaluate(&p, fp(&p), false).unwrap();
+        assert_eq!(cache.len(), 1);
+        vm_stack.evaluate(&p, fp(&p), false).unwrap();
+        assert_eq!(
+            vm.compile_calls(),
+            1,
+            "a bytecode run must not inherit the treewalk verdict"
+        );
+        assert_eq!(cache.len(), 2, "one entry per (fingerprint, engine)");
+        // Within one engine the memo still hits.
+        tree_stack.evaluate(&p, fp(&p), false).unwrap();
+        vm_stack.evaluate(&p, fp(&p), false).unwrap();
+        assert_eq!(tree.compile_calls(), 1);
+        assert_eq!(vm.compile_calls(), 1);
+    }
+
+    /// In-memory [`VerdictStore`] double with hit/put counters.
+    #[derive(Default)]
+    struct MapStore {
+        map: Mutex<HashMap<VerdictKey, EvalResult>>,
+        gets: std::sync::atomic::AtomicU32,
+        puts: std::sync::atomic::AtomicU32,
+    }
+    impl VerdictStore for MapStore {
+        fn get_verdict(&self, key: &VerdictKey) -> Option<EvalResult> {
+            self.gets.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.map.lock().unwrap().get(key).cloned()
+        }
+        fn put_verdict(&self, key: &VerdictKey, r: &EvalResult) {
+            self.puts.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.map.lock().unwrap().insert(key.clone(), r.clone());
+        }
+    }
+
+    #[test]
+    fn persisted_layer_serves_warm_verdicts_before_the_backend() {
+        let store: Arc<MapStore> = Arc::new(MapStore::default());
+        let mock = MockToolchain::clean();
+        let p = prog();
+        {
+            // Cold process: miss → compute → record.
+            let cold = Persisted::new(
+                Memoized::new(&mock),
+                Some(store.clone() as Arc<dyn VerdictStore>),
+            );
+            cold.evaluate(&p, fp(&p), false).unwrap();
+            cold.evaluate(&p, fp(&p), false).unwrap();
+        }
+        assert_eq!(mock.compile_calls(), 1);
+        assert_eq!(
+            store.puts.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "second evaluation hit the store we just wrote"
+        );
+        // Warm process: fresh in-memory cache, verdict comes from the store
+        // and the backend is never consulted.
+        let warm = Persisted::new(
+            Memoized::new(&mock),
+            Some(store.clone() as Arc<dyn VerdictStore>),
+        );
+        let r = warm.evaluate(&p, fp(&p), false).unwrap();
+        assert_eq!(
+            mock.compile_calls(),
+            1,
+            "warm hit never reaches the backend"
+        );
+        assert!(r.diags.is_some());
+        // The key includes the style gate: a gated evaluation is distinct.
+        warm.evaluate(&p, fp(&p), true).unwrap();
+        assert_eq!(mock.compile_calls(), 2);
+        // Disabled layer is transparent (and consults no store).
+        let off = Persisted::new(&mock, None);
+        off.evaluate(&p, fp(&p), false).unwrap();
+        assert_eq!(mock.compile_calls(), 3);
+    }
+
+    #[test]
+    fn persisted_key_separates_engines_and_backends() {
+        let store: Arc<MapStore> = Arc::new(MapStore::default());
+        let p = prog();
+        let tree = MockToolchain {
+            engine: ExecEngine::TreeWalk,
+            ..MockToolchain::default()
+        };
+        let vm = MockToolchain {
+            engine: ExecEngine::Bytecode,
+            ..MockToolchain::default()
+        };
+        Persisted::new(&tree, Some(store.clone() as Arc<dyn VerdictStore>))
+            .evaluate(&p, fp(&p), false)
+            .unwrap();
+        Persisted::new(&vm, Some(store.clone() as Arc<dyn VerdictStore>))
+            .evaluate(&p, fp(&p), false)
+            .unwrap();
+        assert_eq!(vm.compile_calls(), 1, "engines never alias in the store");
+        let embedded = SimBackend::embedded_profile();
+        Persisted::new(&embedded, Some(store.clone() as Arc<dyn VerdictStore>))
+            .evaluate(&p, fp(&p), false)
+            .unwrap();
+        assert_eq!(store.map.lock().unwrap().len(), 3);
     }
 
     #[test]

@@ -541,6 +541,108 @@ fn engine_choice_is_report_and_trace_byte_identical() {
     }
 }
 
+/// Durability determinism: a warm persistent store changes wall time only.
+/// For each thread count, a store-less run, a cold-store run (populating a
+/// fresh store), a warm-store run (replaying it), and a warm run after the
+/// log is truncated mid-record (torn-write recovery) must all produce
+/// byte-identical report JSON and JSONL trace streams. A store warmed at
+/// one thread count must also replay cleanly at another, because the
+/// corpus key deliberately excludes `threads`.
+#[test]
+fn warm_store_is_report_and_trace_byte_identical() {
+    use heterogen_core::{HeteroGen, JobSpec, PipelineConfig};
+    use heterogen_store::Store;
+    use heterogen_trace::JsonlSink;
+    use std::sync::Arc;
+
+    let s = benchsuite::subject("P3").unwrap();
+    let p = s.parse();
+    let mut seeds = s.seed_inputs.clone();
+    seeds.extend(s.existing_tests.clone());
+    let dir = std::env::temp_dir().join(format!("heterogen-test-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run_with = |threads: usize, store: Option<Arc<Store>>| {
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz = fuzz_cfg(threads);
+        cfg.search = search_cfg(threads);
+        let sink = Arc::new(JsonlSink::new());
+        let mut builder = HeteroGen::builder().config(cfg).sink(sink.clone());
+        if let Some(store) = store {
+            builder = builder.store(store);
+        }
+        let report = builder
+            .build()
+            .run(JobSpec::fuzz(p.clone(), s.kernel, seeds.clone()))
+            .unwrap();
+        (
+            serde_json::to_string(&report).expect("serializable report"),
+            sink.contents(),
+        )
+    };
+
+    for threads in [1usize, 2, 4] {
+        let reference = run_with(threads, None);
+        let sub = dir.join(format!("t{threads}"));
+
+        let cold_store = Arc::new(Store::open(&sub).unwrap());
+        assert!(cold_store.recovery().created);
+        let cold = run_with(threads, Some(cold_store.clone()));
+        assert_eq!(reference, cold, "cold store bytes @ {threads} threads");
+        assert_eq!(cold_store.stats().write_errors, 0);
+
+        let warm_store = Arc::new(Store::open(&sub).unwrap());
+        assert!(
+            warm_store.stats().verdicts > 0,
+            "cold run persisted nothing"
+        );
+        assert_eq!(warm_store.stats().corpora, 1);
+        assert!(
+            warm_store.stats().diffs > 0,
+            "cold run persisted no differential verdicts"
+        );
+        let log_bytes = warm_store.stats().log_bytes;
+        let warm = run_with(threads, Some(warm_store.clone()));
+        assert_eq!(reference, warm, "warm store bytes @ {threads} threads");
+        assert_eq!(
+            warm_store.stats().log_bytes,
+            log_bytes,
+            "a fully warm run must not grow the log"
+        );
+
+        // Tear the log mid-record; the open quarantines the tail and the
+        // run re-derives whatever was lost, byte for byte.
+        let log = heterogen_store::log_path(&sub);
+        let len = std::fs::metadata(&log).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&log)
+            .and_then(|f| f.set_len(len - 7))
+            .unwrap();
+        let torn_store = Arc::new(Store::open(&sub).unwrap());
+        assert!(
+            !torn_store.recovery().clean(),
+            "truncation went unnoticed @ {threads} threads"
+        );
+        assert!(torn_store.recovery().quarantined_bytes > 0);
+        let torn = run_with(threads, Some(torn_store));
+        assert_eq!(reference, torn, "torn-recovery bytes @ {threads} threads");
+    }
+
+    // One store shared across thread counts: every persisted result is
+    // thread-invariant, so entries written at t=1 warm the t=2/t=4 runs.
+    let shared = dir.join("shared");
+    let reference = run_with(1, Some(Arc::new(Store::open(&shared).unwrap())));
+    for threads in [2usize, 4] {
+        let warm = run_with(threads, Some(Arc::new(Store::open(&shared).unwrap())));
+        assert_eq!(
+            reference, warm,
+            "cross-thread warm bytes @ {threads} threads"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The `MetricsSink` counters must agree with the hand-maintained
 /// `SearchStats` for the same run.
 #[test]

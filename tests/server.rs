@@ -3,7 +3,7 @@
 //! server-executed and directly-run jobs.
 
 use heterogen_core::{HeteroGen, JobSpec, PipelineConfig};
-use heterogen_server::{Server, ServerConfig};
+use heterogen_server::{RejectReason, Server, ServerConfig};
 use heterogen_toolchain::{
     BackendInfo, Compiled, DrainGate, DrainSignal, SimBackend, Simulated, Toolchain, ToolchainError,
 };
@@ -178,6 +178,91 @@ fn drain_mid_search_degrades_the_in_flight_job() {
         report.repair.full_compiles >= 2,
         "the search must have been genuinely in flight"
     );
+}
+
+/// Queue churn, per-client share: a client that fills its fair share is
+/// refused with `ClientSaturated` (keeping its queued work), an idle
+/// client is still admitted past it, and after backing off until the
+/// backlog drains the saturated client is admitted again — pinned at
+/// 1, 2, and 4 workers.
+#[test]
+fn saturated_client_backs_off_and_is_admitted() {
+    for workers in [1usize, 2, 4] {
+        let per_client = 3u64;
+        let server = Server::start(
+            ServerConfig::builder()
+                .with_workers(workers)
+                .with_per_client_queue(per_client as usize)
+                .with_pipeline(tiny_pipeline())
+                .with_paused(true)
+                .build(),
+        );
+        // Fill the bursty client's share while the queue is paused, so the
+        // saturation point is deterministic at every worker count.
+        let backlog: Vec<_> = (0..per_client)
+            .map(|i| server.submit(quick_spec("bursty", i)).unwrap())
+            .collect();
+        let rejected = server.submit(quick_spec("bursty", 99)).unwrap_err();
+        assert_eq!(
+            rejected.reason,
+            RejectReason::ClientSaturated,
+            "@ {workers} workers"
+        );
+        assert_eq!(rejected.client, "bursty");
+        // Fair share is per client: another client still gets in.
+        let patient = server.submit(quick_spec("patient", 7)).unwrap();
+
+        // Back off: let the pool drain the backlog, then retry.
+        server.resume();
+        for h in backlog {
+            assert!(h.wait().report.is_ok(), "@ {workers} workers");
+        }
+        let readmitted = server
+            .submit(quick_spec("bursty", 99))
+            .expect("the drained share must readmit the client");
+        assert!(readmitted.wait().report.is_ok());
+        assert!(patient.wait().report.is_ok());
+
+        let stats = server.shutdown();
+        assert_eq!(stats.accepted, per_client + 2, "@ {workers} workers");
+        assert_eq!(stats.rejected_client_saturated, 1, "@ {workers} workers");
+        assert_eq!(stats.completed, per_client + 2, "@ {workers} workers");
+        assert_eq!(stats.failed, 0, "@ {workers} workers");
+    }
+}
+
+/// Queue churn, global cap: when the server-wide queue is smaller than a
+/// client's share, `QueueFull` binds first; draining the queue makes the
+/// same submission admissible.
+#[test]
+fn queue_full_binds_before_client_share() {
+    let server = Server::start(
+        ServerConfig::builder()
+            .with_workers(1)
+            .with_queue_capacity(2)
+            .with_per_client_queue(8)
+            .with_pipeline(tiny_pipeline())
+            .with_paused(true)
+            .build(),
+    );
+    let first = server.submit(quick_spec("a", 1)).unwrap();
+    let second = server.submit(quick_spec("b", 2)).unwrap();
+    let rejected = server.submit(quick_spec("c", 3)).unwrap_err();
+    assert_eq!(rejected.reason, RejectReason::QueueFull);
+    assert_eq!(rejected.client, "c");
+
+    server.resume();
+    assert!(first.wait().report.is_ok());
+    assert!(second.wait().report.is_ok());
+    let admitted = server
+        .submit(quick_spec("c", 3))
+        .expect("a drained queue must have room again");
+    assert!(admitted.wait().report.is_ok());
+
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
 }
 
 /// The acceptance bar for serving: a job executed by the server is
