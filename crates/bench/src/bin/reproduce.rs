@@ -7,6 +7,8 @@
 //! cargo run --release -p bench --bin reproduce -- fig9 --json out.json
 //! cargo run --release -p bench --bin reproduce -- run P3 --json
 //! cargo run --release -p bench --bin reproduce -- run P3 --engine treewalk
+//! cargo run --release -p bench --bin reproduce -- run P3 --store /tmp/hg --mined
+//! cargo run --release -p bench --bin reproduce -- mine --store /tmp/hg
 //! cargo run --release -p bench --bin reproduce -- bench-repair --engine bytecode
 //! cargo run --release -p bench --bin reproduce -- trace P3 --json p3.jsonl
 //! cargo run --release -p bench --bin reproduce -- toolchain P3 --backend embedded
@@ -29,7 +31,7 @@ use std::sync::Arc;
 /// The flags every subject-driving subcommand shares, parsed once:
 /// `<subject>` (first non-flag positional after the subcommand),
 /// `--backend <name>`, `--threads <n>`, `--engine <name>`, `--store <dir>`,
-/// and `--json [path]`.
+/// `--mined`, and `--json [path]`.
 #[derive(Debug, Clone, Default)]
 struct CommonOpts {
     subcommand: String,
@@ -39,6 +41,7 @@ struct CommonOpts {
     engine: Option<ExecEngine>,
     store_dir: Option<String>,
     wants_store: bool,
+    wants_mined: bool,
     wants_json: bool,
     json_path: Option<String>,
 }
@@ -58,6 +61,7 @@ impl CommonOpts {
             }),
             store_dir: flag_value(args, "--store"),
             wants_store: args.iter().any(|a| a == "--store"),
+            wants_mined: args.iter().any(|a| a == "--mined"),
             wants_json: args.iter().any(|a| a == "--json"),
             json_path: flag_value(args, "--json"),
         }
@@ -100,7 +104,9 @@ impl CommonOpts {
     fn spec_for(&self, s: &benchsuite::Subject) -> JobSpec {
         let mut seeds = s.seed_inputs.clone();
         seeds.extend(s.existing_tests.clone());
-        let mut b = JobSpec::builder(s.parse(), s.kernel).seeds(seeds);
+        let mut b = JobSpec::builder(s.parse(), s.kernel)
+            .seeds(seeds)
+            .mined(self.wants_mined);
         if let Some(name) = &self.backend {
             b = b.backend(name);
         }
@@ -126,12 +132,14 @@ fn open_store_at(dir: impl AsRef<Path>) -> Arc<Store> {
             let r = s.recovery();
             if !r.clean() {
                 eprintln!(
-                    "store: recovered {} records ({} verdicts, {} corpora, {} diffs), \
-                     quarantined {} bytes: {}",
+                    "store: recovered {} records ({} verdicts, {} corpora, {} diffs, \
+                     {} scripts, {} patterns), quarantined {} bytes: {}",
                     r.records,
                     r.verdicts,
                     r.corpora,
                     r.diffs,
+                    r.scripts,
+                    r.patterns,
                     r.quarantined_bytes,
                     r.corruption.as_deref().unwrap_or("-"),
                 );
@@ -181,6 +189,10 @@ fn main() {
             run_store(&opts, &args);
             return;
         }
+        "mine" => {
+            run_mine(&opts);
+            return;
+        }
         "serve" => {
             run_serve(&opts);
             return;
@@ -225,7 +237,7 @@ fn main() {
             run_summary(&bundle);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair run trace toolchain bench-guard chaos serve loadgen store summary all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig3 table1 table2 table3 table4 table5 fig8 fig9 ablation-seed ablation-bitwidth bench-repair run trace toolchain bench-guard chaos serve loadgen store mine summary all");
             std::process::exit(2);
         }
     }
@@ -255,6 +267,9 @@ fn load_subject(id: &str) -> benchsuite::Subject {
 /// serializes whole (program as HLS-C source).
 fn run_one(opts: &CommonOpts) {
     let s = load_subject(&opts.require_subject());
+    if opts.wants_mined && opts.store_dir.is_none() {
+        eprintln!("note: --mined is inert without --store <dir> (patterns live in the store)");
+    }
     let mut builder = HeteroGen::builder().config(opts.config());
     if let Some(store) = opts.open_store() {
         builder = builder.store(store);
@@ -395,7 +410,7 @@ fn run_toolchain(opts: &CommonOpts) {
         let mut seeds = s.seed_inputs.clone();
         seeds.extend(s.existing_tests.clone());
         let info = backend.info();
-        let mut builder = HeteroGen::builder().config(cfg).backend(backend);
+        let mut builder = HeteroGen::builder().config(cfg.clone()).backend(backend);
         if let Some(store) = &store {
             builder = builder.store(store.clone());
         }
@@ -628,7 +643,7 @@ fn run_bench_guard() {
             testgen::fuzz(&p, s.kernel, seeds, &fuzz_cfg).unwrap_or_else(|e| panic!("{id}: {e}"));
         let broken = heterogen_core::initial_version(&p, &fr.profile);
         let time_engine = |engine: ExecEngine| -> f64 {
-            let ec = sc.to_builder().with_engine(engine).build();
+            let ec = sc.clone().to_builder().with_engine(engine).build();
             let mut best = f64::MAX;
             for _ in 0..3 {
                 let t0 = std::time::Instant::now();
@@ -697,6 +712,64 @@ fn run_bench_guard() {
             eprintln!("FAIL: a warm store must be at least {warm_floor:.1}x a cold run on {id}");
             std::process::exit(1);
         }
+    }
+    println!("OK");
+
+    // The mining guard: patterns mined from the suite's first half must not
+    // make the second half worse. On the held-out split, attempts until the
+    // first full fix and full HLS compiles may each regress by at most
+    // MINED_GUARD_PCT (default 0% — strict non-regression), and every
+    // subject the baseline fixes must still be fixed with the tier on.
+    let mined_slack: f64 = std::env::var("MINED_GUARD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+        / 100.0;
+    println!("\n== bench-guard: mined-pattern tier on the held-out split ==");
+    let mb = bench::bench_repair_mined(0);
+    println!(
+        "trained on {} ({} patterns, top support {}), held out {}",
+        mb.train.join(" "),
+        mb.patterns,
+        mb.top_support,
+        mb.holdout.join(" ")
+    );
+    println!(
+        "first-fix attempts {} -> {}, full compiles {} -> {}",
+        mb.baseline_attempts_total,
+        mb.mined_attempts_total,
+        mb.baseline_compiles_total,
+        mb.mined_compiles_total
+    );
+    if mb.patterns == 0 {
+        eprintln!("FAIL: mining the training split must yield at least one pattern");
+        std::process::exit(1);
+    }
+    for r in &mb.rows {
+        if r.baseline_success && !r.mined_success {
+            eprintln!(
+                "FAIL: {}: the mined tier lost a repair the baseline found",
+                r.id
+            );
+            std::process::exit(1);
+        }
+    }
+    let ceil = |b: u64| (b as f64 * (1.0 + mined_slack)).ceil() as u64;
+    if mb.mined_attempts_total > ceil(mb.baseline_attempts_total) {
+        eprintln!(
+            "FAIL: mined tier regressed first-fix attempts on the held-out split ({} > {})",
+            mb.mined_attempts_total,
+            ceil(mb.baseline_attempts_total)
+        );
+        std::process::exit(1);
+    }
+    if mb.mined_compiles_total > ceil(mb.baseline_compiles_total) {
+        eprintln!(
+            "FAIL: mined tier regressed full compiles on the held-out split ({} > {})",
+            mb.mined_compiles_total,
+            ceil(mb.baseline_compiles_total)
+        );
+        std::process::exit(1);
     }
     println!("OK");
 }
@@ -872,7 +945,7 @@ fn run_chaos_store(opts: &CommonOpts) {
         let run_with = |store: Option<Arc<Store>>| -> (String, String) {
             let jsonl = Arc::new(JsonlSink::new());
             let mut builder = HeteroGen::builder()
-                .config(cfg)
+                .config(cfg.clone())
                 .sink(jsonl.clone() as Arc<dyn TraceSink>);
             if let Some(store) = store {
                 builder = builder.store(store);
@@ -1112,6 +1185,60 @@ fn run_store(opts: &CommonOpts, args: &[String]) {
             println!("flipped a bit at byte {at} of {}", log.display());
         }
         _ => usage(),
+    }
+}
+
+/// `reproduce -- mine --store <dir> [--json [path]]`: abstracts every
+/// winning repair script banked in the store into ranked fix patterns and
+/// persists them, so later `--mined` runs (and warm servers) promote them
+/// ahead of the static edit precedence. Re-running after more repairs is
+/// how an operator refreshes the pattern tier.
+fn run_mine(opts: &CommonOpts) {
+    let Some(store) = opts.open_store() else {
+        eprintln!("usage: reproduce -- mine --store <dir> [--json [path]]");
+        std::process::exit(2);
+    };
+    let scripts: Vec<repair::EditScript> = store
+        .scripts()
+        .into_iter()
+        .map(|(_, script)| script)
+        .collect();
+    let patterns = repair::mine::mine_patterns(&scripts);
+    for p in &patterns {
+        store.put_pattern(p);
+    }
+    let stored = store.patterns();
+    println!(
+        "== mine: {} scripts -> {} patterns ==",
+        scripts.len(),
+        patterns.len()
+    );
+    print_table(
+        &["Support", "Len", "Edits"],
+        &stored
+            .iter()
+            .map(|p| {
+                vec![
+                    p.support.to_string(),
+                    p.edits.len().to_string(),
+                    p.edits
+                        .iter()
+                        .map(|e| e.kind.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" -> "),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    if opts.wants_json {
+        let json = serde_json::to_string_pretty(&stored).expect("serializable patterns");
+        match opts.json_path.as_deref() {
+            Some(path) => {
+                std::fs::write(path, json).expect("write json");
+                println!("wrote {path}");
+            }
+            None => println!("{json}"),
+        }
     }
 }
 
@@ -1708,6 +1835,41 @@ fn run_bench_repair(opts: &CommonOpts) {
                 ]
             })
             .collect::<Vec<_>>(),
+    );
+    println!("\n-- mined-pattern tier on the held-out split --");
+    let opt_n = |v: Option<u64>| v.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+    print_table(
+        &[
+            "ID",
+            "Base 1st fix",
+            "Mined 1st fix",
+            "Base compiles",
+            "Mined compiles",
+        ],
+        &bench
+            .mined
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.id.clone(),
+                    opt_n(r.baseline_first_fix_attempts),
+                    opt_n(r.mined_first_fix_attempts),
+                    r.baseline_full_compiles.to_string(),
+                    r.mined_full_compiles.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "trained on {} ({} patterns, top support {}); first-fix attempts {} -> {}, compiles {} -> {}",
+        bench.mined.train.join(" "),
+        bench.mined.patterns,
+        bench.mined.top_support,
+        bench.mined.baseline_attempts_total,
+        bench.mined.mined_attempts_total,
+        bench.mined.baseline_compiles_total,
+        bench.mined.mined_compiles_total
     );
     println!(
         "threads: {} (effective {}, hardware {}); total wall: {:.1} ms",

@@ -413,15 +413,21 @@ pub fn fig9(subject_filter: Option<&str>) -> Vec<Fig9Row> {
             repair::repair(&p, broken.clone(), s.kernel, &fr.corpus, &fr.profile, &sc)
                 .unwrap_or_else(|e| panic!("{}: {e}", s.id))
         };
-        let hg = run(cfg.search);
+        let hg = run(cfg.search.clone());
         let wd = run(cfg
             .search
+            .clone()
             .to_builder()
             .with_dependence(false)
             .with_budget_min(720.0)
             .with_explore_performance(false)
             .build());
-        let wc = run(cfg.search.to_builder().with_style_checker(false).build());
+        let wc = run(cfg
+            .search
+            .clone()
+            .to_builder()
+            .with_style_checker(false)
+            .build());
         Fig9Row {
             id: s.id.to_string(),
             hg_min: hg.stats.first_success_min,
@@ -498,7 +504,7 @@ pub fn ablation_bitwidth() -> Vec<BitwidthAblationRow> {
     let subjects = benchsuite::subjects();
     parallel::parallel_map(0, &subjects, |_, s| {
         let with = run_subject(s, &cfg);
-        let mut cfg_off = cfg;
+        let mut cfg_off = cfg.clone();
         cfg_off.bitwidth_finitization = false;
         let without = run_subject(s, &cfg_off);
         BitwidthAblationRow {
@@ -568,6 +574,52 @@ pub struct RepairBench {
     pub rows: Vec<RepairBenchRow>,
     /// Cold-vs-warm persistent-store measurements, one per subject.
     pub warm: Vec<WarmBenchRow>,
+    /// Mined-pattern-tier measurements on the held-out subject split.
+    pub mined: MinedBench,
+}
+
+/// One held-out subject scored twice: static precedence only, then with the
+/// mined-pattern tier trained on the other half of the suite.
+#[derive(Debug, Clone, Serialize)]
+pub struct MinedBenchRow {
+    /// Paper id.
+    pub id: String,
+    /// Whether the static-precedence search converged.
+    pub baseline_success: bool,
+    /// Whether the mined-tier search converged.
+    pub mined_success: bool,
+    /// Attempts until the first fully passing candidate, static precedence.
+    pub baseline_first_fix_attempts: Option<u64>,
+    /// Attempts until the first fully passing candidate, mined tier on.
+    pub mined_first_fix_attempts: Option<u64>,
+    /// Full HLS compiles, static precedence.
+    pub baseline_full_compiles: u64,
+    /// Full HLS compiles, mined tier on.
+    pub mined_full_compiles: u64,
+}
+
+/// The train/held-out mined-tier experiment committed in
+/// `BENCH_repair.json` and gated by `MINED_GUARD` in CI.
+#[derive(Debug, Clone, Serialize)]
+pub struct MinedBench {
+    /// Subjects whose winning scripts were mined (the training split).
+    pub train: Vec<String>,
+    /// Subjects the patterns were evaluated on (never mined from).
+    pub holdout: Vec<String>,
+    /// Distinct patterns mined from the training scripts.
+    pub patterns: usize,
+    /// Highest support among the mined patterns.
+    pub top_support: u64,
+    /// Per-held-out-subject measurements.
+    pub rows: Vec<MinedBenchRow>,
+    /// Sum of `baseline_first_fix_attempts` over rows where both runs fixed.
+    pub baseline_attempts_total: u64,
+    /// Sum of `mined_first_fix_attempts` over the same rows.
+    pub mined_attempts_total: u64,
+    /// Sum of `baseline_full_compiles` over all rows.
+    pub baseline_compiles_total: u64,
+    /// Sum of `mined_full_compiles` over all rows.
+    pub mined_compiles_total: u64,
 }
 
 /// Benchmarks the repair-search hot loop per subject with real wall-clock
@@ -592,7 +644,7 @@ pub fn bench_repair(threads: usize, engines: &[ExecEngine]) -> RepairBench {
             engines
                 .iter()
                 .map(|&engine| {
-                    let sc = cfg.search.to_builder().with_engine(engine).build();
+                    let sc = cfg.search.clone().to_builder().with_engine(engine).build();
                     // The search is deterministic, so repeated runs differ in
                     // wall-clock only: take the least-noisy (minimum) timing,
                     // as the bench guard does. The first round doubles as the
@@ -636,6 +688,7 @@ pub fn bench_repair(threads: usize, engines: &[ExecEngine]) -> RepairBench {
         total_wall_ms: rows.iter().map(|r| r.wall_ms).sum(),
         rows,
         warm: bench_repair_warm(threads),
+        mined: bench_repair_mined(threads),
     }
 }
 
@@ -664,7 +717,10 @@ fn bench_repair_warm(threads: usize) -> Vec<WarmBenchRow> {
                 let store = Arc::new(Store::open(&dir).unwrap_or_else(|e| panic!("{}: {e}", s.id)));
                 let mut seeds = s.seed_inputs.clone();
                 seeds.extend(s.existing_tests.clone());
-                let session = HeteroGen::builder().config(cfg).store(store).build();
+                let session = HeteroGen::builder()
+                    .config(cfg.clone())
+                    .store(store)
+                    .build();
                 let started = std::time::Instant::now();
                 let report = session
                     .run(JobSpec::fuzz(s.parse(), s.kernel, seeds))
@@ -685,6 +741,85 @@ fn bench_repair_warm(threads: usize) -> Vec<WarmBenchRow> {
             }
         })
         .collect()
+}
+
+/// The held-out mined-tier experiment: the suite's first half trains the
+/// pattern miner (each subject's winning [`repair::EditScript`] is
+/// collected), the second half is repaired twice — static precedence only,
+/// then with the mined tier promoted ahead of it — and the attempts until
+/// the first full fix plus the full-compile counts are compared. The
+/// held-out subjects never contribute scripts, so any drop is transfer,
+/// not memorization.
+pub fn bench_repair_mined(threads: usize) -> MinedBench {
+    let mut cfg = standard_config();
+    cfg.search.threads = threads;
+    let subjects = benchsuite::subjects();
+    let mid = subjects.len() / 2;
+    let (train, holdout) = subjects.split_at(mid);
+
+    let fuzz_one = |s: &benchsuite::Subject| {
+        let p = s.parse();
+        let mut seeds = s.seed_inputs.clone();
+        seeds.extend(s.existing_tests.clone());
+        let fr = testgen::fuzz(&p, s.kernel, seeds, &cfg.fuzz)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+        let broken = heterogen_core::initial_version(&p, &fr.profile);
+        (p, fr, broken)
+    };
+
+    let scripts: Vec<repair::EditScript> = parallel::parallel_map(threads, train, |_, s| {
+        let (p, fr, broken) = fuzz_one(s);
+        let out = repair::repair(&p, broken, s.kernel, &fr.corpus, &fr.profile, &cfg.search)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+        out.success.then_some(out.script)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let patterns = repair::mine::mine_patterns(&scripts);
+    let top_support = patterns.first().map(|p| p.support).unwrap_or(0);
+
+    let mined_cfg = cfg.search.clone().with_mined_patterns(patterns.clone());
+    let rows: Vec<MinedBenchRow> = parallel::parallel_map(threads, holdout, |_, s| {
+        let (p, fr, broken) = fuzz_one(s);
+        let base = repair::repair(
+            &p,
+            broken.clone(),
+            s.kernel,
+            &fr.corpus,
+            &fr.profile,
+            &cfg.search,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+        let mined = repair::repair(&p, broken, s.kernel, &fr.corpus, &fr.profile, &mined_cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+        MinedBenchRow {
+            id: s.id.to_string(),
+            baseline_success: base.success,
+            mined_success: mined.success,
+            baseline_first_fix_attempts: base.stats.first_success_attempts,
+            mined_first_fix_attempts: mined.stats.first_success_attempts,
+            baseline_full_compiles: base.stats.full_compiles,
+            mined_full_compiles: mined.stats.full_compiles,
+        }
+    });
+
+    let fixed_by_both = rows
+        .iter()
+        .filter_map(|r| Some((r.baseline_first_fix_attempts?, r.mined_first_fix_attempts?)));
+    let (baseline_attempts_total, mined_attempts_total) =
+        fixed_by_both.fold((0, 0), |(b, m), (rb, rm)| (b + rb, m + rm));
+    MinedBench {
+        train: train.iter().map(|s| s.id.to_string()).collect(),
+        holdout: holdout.iter().map(|s| s.id.to_string()).collect(),
+        patterns: patterns.len(),
+        top_support,
+        baseline_attempts_total,
+        mined_attempts_total,
+        baseline_compiles_total: rows.iter().map(|r| r.baseline_full_compiles).sum(),
+        mined_compiles_total: rows.iter().map(|r| r.mined_full_compiles).sum(),
+        rows,
+    }
 }
 
 #[cfg(test)]

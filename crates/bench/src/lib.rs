@@ -31,7 +31,7 @@ pub fn run_subject(s: &Subject, cfg: &PipelineConfig) -> PipelineReport {
     let mut seeds = s.seed_inputs.clone();
     seeds.extend(s.existing_tests.clone());
     HeteroGen::builder()
-        .config(*cfg)
+        .config(cfg.clone())
         .build()
         .run(JobSpec::fuzz(p, s.kernel, seeds))
         .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", s.id))

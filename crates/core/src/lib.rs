@@ -24,13 +24,13 @@
 //! ```
 
 use heterogen_faults::{FaultInjector, NoFaults};
-use heterogen_store::{CorpusRecord, FuzzRound, Store};
+use heterogen_store::{CorpusRecord, FuzzRound, ScriptKey, Store};
 use heterogen_toolchain::{SimBackend, Toolchain, VerdictStore};
 use heterogen_trace::{Event, NullSink, TraceSink};
 use minic::types::Type;
 use minic::Program;
 use minic_exec::{ExecEngine, Profile};
-use repair::{RepairOutcome, SearchConfig, SearchStop};
+use repair::{EditScript, RepairOutcome, SearchConfig, SearchStop};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -42,7 +42,7 @@ use testgen::{FuzzConfig, FuzzReport, TestCase};
 /// [`PipelineConfig::builder`] (or start from [`PipelineConfig::default`] /
 /// [`PipelineConfig::quick`] and assign fields) so future knobs are not
 /// semver breaks.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct PipelineConfig {
     /// Test-generation settings (paper §4).
@@ -165,7 +165,7 @@ impl PipelineConfig {
 ///     .build();
 /// assert_eq!(cfg.fuzz.max_execs, 500);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PipelineConfigBuilder {
     cfg: PipelineConfig,
 }
@@ -224,7 +224,7 @@ pub struct TestGenSummary {
 }
 
 /// Summary of the repair phase.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RepairSummary {
     /// All compatibility errors fixed and behaviour preserved.
     pub success: bool,
@@ -246,6 +246,59 @@ pub struct RepairSummary {
     pub style_rejects: u64,
     /// Total edit attempts.
     pub attempts: u64,
+    /// The winning [`EditScript`] — ordered parameterized edits with their
+    /// anchor context ([`applied`](RepairSummary::applied) is its flat
+    /// edit-family projection, kept for report compatibility).
+    pub script: EditScript,
+    /// Attempts spent before the first full fix, when one was found.
+    pub first_fix_attempts: Option<u64>,
+    /// Whether the mined-pattern candidate tier was active.
+    pub mined: bool,
+}
+
+// Manual impl: the legacy fields serialize unconditionally in their
+// historical order; the script-IR fields are appended only when the mined
+// tier was active, so mining-off reports stay byte-identical to
+// pre-EditScript output.
+impl Serialize for RepairSummary {
+    fn to_json_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("success".to_string(), self.success.to_json_value()),
+            ("pass_ratio".to_string(), self.pass_ratio.to_json_value()),
+            (
+                "fpga_latency_ms".to_string(),
+                self.fpga_latency_ms.to_json_value(),
+            ),
+            (
+                "cpu_latency_ms".to_string(),
+                self.cpu_latency_ms.to_json_value(),
+            ),
+            ("improved".to_string(), self.improved.to_json_value()),
+            ("applied".to_string(), self.applied.to_json_value()),
+            ("minutes".to_string(), self.minutes.to_json_value()),
+            (
+                "full_compiles".to_string(),
+                self.full_compiles.to_json_value(),
+            ),
+            (
+                "style_rejects".to_string(),
+                self.style_rejects.to_json_value(),
+            ),
+            ("attempts".to_string(), self.attempts.to_json_value()),
+        ];
+        if self.mined {
+            fields.push(("script".to_string(), self.script.to_json_value()));
+            fields.push((
+                "first_fix_attempts".to_string(),
+                match self.first_fix_attempts {
+                    Some(n) => n.to_json_value(),
+                    None => serde::Value::Null,
+                },
+            ));
+            fields.push(("mined".to_string(), serde::Value::Bool(true)));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 /// Why a phase degraded instead of completing its search.
@@ -491,6 +544,13 @@ pub struct JobSpec {
     /// warm start. `None` inherits the session's store (usually none). A
     /// warm store never changes the report or trace — only wall time.
     pub store_dir: Option<PathBuf>,
+    /// Enables the mined-pattern candidate tier: fix patterns persisted in
+    /// (or mined on the fly from) the job's [`Store`] are tried ahead of
+    /// the static precedence order, and the winning [`EditScript`] plus
+    /// first-fix attempt counts are added to the report. Off (the default)
+    /// the report and trace are byte-identical to a run without this
+    /// field. Requires a store; without one the flag is inert.
+    pub mined: bool,
 }
 
 /// The client id a [`JobSpec`] carries unless [`JobSpecBuilder::client`]
@@ -528,6 +588,7 @@ impl JobSpec {
                 engine: None,
                 client: ANONYMOUS_CLIENT.to_string(),
                 store_dir: None,
+                mined: false,
             },
         }
     }
@@ -600,6 +661,12 @@ impl JobSpecBuilder {
     /// [`JobSpec::store_dir`]).
     pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spec.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables the mined-pattern candidate tier (see [`JobSpec::mined`]).
+    pub fn mined(mut self, v: bool) -> Self {
+        self.spec.mined = v;
         self
     }
 
@@ -832,6 +899,7 @@ impl Session {
             engine,
             client: _,
             store_dir,
+            mined,
         } = job;
         let backend: Arc<dyn Toolchain> = match backend {
             None => self.backend.clone(),
@@ -931,7 +999,7 @@ impl Session {
                 at_min: testgen_min,
             });
         }
-        let mut search_cfg = self.config.search;
+        let mut search_cfg = self.config.search.clone();
         if let Some(seed) = seed {
             search_cfg.rng_seed = seed;
         }
@@ -942,6 +1010,20 @@ impl Session {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        // The mined tier feeds off the store: persisted patterns if a
+        // `reproduce mine` pass recorded them, else patterns mined on the
+        // fly from the winning scripts of earlier successful runs.
+        if mined {
+            if let Some(store) = &store {
+                let mut patterns = store.patterns();
+                if patterns.is_empty() {
+                    let scripts: Vec<EditScript> =
+                        store.scripts().into_iter().map(|(_, s)| s).collect();
+                    patterns = repair::mine::mine_patterns(&scripts);
+                }
+                search_cfg.mined = Arc::new(patterns);
+            }
+        }
         let outcome: RepairOutcome = repair::repair_persistent(
             &original,
             broken,
@@ -952,9 +1034,24 @@ impl Session {
             sink,
             self.faults.as_ref(),
             backend.as_ref(),
-            store.map(|s| s as Arc<dyn VerdictStore>),
+            store.clone().map(|s| s as Arc<dyn VerdictStore>),
         )
         .map_err(PipelineError::Repair)?;
+        // Every successful repair banks its winning script — whether or not
+        // the mined tier was active — so any store accumulates the raw
+        // material `reproduce mine` and later mined runs learn from.
+        if outcome.success {
+            if let Some(store) = &store {
+                store.put_script(
+                    &ScriptKey {
+                        program_fp: minic::fingerprint_program(&original),
+                        kernel: kernel.clone(),
+                        backend: backend.info().name.clone(),
+                    },
+                    &outcome.script,
+                );
+            }
+        }
         let repair_end_min = testgen_min + outcome.stats.elapsed_min;
         if sink.enabled() {
             sink.emit(&Event::PhaseExit {
@@ -1032,6 +1129,9 @@ impl Session {
                 full_compiles: outcome.stats.full_compiles,
                 style_rejects: outcome.stats.style_rejects,
                 attempts: outcome.stats.attempts,
+                script: outcome.script.clone(),
+                first_fix_attempts: outcome.stats.first_success_attempts,
+                mined: !search_cfg.mined.is_empty(),
             },
             delta_loc,
             origin_loc: minic::loc(&original),
@@ -1308,7 +1408,7 @@ mod tests {
         cfg.fuzz.idle_stop_min = 0.5;
         cfg.fuzz.max_execs = 200;
         let session = HeteroGen::builder()
-            .config(cfg)
+            .config(cfg.clone())
             .backend(SimBackend::embedded_profile())
             .build();
         assert!(format!("{session:?}").contains("hls_sim-embedded"));
@@ -1421,6 +1521,7 @@ mod tests {
         assert_eq!(spec.budgets, None);
         assert_eq!(spec.engine, None);
         assert_eq!(spec.client, ANONYMOUS_CLIENT);
+        assert!(!spec.mined);
     }
 
     #[test]
@@ -1458,7 +1559,7 @@ mod tests {
         let mut cfg = PipelineConfig::quick();
         cfg.fuzz.idle_stop_min = 0.2;
         cfg.fuzz.max_execs = 100;
-        let session = HeteroGen::builder().config(cfg).build();
+        let session = HeteroGen::builder().config(cfg.clone()).build();
         let via_spec = session
             .run(JobSpec::builder(p.clone(), "kernel").seed(42).build())
             .unwrap();
@@ -1486,7 +1587,7 @@ mod tests {
         cfg.fuzz.idle_stop_min = 0.5;
         cfg.fuzz.max_execs = 200;
         let via_spec = HeteroGen::builder()
-            .config(cfg)
+            .config(cfg.clone())
             .build()
             .run(
                 JobSpec::builder(p.clone(), "kernel")
@@ -1596,6 +1697,48 @@ mod tests {
             Err(wire::WireError::MissingVersion)
         );
         assert!(wire::check_trace_header("").is_err());
+    }
+
+    #[test]
+    fn mined_tier_banks_scripts_and_extends_the_report() {
+        let dir = std::env::temp_dir().join(format!("hg-core-mined-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p =
+            minic::parse("int kernel(int x) { long double y = x; y = y + 1; return y; }").unwrap();
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz.idle_stop_min = 0.2;
+        cfg.fuzz.max_execs = 100;
+        let session = HeteroGen::builder().config(cfg).build();
+        // A plain store run banks the winning script but reports nothing new.
+        let cold = session
+            .run(
+                JobSpec::builder(p.clone(), "kernel")
+                    .store_dir(&dir)
+                    .build(),
+            )
+            .unwrap();
+        assert!(dump_on_failure(&cold));
+        let cold_json = serde_json::to_string(&cold).unwrap();
+        assert!(!cold_json.contains("\"script\":"), "{cold_json}");
+        assert_eq!(Store::open(&dir).unwrap().stats().scripts, 1);
+        // A mined run feeds the banked script back and reports the IR.
+        let mined = session
+            .run(
+                JobSpec::builder(p, "kernel")
+                    .store_dir(&dir)
+                    .mined(true)
+                    .build(),
+            )
+            .unwrap();
+        assert!(dump_on_failure(&mined));
+        assert!(mined.repair.mined);
+        assert!(!mined.repair.script.is_empty());
+        assert_eq!(mined.repair.script.kind_names(), mined.repair.applied);
+        assert!(mined.repair.first_fix_attempts.is_some());
+        let mined_json = serde_json::to_string(&mined).unwrap();
+        assert!(mined_json.contains("\"script\":"), "{mined_json}");
+        assert!(mined_json.contains("\"mined\":true"), "{mined_json}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -8,52 +8,54 @@
 //! chain mirrors Figure 4. HeteroGen enumerates candidate sequences in
 //! dependence order ({➊, ➋, ➊➌, ➋➍, …}); the `WithoutDependence`
 //! ablation ignores this structure and samples edits at random.
+//!
+//! The graph is expressed over the typed [`EditKind`] enum, so a
+//! prerequisite check is a handful of `Copy` comparisons — no string
+//! allocation or comparison on the search's hot path (pinned by the
+//! `no_alloc` integration test).
+
+use crate::script::{EditKind, ScriptEdit};
 
 /// Prerequisite families for an edit family. Semantics: the edit is
 /// applicable once **any** of the listed families has been applied
 /// (alternatives like `stack_trans`/`pointer_to_index` both introduce
 /// resizable constants).
-pub fn prerequisites(kind: &str) -> &'static [&'static str] {
+pub fn prerequisites(kind: EditKind) -> &'static [EditKind] {
     match kind {
-        "resize" => &["stack_trans", "pointer_to_index", "array_static"],
-        "type_casting" => &["type_trans"],
-        "op_overload" => &["type_casting"],
-        "stream_static" => &["constructor"],
-        "inst_update" => &["flatten"],
+        EditKind::Resize => &[
+            EditKind::StackTrans,
+            EditKind::PointerToIndex,
+            EditKind::ArrayStatic,
+        ],
+        EditKind::TypeCasting => &[EditKind::TypeTrans],
+        EditKind::OpOverload => &[EditKind::TypeCasting],
+        EditKind::StreamStatic => &[EditKind::Constructor],
+        EditKind::InstUpdate => &[EditKind::Flatten],
         _ => &[],
     }
 }
 
 /// Whether an edit family's prerequisites are satisfied by the already
-/// applied families.
-pub fn satisfied(kind: &str, applied: &[String]) -> bool {
+/// applied script.
+pub fn satisfied(kind: EditKind, applied: &[ScriptEdit]) -> bool {
     let pre = prerequisites(kind);
-    pre.is_empty() || pre.iter().any(|p| applied.iter().any(|a| a == p))
+    pre.is_empty() || pre.iter().any(|p| applied.iter().any(|a| a.kind == *p))
 }
 
 /// A stable exploration order: independent (root) edits first, dependent
 /// chains after, mirroring the {➊, ➋, ➊➌, ➋➍, …} enumeration.
-pub fn dependence_rank(kind: &str) -> u8 {
+pub fn dependence_rank(kind: EditKind) -> u8 {
+    use EditKind::*;
     match kind {
         // Roots.
-        "set_top" | "fix_clock" => 0,
-        "constructor" | "flatten" => 1,
-        "stack_trans"
-        | "pointer_to_index"
-        | "array_static"
-        | "type_trans"
-        | "pointer_param_to_array"
-        | "duplicate_array_arg"
-        | "pad_array"
-        | "index_static"
-        | "delete_pragma"
-        | "insert_pragma"
-        | "explore" => 2,
+        SetTop | FixClock => 0,
+        Constructor | Flatten => 1,
+        StackTrans | PointerToIndex | ArrayStatic | TypeTrans | PointerParamToArray
+        | DuplicateArrayArg | PadArray | IndexStatic | DeletePragma | InsertPragma | Explore => 2,
         // First-level dependents.
-        "stream_static" | "inst_update" | "type_casting" | "resize" => 3,
+        StreamStatic | InstUpdate | TypeCasting | Resize => 3,
         // Second-level dependents.
-        "op_overload" => 4,
-        _ => 5,
+        OpOverload => 4,
     }
 }
 
@@ -61,9 +63,18 @@ pub fn dependence_rank(kind: &str) -> u8 {
 mod tests {
     use super::*;
 
+    fn applied(kinds: &[EditKind]) -> Vec<ScriptEdit> {
+        kinds.iter().map(|k| ScriptEdit::bare(*k)).collect()
+    }
+
     #[test]
     fn roots_have_no_prerequisites() {
-        for k in ["constructor", "flatten", "stack_trans", "set_top"] {
+        for k in [
+            EditKind::Constructor,
+            EditKind::Flatten,
+            EditKind::StackTrans,
+            EditKind::SetTop,
+        ] {
             assert!(prerequisites(k).is_empty());
             assert!(satisfied(k, &[]));
         }
@@ -71,35 +82,51 @@ mod tests {
 
     #[test]
     fn figure7_chains() {
-        assert!(!satisfied("stream_static", &[]));
-        assert!(satisfied("stream_static", &["constructor".to_string()]));
-        assert!(!satisfied("inst_update", &["constructor".to_string()]));
-        assert!(satisfied("inst_update", &["flatten".to_string()]));
+        assert!(!satisfied(EditKind::StreamStatic, &[]));
+        assert!(satisfied(
+            EditKind::StreamStatic,
+            &applied(&[EditKind::Constructor])
+        ));
+        assert!(!satisfied(
+            EditKind::InstUpdate,
+            &applied(&[EditKind::Constructor])
+        ));
+        assert!(satisfied(
+            EditKind::InstUpdate,
+            &applied(&[EditKind::Flatten])
+        ));
     }
 
     #[test]
     fn figure4_chain() {
-        assert!(!satisfied("op_overload", &["type_trans".to_string()]));
+        assert!(!satisfied(
+            EditKind::OpOverload,
+            &applied(&[EditKind::TypeTrans])
+        ));
         assert!(satisfied(
-            "op_overload",
-            &["type_trans".to_string(), "type_casting".to_string()]
+            EditKind::OpOverload,
+            &applied(&[EditKind::TypeTrans, EditKind::TypeCasting])
         ));
     }
 
     #[test]
     fn resize_accepts_any_size_introducing_edit() {
-        assert!(!satisfied("resize", &[]));
-        for root in ["stack_trans", "pointer_to_index", "array_static"] {
-            assert!(satisfied("resize", &[root.to_string()]));
+        assert!(!satisfied(EditKind::Resize, &[]));
+        for root in [
+            EditKind::StackTrans,
+            EditKind::PointerToIndex,
+            EditKind::ArrayStatic,
+        ] {
+            assert!(satisfied(EditKind::Resize, &applied(&[root])));
         }
     }
 
     #[test]
     fn ranks_respect_chains() {
-        assert!(dependence_rank("constructor") < dependence_rank("stream_static"));
-        assert!(dependence_rank("flatten") < dependence_rank("inst_update"));
-        assert!(dependence_rank("type_trans") < dependence_rank("type_casting"));
-        assert!(dependence_rank("type_casting") < dependence_rank("op_overload"));
-        assert!(dependence_rank("stack_trans") < dependence_rank("resize"));
+        assert!(dependence_rank(EditKind::Constructor) < dependence_rank(EditKind::StreamStatic));
+        assert!(dependence_rank(EditKind::Flatten) < dependence_rank(EditKind::InstUpdate));
+        assert!(dependence_rank(EditKind::TypeTrans) < dependence_rank(EditKind::TypeCasting));
+        assert!(dependence_rank(EditKind::TypeCasting) < dependence_rank(EditKind::OpOverload));
+        assert!(dependence_rank(EditKind::StackTrans) < dependence_rank(EditKind::Resize));
     }
 }

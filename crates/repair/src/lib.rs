@@ -9,6 +9,10 @@
 //!   concretized [`templates::RepairEdit`]s (Table 2);
 //! * [`deps`] — the dependence/precedence structure among edits (Fig. 7c);
 //! * [`diff`] — differential testing of candidates against the original;
+//! * [`script`] — the typed EditScript IR ([`EditKind`], [`EditScript`])
+//!   every layer above exchanges repair scripts in;
+//! * [`mine`] — fix-pattern mining over stored scripts into ranked
+//!   [`FixPattern`]s fed back as a high-priority candidate tier;
 //! * [`search`] — the evolutionary repair loop with the style-checker and
 //!   dependence ablations of Figure 9;
 //! * the heavy transforms: recursion-to-stack ([`xform_stack`]), pointer
@@ -18,6 +22,8 @@ pub mod classify;
 pub mod deps;
 pub mod diff;
 pub mod localize;
+pub mod mine;
+pub mod script;
 pub mod search;
 pub mod templates;
 pub mod xform_pointer;
@@ -27,6 +33,7 @@ pub mod xform_struct;
 pub use classify::classify_message;
 pub use diff::{DiffReport, DifferentialTester};
 pub use localize::candidate_edits;
+pub use script::{EditKind, EditScript, FixPattern, PatternEdit, ScriptEdit};
 pub use search::{
     performance_edits, repair, repair_persistent, repair_resilient, repair_traced,
     repair_with_backend, RepairOutcome, SearchConfig, SearchConfigBuilder, SearchStats, SearchStop,

@@ -1,0 +1,160 @@
+//! Fix-pattern mining over stored [`EditScript`]s.
+//!
+//! Every successful repair leaves behind an ordered edit script; this
+//! module abstracts those scripts — identifiers and constants generalized
+//! to presence shape, edit-kind sequence and node labels kept — and mines
+//! the contiguous subsequences that recur across subjects into ranked
+//! [`FixPattern`]s (the FixMiner-style rich-edit-script abstraction).
+//!
+//! Patterns are deduplicated by shape; the support count of a shape is the
+//! number of *distinct* scripts containing it, so a pattern that fired many
+//! times inside one subject does not outrank one that generalizes across
+//! subjects. Ranking (and therefore the order the search tries mined
+//! patterns in) is fully deterministic: support descending, then length
+//! descending (prefer the most specific recurring chain), then the lexical
+//! order of the shape itself.
+
+use crate::script::{EditScript, FixPattern, PatternEdit};
+use std::collections::HashMap;
+
+/// Longest mined subsequence. Repair scripts are short chains (the paper's
+/// Figure 7 chain is four edits); longer windows only mine noise.
+pub const MAX_PATTERN_LEN: usize = 4;
+
+/// Abstracts one concrete script into its pattern shape.
+pub fn abstract_script(script: &EditScript) -> Vec<PatternEdit> {
+    script.edits.iter().map(PatternEdit::from_edit).collect()
+}
+
+/// Mines ranked fix patterns from a set of successful scripts.
+///
+/// Every contiguous subsequence (length 1..=[`MAX_PATTERN_LEN`]) of every
+/// abstracted script is a candidate shape; shapes are deduplicated and
+/// ranked by support. Scripts with no edits contribute nothing. The result
+/// is deterministic for a fixed input ordering *and* invariant under input
+/// reordering (the rank key never looks at insertion order).
+pub fn mine_patterns(scripts: &[EditScript]) -> Vec<FixPattern> {
+    let mut support: HashMap<Vec<PatternEdit>, u64> = HashMap::new();
+    for script in scripts {
+        let shape = abstract_script(script);
+        if shape.is_empty() {
+            continue;
+        }
+        // Distinct shapes within one script (a script counts once per shape).
+        let mut local: Vec<Vec<PatternEdit>> = Vec::new();
+        for start in 0..shape.len() {
+            for end in start + 1..=shape.len().min(start + MAX_PATTERN_LEN) {
+                let sub = shape[start..end].to_vec();
+                if !local.contains(&sub) {
+                    local.push(sub);
+                }
+            }
+        }
+        for sub in local {
+            *support.entry(sub).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<FixPattern> = support
+        .into_iter()
+        .map(|(edits, support)| FixPattern { edits, support })
+        .collect();
+    out.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then(b.edits.len().cmp(&a.edits.len()))
+            .then(a.edits.cmp(&b.edits))
+    });
+    out
+}
+
+/// Keeps only patterns whose support reaches `min_support` (a convenience
+/// for CLI/CI consumers; [`mine_patterns`] itself returns everything).
+pub fn with_min_support(patterns: Vec<FixPattern>, min_support: u64) -> Vec<FixPattern> {
+    patterns
+        .into_iter()
+        .filter(|p| p.support >= min_support)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{EditKind, ScriptEdit};
+
+    fn script(kinds: &[EditKind]) -> EditScript {
+        EditScript {
+            edits: kinds.iter().map(|k| ScriptEdit::bare(*k)).collect(),
+        }
+    }
+
+    #[test]
+    fn recurring_chain_outranks_one_off() {
+        let scripts = vec![
+            script(&[EditKind::TypeTrans, EditKind::TypeCasting]),
+            script(&[EditKind::TypeTrans, EditKind::TypeCasting]),
+            script(&[EditKind::StackTrans]),
+        ];
+        let pats = mine_patterns(&scripts);
+        assert_eq!(pats[0].support, 2);
+        // The longest supported-by-2 shape ranks first.
+        assert_eq!(
+            pats[0].edits.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec![EditKind::TypeTrans, EditKind::TypeCasting]
+        );
+        assert!(pats.iter().any(|p| p.support == 1
+            && p.edits.len() == 1
+            && p.edits[0].kind == EditKind::StackTrans));
+    }
+
+    #[test]
+    fn support_counts_distinct_scripts_not_occurrences() {
+        let scripts = vec![
+            script(&[EditKind::Resize, EditKind::Resize, EditKind::Resize]),
+            script(&[EditKind::ArrayStatic]),
+        ];
+        let pats = mine_patterns(&scripts);
+        let resize = pats
+            .iter()
+            .find(|p| p.edits.len() == 1 && p.edits[0].kind == EditKind::Resize)
+            .unwrap();
+        assert_eq!(resize.support, 1);
+    }
+
+    #[test]
+    fn ranking_is_input_order_invariant() {
+        let a = vec![
+            script(&[EditKind::Constructor, EditKind::StreamStatic]),
+            script(&[EditKind::Flatten, EditKind::InstUpdate]),
+            script(&[EditKind::Constructor, EditKind::StreamStatic]),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(mine_patterns(&a), mine_patterns(&b));
+    }
+
+    #[test]
+    fn min_support_filters() {
+        let scripts = vec![
+            script(&[EditKind::FixClock]),
+            script(&[EditKind::FixClock]),
+            script(&[EditKind::SetTop]),
+        ];
+        let pats = with_min_support(mine_patterns(&scripts), 2);
+        assert_eq!(pats.len(), 1);
+        assert_eq!(pats[0].edits[0].kind, EditKind::FixClock);
+    }
+
+    #[test]
+    fn windows_are_capped() {
+        let long = script(&[
+            EditKind::SetTop,
+            EditKind::Constructor,
+            EditKind::StreamStatic,
+            EditKind::Resize,
+            EditKind::InsertPragma,
+            EditKind::Explore,
+        ]);
+        let pats = mine_patterns(&[long]);
+        assert!(pats.iter().all(|p| p.edits.len() <= MAX_PATTERN_LEN));
+    }
+}

@@ -1,0 +1,453 @@
+//! The typed EditScript IR.
+//!
+//! Every repair edit belongs to one of the Table 2 template families; the
+//! search used to track them as `&'static str` names matched against
+//! `Vec<String>` applied-lists. [`EditKind`] promotes the family to a typed
+//! enum, and [`EditScript`] records the ordered, parameterized sequence of
+//! edits along a search path together with the minimal anchor context each
+//! edit needs to be replayed or abstracted: the localization site (function
+//! or struct), the symbol it rewrote, the numeric knob it set, and a free
+//! node label (type name, pragma kind, …).
+//!
+//! Scripts have a stable wire form (a `serde::Value` array) so that the
+//! store can persist them, traces can carry them, and the
+//! [miner](crate::mine) can round-trip them into [`FixPattern`]s.
+
+use serde::{Serialize, Value};
+use std::fmt;
+use std::str::FromStr;
+
+/// The Table 2 template family of an edit, as a typed enum.
+///
+/// `as_str` returns exactly the historical family names, so dependence
+/// bookkeeping, trace events, and report JSON are byte-compatible with the
+/// stringly-typed representation this replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EditKind {
+    /// Configuration: set the design's top function.
+    SetTop,
+    /// Configuration: clamp the clock into the device range.
+    FixClock,
+    /// Figure 7 ➊: insert a constructor.
+    Constructor,
+    /// Figure 7 ➋: flatten a struct.
+    Flatten,
+    /// Recursion → explicit stack (Fig. 2c).
+    StackTrans,
+    /// malloc'd struct pointers → backing array + indices (Fig. 2b).
+    PointerToIndex,
+    /// Give an unknown-extent array a constant size.
+    ArrayStatic,
+    /// Retype a declaration.
+    TypeTrans,
+    /// Pointer parameter → sized array parameter.
+    PointerParamToArray,
+    /// Dataflow data segmentation: duplicate a shared array argument.
+    DuplicateArrayArg,
+    /// Pad a fixed array so a partition factor divides it.
+    PadArray,
+    /// Add an explicit tripcount bound.
+    IndexStatic,
+    /// Delete pragmas of a kind.
+    DeletePragma,
+    /// Insert a pragma (function body head, loop, or struct method loop).
+    InsertPragma,
+    /// Replace a pragma's numeric knob.
+    Explore,
+    /// Figure 7 ➌: make a connecting stream static.
+    StreamStatic,
+    /// Figure 7 ➍: rewrite call sites after `flatten`.
+    InstUpdate,
+    /// Make conversions on a retyped variable explicit (Fig. 4).
+    TypeCasting,
+    /// Scale a size constant introduced by finitization (§6.2).
+    Resize,
+    /// Route arithmetic on a custom float through an overload (Fig. 4).
+    OpOverload,
+}
+
+impl EditKind {
+    /// Every kind, in a fixed order (used by exhaustiveness tests and the
+    /// proptest generators).
+    pub const ALL: [EditKind; 20] = [
+        EditKind::SetTop,
+        EditKind::FixClock,
+        EditKind::Constructor,
+        EditKind::Flatten,
+        EditKind::StackTrans,
+        EditKind::PointerToIndex,
+        EditKind::ArrayStatic,
+        EditKind::TypeTrans,
+        EditKind::PointerParamToArray,
+        EditKind::DuplicateArrayArg,
+        EditKind::PadArray,
+        EditKind::IndexStatic,
+        EditKind::DeletePragma,
+        EditKind::InsertPragma,
+        EditKind::Explore,
+        EditKind::StreamStatic,
+        EditKind::InstUpdate,
+        EditKind::TypeCasting,
+        EditKind::Resize,
+        EditKind::OpOverload,
+    ];
+
+    /// The historical family name (Table 2 vocabulary).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            EditKind::SetTop => "set_top",
+            EditKind::FixClock => "fix_clock",
+            EditKind::Constructor => "constructor",
+            EditKind::Flatten => "flatten",
+            EditKind::StackTrans => "stack_trans",
+            EditKind::PointerToIndex => "pointer_to_index",
+            EditKind::ArrayStatic => "array_static",
+            EditKind::TypeTrans => "type_trans",
+            EditKind::PointerParamToArray => "pointer_param_to_array",
+            EditKind::DuplicateArrayArg => "duplicate_array_arg",
+            EditKind::PadArray => "pad_array",
+            EditKind::IndexStatic => "index_static",
+            EditKind::DeletePragma => "delete_pragma",
+            EditKind::InsertPragma => "insert_pragma",
+            EditKind::Explore => "explore",
+            EditKind::StreamStatic => "stream_static",
+            EditKind::InstUpdate => "inst_update",
+            EditKind::TypeCasting => "type_casting",
+            EditKind::Resize => "resize",
+            EditKind::OpOverload => "op_overload",
+        }
+    }
+}
+
+impl fmt::Display for EditKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for EditKind {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, ()> {
+        EditKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.as_str() == s)
+            .ok_or(())
+    }
+}
+
+/// One applied edit with its minimal anchor context: enough to say *where*
+/// the edit landed and *what* it parameterized, without dragging the whole
+/// program along.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScriptEdit {
+    /// Template family.
+    pub kind: EditKind,
+    /// Localization site: the function (or struct) the edit anchored to.
+    pub site: Option<String>,
+    /// The symbol the edit rewrote (variable, parameter, method, …).
+    pub symbol: Option<String>,
+    /// The numeric knob the edit set (size, capacity, factor, loop index).
+    pub value: Option<i128>,
+    /// A free node label (type name, pragma kind, …).
+    pub label: Option<String>,
+}
+
+impl ScriptEdit {
+    /// An edit with no anchor context (tests and synthetic applied-lists).
+    pub fn bare(kind: EditKind) -> Self {
+        ScriptEdit {
+            kind,
+            site: None,
+            symbol: None,
+            value: None,
+            label: None,
+        }
+    }
+}
+
+impl Serialize for ScriptEdit {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "kind".to_string(),
+                Value::Str(self.kind.as_str().to_string()),
+            ),
+            ("site".to_string(), opt_str(&self.site)),
+            ("symbol".to_string(), opt_str(&self.symbol)),
+            (
+                "value".to_string(),
+                match self.value {
+                    Some(v) => Value::Int(v),
+                    None => Value::Null,
+                },
+            ),
+            ("label".to_string(), opt_str(&self.label)),
+        ])
+    }
+}
+
+/// The ordered sequence of edits along a (usually winning) search path.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct EditScript {
+    /// Edits in application order.
+    pub edits: Vec<ScriptEdit>,
+}
+
+impl EditScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        EditScript::default()
+    }
+
+    /// The family names in application order (the legacy `applied` list).
+    pub fn kind_names(&self) -> Vec<String> {
+        self.edits
+            .iter()
+            .map(|e| e.kind.as_str().to_string())
+            .collect()
+    }
+
+    /// True when no edits were applied.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Number of edits.
+    pub fn len(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Parses the wire form produced by [`Serialize`]; `None` on any
+    /// malformed or unknown-kind payload.
+    pub fn from_value(v: &Value) -> Option<EditScript> {
+        let Value::Array(items) = v else {
+            return None;
+        };
+        let mut edits = Vec::with_capacity(items.len());
+        for item in items {
+            edits.push(script_edit_from_value(item)?);
+        }
+        Some(EditScript { edits })
+    }
+}
+
+impl Serialize for EditScript {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.edits.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+/// Parses one [`ScriptEdit`] from its wire object.
+pub fn script_edit_from_value(v: &Value) -> Option<ScriptEdit> {
+    let kind = v.get("kind")?.as_str()?.parse::<EditKind>().ok()?;
+    Some(ScriptEdit {
+        kind,
+        site: get_opt_str(v, "site")?,
+        symbol: get_opt_str(v, "symbol")?,
+        value: match v.get("value")? {
+            Value::Null => None,
+            Value::Int(n) => Some(*n),
+            _ => return None,
+        },
+        label: get_opt_str(v, "label")?,
+    })
+}
+
+/// One abstracted edit inside a [`FixPattern`]: identifiers and constants
+/// are generalized to presence flags (the *shape* of the anchor context),
+/// node labels — pragma kinds, type names — are kept verbatim because they
+/// are part of the fix, not of the subject.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternEdit {
+    /// Template family.
+    pub kind: EditKind,
+    /// The concrete edit anchored to a site.
+    pub has_site: bool,
+    /// The concrete edit rewrote a symbol.
+    pub has_symbol: bool,
+    /// The concrete edit set a numeric knob.
+    pub has_value: bool,
+    /// Kept node label (pragma kind, printed type, …).
+    pub label: Option<String>,
+}
+
+impl PatternEdit {
+    /// Abstracts one concrete edit (generalize identifiers/constants, keep
+    /// the kind and the label).
+    pub fn from_edit(e: &ScriptEdit) -> Self {
+        PatternEdit {
+            kind: e.kind,
+            has_site: e.site.is_some(),
+            has_symbol: e.symbol.is_some(),
+            has_value: e.value.is_some(),
+            label: e.label.clone(),
+        }
+    }
+}
+
+impl Serialize for PatternEdit {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "kind".to_string(),
+                Value::Str(self.kind.as_str().to_string()),
+            ),
+            ("has_site".to_string(), Value::Bool(self.has_site)),
+            ("has_symbol".to_string(), Value::Bool(self.has_symbol)),
+            ("has_value".to_string(), Value::Bool(self.has_value)),
+            ("label".to_string(), opt_str(&self.label)),
+        ])
+    }
+}
+
+/// A mined, ranked fix pattern: an abstracted edit-kind sequence plus its
+/// support count (how many distinct stored scripts contain it).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FixPattern {
+    /// Abstracted edits in application order.
+    pub edits: Vec<PatternEdit>,
+    /// Number of distinct scripts containing this shape.
+    pub support: u64,
+}
+
+impl FixPattern {
+    /// Parses the wire form produced by [`Serialize`]; `None` on any
+    /// malformed or unknown-kind payload.
+    pub fn from_value(v: &Value) -> Option<FixPattern> {
+        let Value::Array(items) = v.get("edits")? else {
+            return None;
+        };
+        let mut edits = Vec::with_capacity(items.len());
+        for item in items {
+            edits.push(pattern_edit_from_value(item)?);
+        }
+        let support = match v.get("support")? {
+            Value::Int(n) if *n >= 0 => *n as u64,
+            _ => return None,
+        };
+        Some(FixPattern { edits, support })
+    }
+}
+
+impl Serialize for FixPattern {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "edits".to_string(),
+                Value::Array(self.edits.iter().map(Serialize::to_json_value).collect()),
+            ),
+            ("support".to_string(), Value::Int(self.support as i128)),
+        ])
+    }
+}
+
+/// Parses one [`PatternEdit`] from its wire object.
+pub fn pattern_edit_from_value(v: &Value) -> Option<PatternEdit> {
+    let kind = v.get("kind")?.as_str()?.parse::<EditKind>().ok()?;
+    let flag = |key: &str| match v.get(key) {
+        Some(Value::Bool(b)) => Some(*b),
+        _ => None,
+    };
+    Some(PatternEdit {
+        kind,
+        has_site: flag("has_site")?,
+        has_symbol: flag("has_symbol")?,
+        has_value: flag("has_value")?,
+        label: get_opt_str(v, "label")?,
+    })
+}
+
+fn opt_str(v: &Option<String>) -> Value {
+    match v {
+        Some(s) => Value::Str(s.clone()),
+        None => Value::Null,
+    }
+}
+
+/// `Some(Some(s))` / `Some(None)` for present keys, `None` when the key is
+/// missing or mistyped — decoding is strict so skewed records are rejected
+/// wholesale.
+fn get_opt_str(v: &Value, key: &str) -> Option<Option<String>> {
+    match v.get(key)? {
+        Value::Null => Some(None),
+        Value::Str(s) => Some(Some(s.clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_strings_round_trip() {
+        for k in EditKind::ALL {
+            assert_eq!(k.as_str().parse::<EditKind>(), Ok(k));
+        }
+        assert!("mystery_edit".parse::<EditKind>().is_err());
+    }
+
+    #[test]
+    fn script_wire_round_trips() {
+        let script = EditScript {
+            edits: vec![
+                ScriptEdit {
+                    kind: EditKind::ArrayStatic,
+                    site: Some("kernel".to_string()),
+                    symbol: Some("buf".to_string()),
+                    value: Some(32),
+                    label: None,
+                },
+                ScriptEdit::bare(EditKind::FixClock),
+            ],
+        };
+        let v = script.to_json_value();
+        assert_eq!(EditScript::from_value(&v), Some(script));
+    }
+
+    #[test]
+    fn pattern_wire_round_trips_and_rejects_unknown_kind() {
+        let pat = FixPattern {
+            edits: vec![PatternEdit {
+                kind: EditKind::InsertPragma,
+                has_site: true,
+                has_symbol: false,
+                has_value: true,
+                label: Some("pipeline".to_string()),
+            }],
+            support: 3,
+        };
+        let v = pat.to_json_value();
+        assert_eq!(FixPattern::from_value(&v), Some(pat));
+        let bad = Value::Object(vec![
+            (
+                "edits".to_string(),
+                Value::Array(vec![Value::Object(vec![
+                    ("kind".to_string(), Value::Str("mystery".to_string())),
+                    ("has_site".to_string(), Value::Bool(false)),
+                    ("has_symbol".to_string(), Value::Bool(false)),
+                    ("has_value".to_string(), Value::Bool(false)),
+                    ("label".to_string(), Value::Null),
+                ])]),
+            ),
+            ("support".to_string(), Value::Int(1)),
+        ]);
+        assert_eq!(FixPattern::from_value(&bad), None);
+    }
+
+    #[test]
+    fn abstraction_generalizes_identifiers_and_keeps_labels() {
+        let concrete = ScriptEdit {
+            kind: EditKind::TypeTrans,
+            site: Some("kernel".to_string()),
+            symbol: Some("y".to_string()),
+            value: None,
+            label: Some("fpga_float<8,71>".to_string()),
+        };
+        let abstracted = PatternEdit::from_edit(&concrete);
+        assert!(abstracted.has_site && abstracted.has_symbol && !abstracted.has_value);
+        assert_eq!(abstracted.label.as_deref(), Some("fpga_float<8,71>"));
+    }
+}

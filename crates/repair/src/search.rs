@@ -32,6 +32,7 @@
 use crate::deps;
 use crate::diff::{DiffReport, DifferentialTester};
 use crate::localize::{candidate_edits, resize_edits};
+use crate::script::{EditKind, EditScript, FixPattern, ScriptEdit};
 use crate::templates::{RepairEdit, ResizeTarget};
 use heterogen_faults::{FaultInjector, NoFaults, ResilienceStats, RetryPolicy};
 use heterogen_toolchain::{
@@ -55,7 +56,7 @@ use testgen::TestCase;
 /// The struct is `#[non_exhaustive]`: construct it with
 /// [`SearchConfig::builder`] (or start from [`SearchConfig::default`] and
 /// assign fields) so future knobs are not semver breaks.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct SearchConfig {
     /// Simulated-minute budget (the paper's default terminating limit is
@@ -96,6 +97,11 @@ pub struct SearchConfig {
     /// FPGA simulation alike). Both engines produce identical verdicts,
     /// stats, and traces; only wall-clock time changes.
     pub engine: ExecEngine,
+    /// Mined fix patterns tried as a candidate tier *ahead of* the static
+    /// precedence graph: edits predicted by a pattern (given the candidate's
+    /// applied-kind suffix) sort before the dependence ranking. Empty (the
+    /// default) leaves the search byte-identical to the pattern-free one.
+    pub mined: Arc<Vec<FixPattern>>,
 }
 
 impl Default for SearchConfig {
@@ -113,6 +119,7 @@ impl Default for SearchConfig {
             retry: RetryPolicy::default(),
             max_evals: None,
             engine: ExecEngine::default(),
+            mined: Arc::new(Vec::new()),
         }
     }
 }
@@ -129,6 +136,13 @@ impl SearchConfig {
     pub fn to_builder(self) -> SearchConfigBuilder {
         SearchConfigBuilder { cfg: self }
     }
+
+    /// Replaces the mined-pattern tier (builder-free convenience mirroring
+    /// [`SearchConfigBuilder::with_mined_patterns`]).
+    pub fn with_mined_patterns(mut self, patterns: Vec<FixPattern>) -> Self {
+        self.mined = Arc::new(patterns);
+        self
+    }
 }
 
 /// Builder for [`SearchConfig`].
@@ -142,7 +156,7 @@ impl SearchConfig {
 ///     .build();
 /// assert_eq!(cfg.budget_min, 30.0);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SearchConfigBuilder {
     cfg: SearchConfig,
 }
@@ -222,6 +236,13 @@ impl SearchConfigBuilder {
         self
     }
 
+    /// Installs mined fix patterns as a candidate tier ahead of the static
+    /// precedence graph (empty = off, the byte-identical default).
+    pub fn with_mined_patterns(mut self, v: Vec<FixPattern>) -> Self {
+        self.cfg.mined = Arc::new(v);
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SearchConfig {
         self.cfg
@@ -250,6 +271,10 @@ pub struct SearchStats {
     /// preserving candidate (the Figure 9 repair-time metric); `None`
     /// when no success was found within budget.
     pub first_success_min: Option<f64>,
+    /// Edits attempted until the first fully-repaired, behaviour-preserving
+    /// candidate (the mined-tier bench metric); `None` when no success was
+    /// found within budget.
+    pub first_success_attempts: Option<u64>,
 }
 
 impl SearchStats {
@@ -296,8 +321,12 @@ pub struct RepairOutcome {
     pub cpu_latency_ms: f64,
     /// Whether the FPGA version beats the CPU original.
     pub improved: bool,
-    /// Edit-family names applied along the winning path.
+    /// Edit-family names applied along the winning path (derived from
+    /// [`RepairOutcome::script`]; kept for report compatibility).
     pub applied: Vec<String>,
+    /// The winning edit script: ordered parameterized edits with their
+    /// anchor context.
+    pub script: EditScript,
     /// Search counters.
     pub stats: SearchStats,
     /// Why the search stopped.
@@ -313,7 +342,8 @@ struct Candidate {
     /// Structural fingerprint — the stable evaluation key fault injection
     /// and memoization share.
     fp: u64,
-    applied: Vec<String>,
+    /// The typed edit script along this search path.
+    applied: Vec<ScriptEdit>,
     diags: Arc<Vec<HlsDiagnostic>>,
     pass_ratio: Option<f64>,
     latency: Option<f64>,
@@ -346,18 +376,15 @@ impl Candidate {
 /// One edit's classification from the speculative planning pass.
 enum Planned {
     /// `edit.apply` returned `None` — structurally inapplicable.
-    Inapplicable { kind: &'static str },
+    Inapplicable { kind: EditKind },
     /// Fingerprint already admitted (by the global dedup set or by an
     /// earlier edit in the same batch).
-    Duplicate {
-        kind: &'static str,
-        fingerprint: u64,
-    },
+    Duplicate { kind: EditKind, fingerprint: u64 },
     /// A new program for the worker pool to evaluate.
     Fresh {
         program: Arc<Program>,
         fingerprint: u64,
-        kind: &'static str,
+        edit: ScriptEdit,
     },
 }
 
@@ -610,6 +637,7 @@ where
                 cpu_latency_ms: tester.cpu_latency_ms(),
                 improved: false,
                 applied: Vec::new(),
+                script: EditScript::new(),
                 stats,
                 stop: SearchStop::PermanentFault(e.to_string()),
                 resilience,
@@ -721,6 +749,7 @@ where
             if report.pass_ratio == 1.0 {
                 if stats.first_success_min.is_none() {
                     stats.first_success_min = Some(clock.elapsed_min());
+                    stats.first_success_attempts = Some(stats.attempts);
                 }
                 let better = match &best {
                     Some(b) => report.fpga_latency_ms < b.latency.unwrap_or(f64::MAX),
@@ -749,9 +778,40 @@ where
         };
         let perf_phase = cand.diags.is_empty() && cand.pass_ratio.unwrap_or(0.0) >= 1.0;
         if cfg.use_dependence {
-            edits.retain(|e| deps::satisfied(e.kind(), &cand.applied));
+            edits.retain(|e| deps::satisfied(e.kind_enum(), &cand.applied));
             if !perf_phase {
-                edits.sort_by_key(|e| deps::dependence_rank(e.kind()));
+                if cfg.mined.is_empty() {
+                    edits.sort_by_key(|e| deps::dependence_rank(e.kind_enum()));
+                } else {
+                    // Mined tier: edits a stored pattern predicts next (given
+                    // this candidate's applied-kind suffix) are promoted
+                    // ahead of the static precedence ranking — longer matched
+                    // prefixes and higher support first. The sort is stable
+                    // and the promotion key is a constant for unmatched
+                    // edits, so with no matching pattern the order degrades
+                    // to the static dependence ranking. When at least one
+                    // pattern fires, the beam additionally narrows to the
+                    // predicted edits plus a short static-precedence tail:
+                    // the prediction spends the compile budget, the tail
+                    // keeps a wrong prediction from stranding the candidate.
+                    let mut keyed: Vec<(u64, RepairEdit)> = edits
+                        .drain(..)
+                        .map(|e| {
+                            let promo = match mined_score(&cfg.mined, &cand.applied, e.kind_enum())
+                            {
+                                Some(s) => u64::MAX - s,
+                                None => u64::MAX,
+                            };
+                            (promo, e)
+                        })
+                        .collect();
+                    keyed.sort_by_key(|(promo, e)| (*promo, deps::dependence_rank(e.kind_enum())));
+                    let predicted = keyed.iter().filter(|(p, _)| *p != u64::MAX).count();
+                    edits = keyed.into_iter().map(|(_, e)| e).collect();
+                    if predicted > 0 {
+                        edits.truncate((predicted + MINED_FALLBACK_WIDTH).min(cfg.max_expansions));
+                    }
+                }
             }
             // Performance exploration keeps a narrow beam (the edits are
             // already benefit-ordered) so the compile budget reaches
@@ -798,6 +858,7 @@ where
                     emit_candidate(sink, kind, fp, Verdict::Duplicate, 0.0, &clock);
                     continue;
                 }
+                let script_edit = edit.script_edit();
                 let child_prog = Arc::new(child_prog);
                 let eval = match parallel::isolate(|| {
                     stack.evaluate(&child_prog, fp, cfg.use_style_checker)
@@ -848,7 +909,7 @@ where
                     continue;
                 };
                 let mut applied = base_applied.clone();
-                applied.push(kind.to_string());
+                applied.push(script_edit);
                 if child_diags.is_empty() {
                     base_prog = child_prog.clone();
                     base_applied = applied.clone();
@@ -871,7 +932,7 @@ where
             let mut planned: Vec<Planned> = Vec::with_capacity(edits.len());
             let mut batch_fresh: HashSet<u64> = HashSet::new();
             for edit in edits {
-                let kind = edit.kind();
+                let kind = edit.kind_enum();
                 match edit.apply(&cand.program) {
                     None => planned.push(Planned::Inapplicable { kind }),
                     Some(child) => {
@@ -885,7 +946,7 @@ where
                             planned.push(Planned::Fresh {
                                 program: Arc::new(child),
                                 fingerprint: fp,
-                                kind,
+                                edit: edit.script_edit(),
                             });
                         }
                     }
@@ -919,17 +980,25 @@ where
                 match plan {
                     Planned::Inapplicable { kind } => {
                         stats.inapplicable += 1;
-                        emit_candidate(sink, kind, 0, Verdict::Inapplicable, 0.0, &clock);
+                        emit_candidate(sink, kind.as_str(), 0, Verdict::Inapplicable, 0.0, &clock);
                     }
                     Planned::Duplicate { kind, fingerprint } => {
-                        emit_candidate(sink, kind, fingerprint, Verdict::Duplicate, 0.0, &clock);
+                        emit_candidate(
+                            sink,
+                            kind.as_str(),
+                            fingerprint,
+                            Verdict::Duplicate,
+                            0.0,
+                            &clock,
+                        );
                     }
                     Planned::Fresh {
                         program,
                         fingerprint,
-                        kind,
+                        edit,
                     } => {
                         seen.insert(fingerprint);
+                        let kind = edit.kind.as_str();
                         let eval = match eval.expect("fresh children are evaluated in phase 2") {
                             Err(_panic) => {
                                 bill_crashed(
@@ -977,7 +1046,7 @@ where
                             continue;
                         };
                         let mut applied = cand.applied.clone();
-                        applied.push(kind.to_string());
+                        applied.push(edit);
                         frontier.push(Candidate {
                             program,
                             fp: fingerprint,
@@ -1005,6 +1074,17 @@ where
     match best {
         Some(b) => {
             let lat = b.latency.unwrap_or(f64::INFINITY);
+            let script = EditScript { edits: b.applied };
+            // Archive the winning script in the trace stream. Gated on the
+            // mined tier so a pattern-free run's JSONL output stays
+            // byte-identical to the pre-script pipeline; the store persists
+            // scripts unconditionally through its own channel.
+            if !cfg.mined.is_empty() && sink.enabled() {
+                sink.emit(&Event::RepairScript {
+                    edits: trace_edits(&script),
+                    at_min: stats.elapsed_min,
+                });
+            }
             Ok(RepairOutcome {
                 program: unwrap_program(b.program),
                 success: true,
@@ -1012,7 +1092,8 @@ where
                 fpga_latency_ms: lat,
                 cpu_latency_ms: cpu_ms,
                 improved: lat < cpu_ms,
-                applied: b.applied,
+                applied: script.kind_names(),
+                script,
                 stats,
                 stop,
                 resilience,
@@ -1022,13 +1103,13 @@ where
             // Return the fittest incomplete candidate with generated tests
             // to guide manual repair (paper §1).
             let fallback = frontier.into_iter().min_by_key(|c| c.fitness());
-            let (program, applied, pass) = match fallback {
+            let (program, script, pass) = match fallback {
                 Some(c) => (
                     unwrap_program(c.program),
-                    c.applied,
+                    EditScript { edits: c.applied },
                     c.pass_ratio.unwrap_or(0.0),
                 ),
-                None => (original.clone(), Vec::new(), 0.0),
+                None => (original.clone(), EditScript::new(), 0.0),
             };
             Ok(RepairOutcome {
                 program,
@@ -1037,13 +1118,63 @@ where
                 fpga_latency_ms: f64::INFINITY,
                 cpu_latency_ms: cpu_ms,
                 improved: false,
-                applied,
+                applied: script.kind_names(),
+                script,
                 stats,
                 stop,
                 resilience,
             })
         }
     }
+}
+
+/// Static-precedence edits kept past the pattern-predicted prefix when the
+/// mined tier narrows a beam: enough to recover from a wrong prediction
+/// without re-spending the whole static budget.
+const MINED_FALLBACK_WIDTH: usize = 2;
+
+/// Best mined-tier score for applying `kind` next, given the candidate's
+/// already-applied suffix; `None` when no stored pattern predicts it.
+///
+/// A pattern `[k₀ … kₙ]` predicts `kind` at position `j` when
+/// `kₗ == kind` for `l = j` and the pattern's first `j` kinds are a suffix
+/// of the candidate's applied kinds. Longer matched prefixes dominate the
+/// score (a pattern mid-chain is stronger evidence than a cold start);
+/// support breaks ties.
+fn mined_score(patterns: &[FixPattern], applied: &[ScriptEdit], kind: EditKind) -> Option<u64> {
+    let mut best: Option<u64> = None;
+    for p in patterns {
+        for j in 0..p.edits.len() {
+            if p.edits[j].kind != kind || j > applied.len() {
+                continue;
+            }
+            let prefix_is_suffix = p.edits[..j]
+                .iter()
+                .rev()
+                .zip(applied.iter().rev())
+                .all(|(pe, ae)| pe.kind == ae.kind);
+            if prefix_is_suffix {
+                let score = (j as u64 + 1) * 1_000_000 + p.support.min(999_999);
+                best = Some(best.map_or(score, |b| b.max(score)));
+            }
+        }
+    }
+    best
+}
+
+/// Converts a script into the trace crate's layer-independent edit records.
+fn trace_edits(script: &EditScript) -> Vec<heterogen_trace::TraceEdit> {
+    script
+        .edits
+        .iter()
+        .map(|e| heterogen_trace::TraceEdit {
+            kind: e.kind.as_str().to_string(),
+            site: e.site.clone(),
+            symbol: e.symbol.clone(),
+            value: e.value,
+            label: e.label.clone(),
+        })
+        .collect()
 }
 
 /// Merge-phase admission of one evaluated candidate: bills the style check

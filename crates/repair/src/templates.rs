@@ -6,6 +6,7 @@
 //! `None` when the edit is not applicable in the given context — the
 //! search treats inapplicable edits as zero-cost rejections.
 
+use crate::script::{EditKind, ScriptEdit};
 use crate::{xform_pointer, xform_stack, xform_struct};
 use minic::ast::*;
 use minic::types::Type;
@@ -207,32 +208,160 @@ pub enum RepairEdit {
 }
 
 impl RepairEdit {
-    /// The template family name (Table 2 vocabulary), used by the
-    /// dependence graph.
-    pub fn kind(&self) -> &'static str {
+    /// The template family (Table 2 vocabulary), used by the dependence
+    /// graph and the script IR.
+    pub fn kind_enum(&self) -> EditKind {
         match self {
-            RepairEdit::ArrayStatic { .. } => "array_static",
-            RepairEdit::PointerToIndex { .. } => "pointer_to_index",
-            RepairEdit::StackTrans { .. } => "stack_trans",
-            RepairEdit::Resize { .. } => "resize",
-            RepairEdit::TypeTrans { .. } => "type_trans",
-            RepairEdit::TypeCasting { .. } => "type_casting",
-            RepairEdit::OpOverload { .. } => "op_overload",
-            RepairEdit::PointerParamToArray { .. } => "pointer_param_to_array",
-            RepairEdit::InsertPragma { .. } => "insert_pragma",
-            RepairEdit::InsertPragmaInMethod { .. } => "insert_pragma",
-            RepairEdit::DeletePragma { .. } => "delete_pragma",
-            RepairEdit::DuplicateArrayArg { .. } => "duplicate_array_arg",
-            RepairEdit::IndexStatic { .. } => "index_static",
-            RepairEdit::ReplacePragmaFactor { .. } => "explore",
-            RepairEdit::PadArray { .. } => "pad_array",
-            RepairEdit::Constructor { .. } => "constructor",
-            RepairEdit::Flatten { .. } => "flatten",
-            RepairEdit::StreamStatic { .. } => "stream_static",
-            RepairEdit::InstUpdate { .. } => "inst_update",
-            RepairEdit::SetTop { .. } => "set_top",
-            RepairEdit::FixClock => "fix_clock",
+            RepairEdit::ArrayStatic { .. } => EditKind::ArrayStatic,
+            RepairEdit::PointerToIndex { .. } => EditKind::PointerToIndex,
+            RepairEdit::StackTrans { .. } => EditKind::StackTrans,
+            RepairEdit::Resize { .. } => EditKind::Resize,
+            RepairEdit::TypeTrans { .. } => EditKind::TypeTrans,
+            RepairEdit::TypeCasting { .. } => EditKind::TypeCasting,
+            RepairEdit::OpOverload { .. } => EditKind::OpOverload,
+            RepairEdit::PointerParamToArray { .. } => EditKind::PointerParamToArray,
+            RepairEdit::InsertPragma { .. } => EditKind::InsertPragma,
+            RepairEdit::InsertPragmaInMethod { .. } => EditKind::InsertPragma,
+            RepairEdit::DeletePragma { .. } => EditKind::DeletePragma,
+            RepairEdit::DuplicateArrayArg { .. } => EditKind::DuplicateArrayArg,
+            RepairEdit::IndexStatic { .. } => EditKind::IndexStatic,
+            RepairEdit::ReplacePragmaFactor { .. } => EditKind::Explore,
+            RepairEdit::PadArray { .. } => EditKind::PadArray,
+            RepairEdit::Constructor { .. } => EditKind::Constructor,
+            RepairEdit::Flatten { .. } => EditKind::Flatten,
+            RepairEdit::StreamStatic { .. } => EditKind::StreamStatic,
+            RepairEdit::InstUpdate { .. } => EditKind::InstUpdate,
+            RepairEdit::SetTop { .. } => EditKind::SetTop,
+            RepairEdit::FixClock => EditKind::FixClock,
         }
+    }
+
+    /// The template family name (Table 2 vocabulary).
+    pub fn kind(&self) -> &'static str {
+        self.kind_enum().as_str()
+    }
+
+    /// The script-IR form of this edit: family plus the minimal anchor
+    /// context (localization site, rewritten symbol, numeric knob, node
+    /// label) needed to replay or abstract it.
+    pub fn script_edit(&self) -> ScriptEdit {
+        let mut e = ScriptEdit::bare(self.kind_enum());
+        match self {
+            RepairEdit::ArrayStatic {
+                var,
+                function,
+                size,
+            } => {
+                e.site = function.clone();
+                e.symbol = Some(var.clone());
+                e.value = Some(*size as i128);
+            }
+            RepairEdit::PointerToIndex {
+                struct_name,
+                capacity,
+            } => {
+                e.site = Some(struct_name.clone());
+                e.value = Some(*capacity as i128);
+            }
+            RepairEdit::StackTrans { function, capacity } => {
+                e.site = Some(function.clone());
+                e.value = Some(*capacity as i128);
+            }
+            RepairEdit::Resize { target, factor } => {
+                let ResizeTarget::Define(name) = target;
+                e.symbol = Some(name.clone());
+                e.value = Some(*factor as i128);
+            }
+            RepairEdit::TypeTrans { var, function, to } => {
+                e.site = function.clone();
+                e.symbol = Some(var.clone());
+                e.label = Some(format!("{to:?}"));
+            }
+            RepairEdit::TypeCasting { var, function }
+            | RepairEdit::OpOverload { var, function } => {
+                e.site = function.clone();
+                e.symbol = Some(var.clone());
+            }
+            RepairEdit::PointerParamToArray {
+                function,
+                param,
+                size,
+            } => {
+                e.site = Some(function.clone());
+                e.symbol = Some(param.clone());
+                e.value = Some(*size as i128);
+            }
+            RepairEdit::InsertPragma {
+                function,
+                loop_index,
+                pragma,
+            } => {
+                e.site = Some(function.clone());
+                e.value = loop_index.map(|i| i as i128);
+                e.label = Some(pragma_label(pragma));
+            }
+            RepairEdit::InsertPragmaInMethod {
+                struct_name,
+                method,
+                loop_index,
+                pragma,
+            } => {
+                e.site = Some(struct_name.clone());
+                e.symbol = Some(method.clone());
+                e.value = Some(*loop_index as i128);
+                e.label = Some(pragma_label(pragma));
+            }
+            RepairEdit::DeletePragma { function, kind } => {
+                e.site = Some(function.clone());
+                e.label = Some(kind.clone());
+            }
+            RepairEdit::DuplicateArrayArg { function, var } => {
+                e.site = Some(function.clone());
+                e.symbol = Some(var.clone());
+            }
+            RepairEdit::IndexStatic {
+                function,
+                loop_index,
+                ..
+            } => {
+                e.site = Some(function.clone());
+                e.value = Some(*loop_index as i128);
+            }
+            RepairEdit::ReplacePragmaFactor {
+                function,
+                kind,
+                var,
+                value,
+            } => {
+                e.site = Some(function.clone());
+                e.symbol = var.clone();
+                e.value = Some(*value as i128);
+                e.label = Some(kind.clone());
+            }
+            RepairEdit::PadArray {
+                var,
+                function,
+                new_size,
+            } => {
+                e.site = function.clone();
+                e.symbol = Some(var.clone());
+                e.value = Some(*new_size as i128);
+            }
+            RepairEdit::Constructor { struct_name }
+            | RepairEdit::Flatten { struct_name }
+            | RepairEdit::InstUpdate { struct_name } => {
+                e.site = Some(struct_name.clone());
+            }
+            RepairEdit::StreamStatic { function, var } => {
+                e.site = Some(function.clone());
+                e.symbol = Some(var.clone());
+            }
+            RepairEdit::SetTop { name } => {
+                e.site = Some(name.clone());
+            }
+            RepairEdit::FixClock => {}
+        }
+        e
     }
 
     /// Applies the edit. `None` means not applicable in this context.
@@ -366,6 +495,23 @@ impl RepairEdit {
             }
         }
     }
+}
+
+/// The pragma-kind label kept in the script IR: the directive name, not its
+/// knobs (knobs are generalized away when patterns are mined).
+fn pragma_label(p: &PragmaKind) -> String {
+    match p {
+        PragmaKind::Pipeline { .. } => "pipeline",
+        PragmaKind::Unroll { .. } => "unroll",
+        PragmaKind::Dataflow => "dataflow",
+        PragmaKind::ArrayPartition { .. } => "array_partition",
+        PragmaKind::Interface { .. } => "interface",
+        PragmaKind::Top { .. } => "top",
+        PragmaKind::Inline => "inline",
+        PragmaKind::LoopTripcount { .. } => "loop_tripcount",
+        PragmaKind::Other(_) => "other",
+    }
+    .to_string()
 }
 
 // ----- individual transforms ------------------------------------------------

@@ -1,0 +1,98 @@
+//! Pins the allocation-freedom of the dependence checks on the repair
+//! search's hot path. Before the typed [`repair::EditKind`] refactor,
+//! `deps::satisfied` compared `&str` prerequisite names against a
+//! `Vec<String>` of applied edits and allocated a fresh `String` per
+//! check; over a full search that was millions of allocator round trips.
+//! The typed graph is a handful of `Copy` comparisons, and this test
+//! fails the build if anyone reintroduces allocation there.
+
+use repair::{deps, EditKind, ScriptEdit};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counting pass-through allocator: `System` plus a tally of every
+/// allocation made anywhere in the process.
+struct Counting;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: Counting = Counting;
+
+/// Allocations performed by `f`, measured on this thread with no other
+/// threads running (integration tests in this file run single-threaded).
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn dependence_checks_never_allocate() {
+    // A representative applied prefix, built *outside* the measured
+    // region: the search holds one and queries it per candidate.
+    let applied: Vec<ScriptEdit> = [
+        EditKind::Constructor,
+        EditKind::TypeTrans,
+        EditKind::TypeCasting,
+        EditKind::InsertPragma,
+    ]
+    .iter()
+    .map(|k| ScriptEdit::bare(*k))
+    .collect();
+
+    let kinds = [
+        EditKind::Resize,
+        EditKind::TypeCasting,
+        EditKind::OpOverload,
+        EditKind::StreamStatic,
+        EditKind::InstUpdate,
+        EditKind::StackTrans,
+        EditKind::SetTop,
+        EditKind::Explore,
+    ];
+
+    // Warm up any lazily initialized test-harness state first.
+    let mut hits = 0usize;
+    allocations_during(|| {
+        hits += kinds
+            .iter()
+            .filter(|&&k| deps::satisfied(k, &applied))
+            .count();
+    });
+
+    let n = allocations_during(|| {
+        for _ in 0..10_000 {
+            for &k in &kinds {
+                if deps::satisfied(k, &applied) {
+                    hits += 1;
+                }
+                hits += deps::prerequisites(k).len();
+                hits += deps::dependence_rank(k) as usize;
+            }
+        }
+    });
+    assert!(hits > 0, "the checks must actually run");
+    assert_eq!(
+        n, 0,
+        "deps::satisfied/prerequisites/dependence_rank allocated {n} times \
+         over 80k hot-path checks; the typed EditKind graph must stay \
+         allocation-free"
+    );
+}

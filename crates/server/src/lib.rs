@@ -65,7 +65,7 @@ pub use heterogen_core::PipelineReport;
 ///
 /// `#[non_exhaustive]`: construct with [`ServerConfig::builder`] so future
 /// knobs are not semver breaks.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct ServerConfig {
     /// Worker threads; `0` means "use available parallelism".
@@ -116,7 +116,7 @@ impl ServerConfig {
 }
 
 /// Builder for [`ServerConfig`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfigBuilder {
     cfg: ServerConfig,
 }
@@ -429,7 +429,7 @@ impl Inner {
             Ok(backend) => {
                 let sink = self.cfg.capture_traces.then(|| Arc::new(JsonlSink::new()));
                 let mut builder = HeteroGen::builder()
-                    .config(self.cfg.pipeline)
+                    .config(self.cfg.pipeline.clone())
                     .backend(DrainGate::new(backend, self.drain.clone()));
                 if let Some(s) = &sink {
                     builder = builder.sink(s.clone());
@@ -526,10 +526,11 @@ impl Server {
     /// its own `store_dir` still opens that directory instead.
     pub fn start_with_store(cfg: ServerConfig, store: Option<Arc<Store>>) -> Server {
         let worker_count = parallel::effective_threads(cfg.workers);
+        let paused = cfg.paused;
         let inner = Arc::new(Inner {
             cfg,
             queue: Mutex::new(QueueState {
-                paused: cfg.paused,
+                paused,
                 ..QueueState::default()
             }),
             available: Condvar::new(),

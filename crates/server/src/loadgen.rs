@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 /// Load-generation parameters.
 ///
 /// `#[non_exhaustive]`: construct with [`LoadgenConfig::builder`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct LoadgenConfig {
     /// Total jobs to replay.
@@ -57,7 +57,7 @@ impl LoadgenConfig {
 }
 
 /// Builder for [`LoadgenConfig`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LoadgenConfigBuilder {
     cfg: LoadgenConfig,
 }
@@ -154,7 +154,7 @@ pub struct LoadgenReport {
 /// run is reproducible: parallelism comes from the worker pool, not from
 /// inside each job.
 pub fn run(cfg: &LoadgenConfig, make_spec: impl Fn(usize) -> JobSpec) -> LoadgenReport {
-    let server = Server::start(cfg.server);
+    let server = Server::start(cfg.server.clone());
     let workers = server.worker_count();
     let begun = Instant::now();
     let mut handles = Vec::with_capacity(cfg.jobs);

@@ -11,11 +11,13 @@
 //! store treats that record and everything after it as corrupt, exactly
 //! like a failed checksum.
 
-use crate::{CorpusKey, CorpusRecord, FuzzRound};
+use crate::{CorpusKey, CorpusRecord, FuzzRound, ScriptKey};
 use heterogen_toolchain::{DiffKey, DiffVerdict, EvalResult, VerdictKey};
 use hls_sim::{ErrorCategory, HlsDiagnostic};
 use minic::ast::NodeId;
 use minic_exec::{ArgValue, ExecEngine, Profile, Range};
+use repair::{EditScript, FixPattern};
+use serde::Serialize;
 use serde::Value;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -33,6 +35,10 @@ pub enum Entry {
     Corpus(CorpusKey, CorpusRecord),
     /// A persisted fault-free differential-test verdict.
     Diff(DiffKey, DiffVerdict),
+    /// A persisted winning repair script.
+    Script(ScriptKey, EditScript),
+    /// A persisted mined fix pattern.
+    Pattern(FixPattern),
 }
 
 struct Raw(Value);
@@ -434,6 +440,30 @@ pub fn encode_diff(key: &DiffKey, val: &DiffVerdict) -> String {
     ]))
 }
 
+/// Renders one winning-repair-script entry as a record payload.
+///
+/// The `val` field is the [`EditScript`] wire form owned by the repair
+/// crate, so the store and the trace archive speak the same script schema.
+pub fn encode_script(key: &ScriptKey, script: &EditScript) -> String {
+    render(obj(vec![
+        ("kind", Value::Str("script".to_string())),
+        ("v", Value::Int(RECORD_VERSION)),
+        ("program_fp", u64v(key.program_fp)),
+        ("kernel", Value::Str(key.kernel.clone())),
+        ("backend", Value::Str(key.backend.clone())),
+        ("val", script.to_json_value()),
+    ]))
+}
+
+/// Renders one mined-fix-pattern entry as a record payload.
+pub fn encode_pattern(pattern: &FixPattern) -> String {
+    render(obj(vec![
+        ("kind", Value::Str("pattern".to_string())),
+        ("v", Value::Int(RECORD_VERSION)),
+        ("val", pattern.to_json_value()),
+    ]))
+}
+
 /// Parses one record payload back into a typed entry. `None` = schema
 /// mismatch; the caller treats it as corruption at that record.
 pub fn decode_entry(text: &str) -> Option<Entry> {
@@ -503,6 +533,16 @@ pub fn decode_entry(text: &str) -> Option<Entry> {
             };
             Some(Entry::Diff(key, rec))
         }
+        "script" => {
+            let key = ScriptKey {
+                program_fp: as_u64(v.get("program_fp")?)?,
+                kernel: as_str(v.get("kernel")?)?.to_string(),
+                backend: as_str(v.get("backend")?)?.to_string(),
+            };
+            let script = EditScript::from_value(v.get("val")?)?;
+            Some(Entry::Script(key, script))
+        }
+        "pattern" => FixPattern::from_value(v.get("val")?).map(Entry::Pattern),
         _ => None,
     }
 }
@@ -641,10 +681,75 @@ mod tests {
     }
 
     #[test]
+    fn script_round_trips_exactly() {
+        use repair::{EditKind, ScriptEdit};
+        let key = ScriptKey {
+            program_fp: 17,
+            kernel: "kernel".to_string(),
+            backend: "hls_sim".to_string(),
+        };
+        let script = EditScript {
+            edits: vec![
+                ScriptEdit {
+                    kind: EditKind::ArrayStatic,
+                    site: Some("kernel".to_string()),
+                    symbol: Some("buf".to_string()),
+                    value: Some(64),
+                    label: None,
+                },
+                ScriptEdit::bare(EditKind::Constructor),
+            ],
+        };
+        let text = encode_script(&key, &script);
+        let Some(Entry::Script(k2, s2)) = decode_entry(&text) else {
+            panic!("decode failed: {text}")
+        };
+        assert_eq!(k2, key);
+        assert_eq!(s2, script);
+    }
+
+    #[test]
+    fn pattern_round_trips_exactly() {
+        use repair::mine;
+        use repair::{EditKind, ScriptEdit};
+        let script = EditScript {
+            edits: vec![
+                ScriptEdit {
+                    kind: EditKind::StackTrans,
+                    site: Some("f".to_string()),
+                    symbol: None,
+                    value: Some(32),
+                    label: None,
+                },
+                ScriptEdit::bare(EditKind::Resize),
+            ],
+        };
+        let pattern = FixPattern {
+            edits: mine::abstract_script(&script),
+            support: 3,
+        };
+        let text = encode_pattern(&pattern);
+        let Some(Entry::Pattern(p2)) = decode_entry(&text) else {
+            panic!("decode failed: {text}")
+        };
+        assert_eq!(p2, pattern);
+    }
+
+    #[test]
     fn malformed_and_version_skewed_payloads_are_rejected() {
         assert!(decode_entry("not json").is_none());
         assert!(decode_entry("{}").is_none());
         assert!(decode_entry("{\"kind\":\"verdict\",\"v\":2}").is_none());
         assert!(decode_entry("{\"kind\":\"mystery\",\"v\":1}").is_none());
+        assert!(decode_entry("{\"kind\":\"script\",\"v\":2}").is_none());
+        assert!(decode_entry("{\"kind\":\"pattern\",\"v\":2}").is_none());
+        // A script whose payload names an unknown edit family is schema
+        // skew, not data: reject the whole record.
+        assert!(decode_entry(concat!(
+            "{\"kind\":\"script\",\"v\":1,\"program_fp\":1,",
+            "\"kernel\":\"k\",\"backend\":\"b\",\"val\":[{\"kind\":\"warp_drive\",",
+            "\"site\":null,\"symbol\":null,\"value\":null,\"label\":null}]}"
+        ))
+        .is_none());
     }
 }

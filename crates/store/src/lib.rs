@@ -1,7 +1,7 @@
 //! Crash-safe persistent evaluation store.
 //!
 //! An append-only, length-prefixed, checksummed record log (see [`log`])
-//! holding three kinds of typed entries:
+//! holding five kinds of typed entries:
 //!
 //! * **verdict memos** — `(program fingerprint, node-id fingerprint,
 //!   backend, engine, style gate) →` toolchain verdict, served through the
@@ -13,7 +13,13 @@
 //! * **differential verdicts** — fault-free differential-test results
 //!   `(candidate, reference, kernel, tests, backend) → (pass ratio, FPGA
 //!   latency)`, so a warm repair search skips candidate simulation — the
-//!   dominant wall-clock cost on simulation-heavy subjects.
+//!   dominant wall-clock cost on simulation-heavy subjects;
+//! * **repair scripts** — `(program fingerprint, kernel, backend) →` the
+//!   winning [`repair::EditScript`] of a successful repair search, the raw
+//!   material `repair::mine` abstracts fix patterns from;
+//! * **fix patterns** — mined [`repair::FixPattern`]s (abstracted edit
+//!   sequences ranked by support), persisted so later runs can seed the
+//!   mined candidate tier without re-mining.
 //!
 //! # Crash model and recovery
 //!
@@ -43,6 +49,7 @@ pub use io::{FaultyIo, MemIo, RealIo, StoreIo};
 
 use heterogen_toolchain::{DiffKey, DiffVerdict, EvalResult, VerdictKey, VerdictStore};
 use minic_exec::Profile;
+use repair::{EditScript, FixPattern, PatternEdit};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -134,6 +141,10 @@ pub struct RecoveryReport {
     pub corpora: usize,
     /// Differential-verdict entries among them.
     pub diffs: usize,
+    /// Repair-script entries among them.
+    pub scripts: usize,
+    /// Fix-pattern entries among them.
+    pub patterns: usize,
     /// Bytes moved to the quarantine sidecar (0 on a clean open).
     pub quarantined_bytes: u64,
     /// Human-readable reason the scan stopped early, when it did.
@@ -156,6 +167,10 @@ pub struct StoreStats {
     pub corpora: usize,
     /// Differential verdicts held.
     pub diffs: usize,
+    /// Winning repair scripts held.
+    pub scripts: usize,
+    /// Mined fix patterns held.
+    pub patterns: usize,
     /// Current log length in bytes.
     pub log_bytes: u64,
     /// Appends dropped (refused or torn-and-rolled-back) since open.
@@ -163,6 +178,20 @@ pub struct StoreStats {
     /// The store gave up persisting (evidence could not be quarantined or
     /// a torn append could not be rolled back); reads still work.
     pub wedged: bool,
+}
+
+/// Key of one persisted winning repair script: the subject a successful
+/// repair search fixed. `program_fp` fingerprints the *original* (broken)
+/// program, so a later run on the same subject finds the script before
+/// attempting any repair of its own.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScriptKey {
+    /// `minic::fingerprint_program` of the original subject.
+    pub program_fp: u64,
+    /// Kernel (entry function) the search repaired.
+    pub kernel: String,
+    /// Backend the candidates were evaluated on.
+    pub backend: String,
 }
 
 /// Key of one persisted fuzz campaign.
@@ -252,6 +281,8 @@ struct State {
     verdicts: HashMap<VerdictKey, EvalResult>,
     corpora: HashMap<CorpusKey, CorpusRecord>,
     diffs: HashMap<DiffKey, DiffVerdict>,
+    scripts: HashMap<ScriptKey, EditScript>,
+    patterns: HashMap<Vec<PatternEdit>, u64>,
     /// Known-good log length: every byte below this verified on open or
     /// was appended whole by us.
     len: u64,
@@ -339,6 +370,12 @@ impl Store {
                         Some(Entry::Diff(k, v)) => {
                             state.diffs.insert(k, v);
                         }
+                        Some(Entry::Script(k, s)) => {
+                            state.scripts.insert(k, s);
+                        }
+                        Some(Entry::Pattern(p)) => {
+                            state.patterns.insert(p.edits, p.support);
+                        }
                         None => {
                             good_len = raw.offset;
                             corruption = Some("record does not match any known schema".to_string());
@@ -350,6 +387,8 @@ impl Store {
                 report.verdicts = state.verdicts.len();
                 report.corpora = state.corpora.len();
                 report.diffs = state.diffs.len();
+                report.scripts = state.scripts.len();
+                report.patterns = state.patterns.len();
                 report.corruption = corruption;
 
                 let tail = &bytes[good_len as usize..];
@@ -400,6 +439,8 @@ impl Store {
             verdicts: st.verdicts.len(),
             corpora: st.corpora.len(),
             diffs: st.diffs.len(),
+            scripts: st.scripts.len(),
+            patterns: st.patterns.len(),
             log_bytes: st.len,
             write_errors: st.write_errors,
             wedged: st.wedged,
@@ -431,6 +472,80 @@ impl Store {
         st.corpora.insert(key.clone(), rec.clone());
         let payload = codec::encode_corpus(key, rec);
         self.append_payload(&mut st, &payload);
+    }
+
+    /// Looks up the persisted winning script for a subject.
+    pub fn get_script(&self, key: &ScriptKey) -> Option<EditScript> {
+        self.state.lock().unwrap().scripts.get(key).cloned()
+    }
+
+    /// Durably records the winning script of a successful repair search.
+    /// First writer wins; empty scripts (a subject that needed no edits)
+    /// are not worth a record and are dropped.
+    pub fn put_script(&self, key: &ScriptKey, script: &EditScript) {
+        if script.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        if st.scripts.contains_key(key) {
+            return;
+        }
+        st.scripts.insert(key.clone(), script.clone());
+        let payload = codec::encode_script(key, script);
+        self.append_payload(&mut st, &payload);
+    }
+
+    /// Every persisted winning script, sorted by key so mining input is
+    /// independent of insertion order.
+    pub fn scripts(&self) -> Vec<(ScriptKey, EditScript)> {
+        let st = self.state.lock().unwrap();
+        let mut out: Vec<_> = st
+            .scripts
+            .iter()
+            .map(|(k, s)| (k.clone(), s.clone()))
+            .collect();
+        out.sort_by(|(a, _), (b, _)| {
+            (a.program_fp, &a.kernel, &a.backend).cmp(&(b.program_fp, &b.kernel, &b.backend))
+        });
+        out
+    }
+
+    /// Durably records one mined fix pattern, keyed by its abstracted edit
+    /// sequence. First writer wins (support counts are re-derived by
+    /// re-mining, not accumulated in place).
+    pub fn put_pattern(&self, pattern: &FixPattern) {
+        if pattern.edits.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        if st.patterns.contains_key(&pattern.edits) {
+            return;
+        }
+        st.patterns.insert(pattern.edits.clone(), pattern.support);
+        let payload = codec::encode_pattern(pattern);
+        self.append_payload(&mut st, &payload);
+    }
+
+    /// Every persisted fix pattern, in the mined ranking (support
+    /// descending, longer sequences first, then shape) — ready to feed
+    /// `SearchConfig::with_mined_patterns` directly.
+    pub fn patterns(&self) -> Vec<FixPattern> {
+        let st = self.state.lock().unwrap();
+        let mut out: Vec<_> = st
+            .patterns
+            .iter()
+            .map(|(edits, support)| FixPattern {
+                edits: edits.clone(),
+                support: *support,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.support
+                .cmp(&a.support)
+                .then(b.edits.len().cmp(&a.edits.len()))
+                .then_with(|| a.edits.cmp(&b.edits))
+        });
+        out
     }
 
     /// Rewrites the log as one clean generation (every live entry, no
@@ -495,6 +610,26 @@ impl Store {
         });
         for (k, v) in diffs {
             bytes.extend_from_slice(&log::encode_record(codec::encode_diff(k, v).as_bytes()));
+        }
+        let mut scripts: Vec<_> = st.scripts.iter().collect();
+        scripts.sort_by(|(a, _), (b, _)| {
+            (a.program_fp, &a.kernel, &a.backend).cmp(&(b.program_fp, &b.kernel, &b.backend))
+        });
+        for (k, s) in scripts {
+            bytes.extend_from_slice(&log::encode_record(codec::encode_script(k, s).as_bytes()));
+        }
+        let mut patterns: Vec<_> = st.patterns.iter().collect();
+        patterns.sort_by(|(a, sa), (b, sb)| {
+            sb.cmp(sa)
+                .then(b.len().cmp(&a.len()))
+                .then_with(|| a.cmp(b))
+        });
+        for (edits, support) in patterns {
+            let p = FixPattern {
+                edits: edits.clone(),
+                support: *support,
+            };
+            bytes.extend_from_slice(&log::encode_record(codec::encode_pattern(&p).as_bytes()));
         }
         self.io.write_file(&self.generation, &bytes)?;
         self.io.rename(&self.generation, &self.log)?;
@@ -653,6 +788,59 @@ mod tests {
     }
 
     #[test]
+    fn scripts_and_patterns_round_trip_and_rank() {
+        use repair::{EditKind, ScriptEdit};
+        let mem = Arc::new(MemIo::new());
+        let skey = |n: u64| ScriptKey {
+            program_fp: n,
+            kernel: "kernel".to_string(),
+            backend: "hls_sim".to_string(),
+        };
+        let script = EditScript {
+            edits: vec![
+                ScriptEdit {
+                    kind: EditKind::StackTrans,
+                    site: Some("kernel".to_string()),
+                    symbol: None,
+                    value: Some(32),
+                    label: None,
+                },
+                ScriptEdit::bare(EditKind::Resize),
+            ],
+        };
+        let rare = FixPattern {
+            edits: repair::mine::abstract_script(&script)[..1].to_vec(),
+            support: 1,
+        };
+        let common = FixPattern {
+            edits: repair::mine::abstract_script(&script),
+            support: 4,
+        };
+        {
+            let s = Store::open_with(&dir(), mem.clone()).unwrap();
+            s.put_script(&skey(1), &script);
+            s.put_script(&skey(1), &EditScript::new()); // first writer wins
+            s.put_script(&skey(2), &EditScript::new()); // empty: dropped
+            s.put_pattern(&rare);
+            s.put_pattern(&common);
+            s.put_pattern(&FixPattern {
+                edits: common.edits.clone(),
+                support: 99, // first writer wins
+            });
+            assert_eq!(s.stats().write_errors, 0);
+        }
+        let s = Store::open_with(&dir(), mem).unwrap();
+        assert!(s.recovery().clean());
+        assert_eq!(s.recovery().scripts, 1);
+        assert_eq!(s.recovery().patterns, 2);
+        assert_eq!(s.get_script(&skey(1)).unwrap(), script);
+        assert!(s.get_script(&skey(2)).is_none());
+        assert_eq!(s.scripts(), vec![(skey(1), script)]);
+        // Ranked: higher support first, original support preserved.
+        assert_eq!(s.patterns(), vec![common, rare]);
+    }
+
+    #[test]
     fn duplicate_puts_do_not_grow_the_log() {
         let mem = Arc::new(MemIo::new());
         let s = Store::open_with(&dir(), mem.clone()).unwrap();
@@ -768,6 +956,26 @@ mod tests {
                     },
                 );
             }
+            s.put_script(
+                &ScriptKey {
+                    program_fp: 4,
+                    kernel: "kernel".to_string(),
+                    backend: "hls_sim".to_string(),
+                },
+                &EditScript {
+                    edits: vec![repair::ScriptEdit::bare(repair::EditKind::Flatten)],
+                },
+            );
+            s.put_pattern(&FixPattern {
+                edits: vec![repair::PatternEdit {
+                    kind: repair::EditKind::Flatten,
+                    has_site: false,
+                    has_symbol: false,
+                    has_value: false,
+                    label: None,
+                }],
+                support: 2,
+            });
             let before = s.stats().log_bytes;
             let after = s.compact().unwrap();
             assert!(after <= before);
@@ -777,6 +985,8 @@ mod tests {
         assert_eq!(s.stats().verdicts, 5);
         assert_eq!(s.stats().corpora, 1);
         assert_eq!(s.stats().diffs, 3);
+        assert_eq!(s.stats().scripts, 1);
+        assert_eq!(s.stats().patterns, 1);
         // Compaction output is deterministic: compacting the reopened
         // store byte-identically reproduces the file.
         let first = mem.snapshot(&log_path(&dir())).unwrap();

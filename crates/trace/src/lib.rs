@@ -87,6 +87,41 @@ impl std::fmt::Display for Verdict {
     }
 }
 
+/// One parameterized edit inside an [`Event::RepairScript`]: the edit-family
+/// name plus the minimal anchor context (localization site, touched symbol,
+/// numeric parameter, extra label) the repair layer recorded for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEdit {
+    /// Edit-family name (same vocabulary as [`Event::EditApplied`]).
+    pub kind: String,
+    /// Localization site (function or struct name), if any.
+    pub site: Option<String>,
+    /// Touched symbol (variable, parameter, method), if any.
+    pub symbol: Option<String>,
+    /// Numeric parameter (size, capacity, factor, loop index), if any.
+    pub value: Option<i128>,
+    /// Extra discriminating label (pragma family, target type), if any.
+    pub label: Option<String>,
+}
+
+impl Serialize for TraceEdit {
+    fn to_json_value(&self) -> Value {
+        fn opt_str(v: &Option<String>) -> Value {
+            v.as_ref().map_or(Value::Null, |s| Value::Str(s.clone()))
+        }
+        Value::Object(vec![
+            ("kind".to_string(), Value::Str(self.kind.clone())),
+            ("site".to_string(), opt_str(&self.site)),
+            ("symbol".to_string(), opt_str(&self.symbol)),
+            (
+                "value".to_string(),
+                self.value.map_or(Value::Null, Value::Int),
+            ),
+            ("label".to_string(), opt_str(&self.label)),
+        ])
+    }
+}
+
 /// One structured pipeline event.
 ///
 /// `at_min` fields are *simulated minutes on the emitting phase's clock*
@@ -164,6 +199,16 @@ pub enum Event {
         /// Edit-family name.
         kind: String,
         /// Simulated minutes on the search clock.
+        at_min: f64,
+    },
+    /// The winning repair script of a search: the ordered, parameterized
+    /// edits along the successful path, with their anchor context. Emitted
+    /// once per successful mined-tier search, so JSONL archives carry the
+    /// whole script, not only the per-edit [`Event::EditApplied`] stream.
+    RepairScript {
+        /// Ordered edits of the winning script.
+        edits: Vec<TraceEdit>,
+        /// Simulated minutes on the search clock at emission.
         at_min: f64,
     },
     /// A candidate was differentially tested against the reference.
@@ -248,6 +293,7 @@ impl Event {
             Event::StyleReject { .. } => "style_reject",
             Event::FullCompile { .. } => "full_compile",
             Event::EditApplied { .. } => "edit_applied",
+            Event::RepairScript { .. } => "repair_script",
             Event::DiffEvaluated { .. } => "diff_evaluated",
             Event::FaultInjected { .. } => "fault_injected",
             Event::RetryScheduled { .. } => "retry_scheduled",
@@ -323,6 +369,13 @@ impl Serialize for Event {
             }
             Event::EditApplied { kind, at_min } => {
                 push("kind", Value::Str(kind.clone()));
+                push("at_min", Value::Float(*at_min));
+            }
+            Event::RepairScript { edits, at_min } => {
+                push(
+                    "edits",
+                    Value::Array(edits.iter().map(Serialize::to_json_value).collect()),
+                );
                 push("at_min", Value::Float(*at_min));
             }
             Event::DiffEvaluated {
@@ -601,6 +654,12 @@ impl TraceSink for MetricsSink {
                 *m.counters
                     .entry(format!("edit_applied.{kind}"))
                     .or_insert(0) += 1;
+            }
+            Event::RepairScript { edits, .. } => {
+                m.histograms
+                    .entry("repair_script.edits".to_string())
+                    .or_default()
+                    .record(edits.len() as f64);
             }
             Event::DiffEvaluated {
                 pass_ratio,

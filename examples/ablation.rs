@@ -61,10 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("\n=== Figure 9 ablations (simulated toolchain minutes) ===");
-    let hg = run("HeteroGen", base);
+    let hg = run("HeteroGen", base.clone());
     let wd = run(
         "WithoutDependence",
-        base.to_builder()
+        base.clone()
+            .to_builder()
             .with_dependence(false)
             .with_budget_min(720.0)
             .build(),

@@ -643,6 +643,99 @@ fn warm_store_is_report_and_trace_byte_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The mined-pattern tier's determinism contract, both halves:
+///
+/// * **Mining off** (the default), the run is byte-identical to a
+///   store-less run at every thread count — even over a warm store full of
+///   banked scripts *and* mined patterns. Learning never leaks into a run
+///   that did not opt in.
+/// * **Mining on**, the run is deterministic and thread-count invariant:
+///   the same report JSON and JSONL trace at 1/2/4 workers, with the
+///   winning script and `mined` marker in the report.
+#[test]
+fn mined_tier_is_gated_and_thread_count_invariant() {
+    use heterogen_core::{HeteroGen, JobSpec, PipelineConfig};
+    use heterogen_store::Store;
+    use heterogen_trace::JsonlSink;
+    use std::sync::Arc;
+
+    let s = benchsuite::subject("P3").unwrap();
+    let p = s.parse();
+    let mut seeds = s.seed_inputs.clone();
+    seeds.extend(s.existing_tests.clone());
+    let dir = std::env::temp_dir().join(format!("heterogen-test-mined-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run_with = |threads: usize, store: Option<Arc<Store>>, mined: bool| {
+        let mut cfg = PipelineConfig::quick();
+        cfg.fuzz = fuzz_cfg(threads);
+        cfg.search = search_cfg(threads);
+        let sink = Arc::new(JsonlSink::new());
+        let mut builder = HeteroGen::builder().config(cfg).sink(sink.clone());
+        if let Some(store) = store {
+            builder = builder.store(store);
+        }
+        let spec = JobSpec::builder(p.clone(), s.kernel)
+            .seeds(seeds.clone())
+            .mined(mined)
+            .build();
+        let report = builder.build().run(spec).unwrap();
+        (
+            serde_json::to_string(&report).expect("serializable report"),
+            sink.contents(),
+        )
+    };
+
+    let reference = run_with(1, None, false);
+    assert!(
+        !reference.0.contains("\"mined\""),
+        "a mining-off report must not carry the mined fields"
+    );
+
+    // Cold run banks the winning script; then mine patterns into the store
+    // (what `reproduce mine` does).
+    let store = Arc::new(Store::open(&dir).unwrap());
+    let cold = run_with(1, Some(store.clone()), false);
+    assert_eq!(reference, cold, "cold-store bytes");
+    let scripts: Vec<repair::EditScript> = store.scripts().into_iter().map(|(_, s)| s).collect();
+    assert!(
+        !scripts.is_empty(),
+        "the successful run must bank its script"
+    );
+    for pat in repair::mine::mine_patterns(&scripts) {
+        store.put_pattern(&pat);
+    }
+    assert!(!store.patterns().is_empty());
+    drop(store);
+
+    // Mining off: the warm store full of scripts and patterns is invisible.
+    for threads in [1usize, 2, 4] {
+        let warm = run_with(threads, Some(Arc::new(Store::open(&dir).unwrap())), false);
+        assert_eq!(reference, warm, "mining-off warm bytes @ {threads} threads");
+    }
+
+    // Mining on: deterministic across repeats and thread counts, and the
+    // report opts into the script fields.
+    let mined_base = run_with(1, Some(Arc::new(Store::open(&dir).unwrap())), true);
+    assert!(
+        mined_base.0.contains("\"mined\":true"),
+        "a mined run's report must carry the mined marker"
+    );
+    assert!(
+        mined_base.0.contains("\"script\":"),
+        "a mined run's report must carry the winning script"
+    );
+    assert!(
+        mined_base.1.contains("\"event\":\"repair_script\""),
+        "a mined run's trace must carry the repair_script event"
+    );
+    for threads in [1usize, 2, 4] {
+        let r = run_with(threads, Some(Arc::new(Store::open(&dir).unwrap())), true);
+        assert_eq!(mined_base, r, "mined bytes @ {threads} threads");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The `MetricsSink` counters must agree with the hand-maintained
 /// `SearchStats` for the same run.
 #[test]

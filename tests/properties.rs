@@ -507,6 +507,177 @@ proptest! {
     }
 }
 
+// ------------------------------------------------------------- wire forms
+
+use heterogen_store::codec::{self, Entry};
+use heterogen_store::ScriptKey;
+use repair::{EditKind, EditScript, FixPattern, PatternEdit, ScriptEdit};
+
+/// A generator over every edit family.
+fn arb_edit_kind() -> impl Strategy<Value = EditKind> {
+    (0..EditKind::ALL.len()).prop_map(|i| EditKind::ALL[i])
+}
+
+/// Optional anchor identifiers, as the localizer produces them.
+fn arb_opt_name() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![Just(None), "[a-z_]{1,8}".prop_map(Some)]
+}
+
+fn arb_script_edit() -> impl Strategy<Value = ScriptEdit> {
+    (
+        arb_edit_kind(),
+        arb_opt_name(),
+        arb_opt_name(),
+        prop_oneof![Just(None), (-4096i128..4096).prop_map(Some)],
+        arb_opt_name(),
+    )
+        .prop_map(|(kind, site, symbol, value, label)| ScriptEdit {
+            kind,
+            site,
+            symbol,
+            value,
+            label,
+        })
+}
+
+fn arb_script() -> impl Strategy<Value = EditScript> {
+    proptest::collection::vec(arb_script_edit(), 1..6).prop_map(|edits| EditScript { edits })
+}
+
+fn arb_pattern() -> impl Strategy<Value = FixPattern> {
+    (
+        proptest::collection::vec(
+            (
+                arb_edit_kind(),
+                any::<bool>(),
+                any::<bool>(),
+                any::<bool>(),
+                arb_opt_name(),
+            )
+                .prop_map(|(kind, has_site, has_symbol, has_value, label)| {
+                    PatternEdit {
+                        kind,
+                        has_site,
+                        has_symbol,
+                        has_value,
+                        label,
+                    }
+                }),
+            1..5,
+        ),
+        1i128..64,
+    )
+        .prop_map(|(edits, support)| FixPattern {
+            edits,
+            support: support as u64,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `EditScript` wire round trip is exact — serialize → parse →
+    /// serialize is a fixpoint and parsing recovers the original value —
+    /// end to end through the store codec (encode to log text, decode the
+    /// typed entry back).
+    #[test]
+    fn edit_script_wire_round_trips(script in arb_script(), fp in any::<u64>()) {
+        use serde::Serialize as _;
+        let v1 = script.to_json_value();
+        let parsed = EditScript::from_value(&v1).expect("own wire form parses");
+        prop_assert_eq!(&parsed, &script);
+        prop_assert_eq!(parsed.to_json_value(), v1);
+
+        let key = ScriptKey {
+            program_fp: fp,
+            kernel: "kernel".to_string(),
+            backend: "datacenter".to_string(),
+        };
+        let line = codec::encode_script(&key, &script);
+        match codec::decode_entry(&line) {
+            Some(Entry::Script(k, s)) => {
+                prop_assert_eq!(k, key);
+                prop_assert_eq!(&s, &script);
+                // …and re-encoding the decoded value reproduces the bytes.
+                prop_assert_eq!(codec::encode_script(&ScriptKey {
+                    program_fp: fp,
+                    kernel: "kernel".to_string(),
+                    backend: "datacenter".to_string(),
+                }, &s), line);
+            }
+            other => prop_assert!(false, "decoded {other:?}"),
+        }
+    }
+
+    /// Same for `FixPattern`, plus: the mined abstraction of a script keeps
+    /// exactly the edit-kind sequence and the context *shape*.
+    #[test]
+    fn fix_pattern_wire_round_trips(pat in arb_pattern()) {
+        use serde::Serialize as _;
+        let v1 = pat.to_json_value();
+        let parsed = FixPattern::from_value(&v1).expect("own wire form parses");
+        prop_assert_eq!(&parsed, &pat);
+        prop_assert_eq!(parsed.to_json_value(), v1);
+
+        let line = codec::encode_pattern(&pat);
+        match codec::decode_entry(&line) {
+            Some(Entry::Pattern(p)) => {
+                prop_assert_eq!(codec::encode_pattern(&p), line);
+                prop_assert_eq!(p, pat);
+            }
+            other => prop_assert!(false, "decoded {other:?}"),
+        }
+    }
+
+    /// The store rejects version-skewed script/pattern records wholesale:
+    /// bumping the per-record `v` field makes `decode_entry` return `None`
+    /// (the log layer then quarantines from that point), never a
+    /// half-parsed entry.
+    #[test]
+    fn store_rejects_version_skewed_records(script in arb_script(), pat in arb_pattern()) {
+        let key = ScriptKey {
+            program_fp: 7,
+            kernel: "kernel".to_string(),
+            backend: "datacenter".to_string(),
+        };
+        let old = format!("\"v\":{}", codec::RECORD_VERSION);
+        let new = format!("\"v\":{}", codec::RECORD_VERSION + 1);
+        for line in [codec::encode_script(&key, &script), codec::encode_pattern(&pat)] {
+            prop_assert!(line.contains(&old), "record carries its version: {line}");
+            let skewed = line.replacen(&old, &new, 1);
+            prop_assert!(codec::decode_entry(&line).is_some());
+            prop_assert!(
+                codec::decode_entry(&skewed).is_none(),
+                "version-skewed record must be rejected: {skewed}"
+            );
+        }
+    }
+
+    /// Mining abstraction: every pattern mined from a script set is a
+    /// contiguous kind-subsequence of at least one input script, with the
+    /// label/shape of the matching edits preserved.
+    #[test]
+    fn mined_patterns_are_abstracted_subsequences(scripts in proptest::collection::vec(arb_script(), 1..4)) {
+        let patterns = repair::mine::mine_patterns(&scripts);
+        let abstracted: Vec<Vec<PatternEdit>> = scripts
+            .iter()
+            .map(|s| s.edits.iter().map(PatternEdit::from_edit).collect())
+            .collect();
+        for p in &patterns {
+            prop_assert!(!p.edits.is_empty());
+            prop_assert!(p.support >= 1);
+            let matches = abstracted
+                .iter()
+                .filter(|a| a.windows(p.edits.len()).any(|w| w == p.edits.as_slice()))
+                .count() as u64;
+            prop_assert_eq!(
+                matches, p.support,
+                "support must equal the number of distinct scripts containing the shape"
+            );
+        }
+    }
+}
+
 // A tiny non-proptest sanity check that the generated strategies build.
 #[test]
 fn arb_expr_strategy_builds() {

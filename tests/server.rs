@@ -300,7 +300,7 @@ fn server_execution_is_byte_identical_to_direct_session() {
         .map(|spec| {
             let sink = Arc::new(JsonlSink::new());
             let session = HeteroGen::builder()
-                .config(pipeline)
+                .config(pipeline.clone())
                 .sink(sink.clone())
                 .build();
             let report = session.run(spec.clone()).unwrap();
@@ -312,7 +312,7 @@ fn server_execution_is_byte_identical_to_direct_session() {
         let server = Server::start(
             ServerConfig::builder()
                 .with_workers(workers)
-                .with_pipeline(pipeline)
+                .with_pipeline(pipeline.clone())
                 .with_capture_traces(true)
                 .build(),
         );
